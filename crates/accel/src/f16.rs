@@ -1,0 +1,266 @@
+//! Software IEEE 754 binary16 ("half precision").
+//!
+//! The SmartSSD accelerator stores KV-cache data as FP16 and accumulates in
+//! FP32 (paper §5.4). This module implements binary16 from scratch —
+//! conversion to/from `f32` with round-to-nearest-even, including
+//! subnormals, infinities and NaN — so the functional kernel is
+//! bit-faithful to the hardware's storage format without external crates.
+
+use std::fmt;
+
+/// An IEEE 754 binary16 value.
+///
+/// # Examples
+///
+/// ```
+/// use hilos_accel::F16;
+///
+/// let x = F16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// // Rounding: 1 + 2^-11 is not representable and rounds to even (1.0).
+/// assert_eq!(F16::from_f32(1.0 + f32::powi(2.0, -11)).to_f32(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// One.
+    pub const ONE: F16 = F16(0x3c00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7bff);
+    /// Smallest positive subnormal (2⁻²⁴).
+    pub const MIN_POSITIVE_SUBNORMAL: F16 = F16(0x0001);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7c00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xfc00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7e00);
+
+    /// Reinterprets raw bits as an `F16`.
+    pub const fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// The raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    ///
+    /// Values above the binary16 range become infinities; values below the
+    /// smallest subnormal round to (signed) zero; NaN stays NaN.
+    pub fn from_f32(value: f32) -> F16 {
+        let x = value.to_bits();
+        let sign = ((x >> 16) & 0x8000) as u16;
+        let exp = (x >> 23) & 0xff;
+        let man = x & 0x007f_ffff;
+
+        if exp == 0xff {
+            // Infinity or NaN.
+            return if man == 0 { F16(sign | 0x7c00) } else { F16(sign | 0x7e00) };
+        }
+
+        let unbiased = exp as i32 - 127;
+        if unbiased > 15 {
+            return F16(sign | 0x7c00);
+        }
+        if unbiased >= -14 {
+            // Normal binary16 range (result may still carry into infinity).
+            let exp_h = (unbiased + 15) as u32;
+            let mut half = (exp_h << 10) | (man >> 13);
+            let round = man & 0x1fff;
+            if round > 0x1000 || (round == 0x1000 && (half & 1) == 1) {
+                half += 1;
+            }
+            return F16(sign | half as u16);
+        }
+        if unbiased < -25 {
+            // Rounds to zero even for the tie case.
+            return F16(sign);
+        }
+        // Subnormal range: shift the (implicit-1) mantissa into place.
+        let man = man | 0x0080_0000;
+        let shift = ((-14 - unbiased) + 13) as u32;
+        let mut half = man >> shift;
+        let rem = man & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        if rem > halfway || (rem == halfway && (half & 1) == 1) {
+            half += 1;
+        }
+        F16(sign | half as u16)
+    }
+
+    /// Converts to `f32` exactly (every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let bits = self.0 as u32;
+        let sign = (bits >> 15) & 1;
+        let exp = (bits >> 10) & 0x1f;
+        let man = bits & 0x3ff;
+        let sign_f = if sign == 1 { -1.0f32 } else { 1.0 };
+        match exp {
+            0 => sign_f * (man as f32) * f32::powi(2.0, -24),
+            31 => {
+                if man == 0 {
+                    sign_f * f32::INFINITY
+                } else {
+                    f32::NAN
+                }
+            }
+            _ => f32::from_bits((sign << 31) | ((exp + 112) << 23) | (man << 13)),
+        }
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7c00) == 0x7c00 && (self.0 & 0x3ff) != 0
+    }
+
+    /// True if the value is ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7fff) == 0x7c00
+    }
+
+    /// True if the value is neither infinite nor NaN.
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7c00) != 0x7c00
+    }
+
+    /// True if the sign bit is set (including -0.0 and NaNs with sign).
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & 0x8000) != 0
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(h: F16) -> f32 {
+        h.to_f32()
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE_SUBNORMAL.to_f32(), f32::powi(2.0, -24));
+        assert_eq!(F16::INFINITY.to_f32(), f32::INFINITY);
+        assert_eq!(F16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+        assert!(F16::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn from_f32_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.25, 65504.0] {
+            assert_eq!(F16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY);
+        assert_eq!(F16::from_f32(1e10), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e10), F16::NEG_INFINITY);
+        // 65504 + just under half a ulp stays finite.
+        assert_eq!(F16::from_f32(65519.0), F16::MAX);
+    }
+
+    #[test]
+    fn underflow_and_subnormals() {
+        let min_sub = f32::powi(2.0, -24);
+        assert_eq!(F16::from_f32(min_sub).to_bits(), 0x0001);
+        // Half the min subnormal ties to even -> zero.
+        assert_eq!(F16::from_f32(min_sub / 2.0).to_bits(), 0x0000);
+        // Slightly more than half rounds up to the min subnormal.
+        assert_eq!(F16::from_f32(min_sub * 0.51).to_bits(), 0x0001);
+        // Largest subnormal.
+        let largest_sub = 1023.0 * f32::powi(2.0, -24);
+        assert_eq!(F16::from_f32(largest_sub).to_bits(), 0x03ff);
+        // Smallest normal.
+        assert_eq!(F16::from_f32(f32::powi(2.0, -14)).to_bits(), 0x0400);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to even.
+        assert_eq!(F16::from_f32(1.0 + f32::powi(2.0, -11)).to_bits(), F16::ONE.to_bits());
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even (up).
+        let up = F16::from_f32(1.0 + 3.0 * f32::powi(2.0, -11));
+        assert_eq!(up.to_bits(), 0x3c02);
+        // Just above halfway rounds up.
+        assert_eq!(F16::from_f32(1.0 + 1.01 * f32::powi(2.0, -11)).to_bits(), 0x3c01);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::NAN.is_nan());
+        assert!(!F16::INFINITY.is_nan());
+        assert!(F16::INFINITY.is_infinite());
+        assert!(!F16::ONE.is_infinite());
+        assert!(F16::ONE.is_finite());
+        assert!(!F16::NAN.is_finite());
+    }
+
+    #[test]
+    fn signs() {
+        assert!(F16::from_f32(-0.0).is_sign_negative());
+        assert!(!F16::from_f32(0.0).is_sign_negative());
+        assert_eq!(F16::from_f32(-2.5).to_f32(), -2.5);
+    }
+
+    #[test]
+    fn exhaustive_round_trip_f16_to_f32_to_f16() {
+        // Every non-NaN bit pattern must survive the round trip exactly.
+        for bits in 0u16..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+            } else {
+                let back = F16::from_f32(h.to_f32());
+                assert_eq!(back.to_bits(), bits, "bits {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_is_monotonic() {
+        // Sampled increasing f32 values map to non-decreasing f16 values.
+        let mut prev = f32::NEG_INFINITY;
+        let mut prev_h = F16::NEG_INFINITY.to_f32();
+        for i in -2000..2000 {
+            let v = i as f32 * 37.777;
+            if v <= prev {
+                continue;
+            }
+            let h = F16::from_f32(v).to_f32();
+            assert!(h >= prev_h, "monotonicity broke at {v}: {h} < {prev_h}");
+            prev = v;
+            prev_h = h;
+        }
+    }
+
+    #[test]
+    fn rounding_error_is_bounded() {
+        // Relative error of a normal-range conversion is at most 2^-11.
+        for i in 1..1000 {
+            let v = i as f32 * 1.2345;
+            let h = F16::from_f32(v).to_f32();
+            let rel = ((h - v) / v).abs();
+            assert!(rel <= f32::powi(2.0, -11), "value {v} err {rel}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Reference attention implementations the accelerator kernel is validated
+//! against.
+//!
+//! * [`attention_reference`] — textbook masked attention with a three-pass
+//!   softmax and `f64` accumulation: the gold standard.
+//! * [`attention_streaming`] — a FlashAttention-style single-pass online
+//!   softmax in `f32`: the algorithm the paper's prefill baseline uses and
+//!   the "lossless" comparison point of Fig. 18c.
+
+use crate::softmax::MASK_VALUE;
+use crate::tensor::MatrixF32;
+
+/// Computes masked scaled-dot-product attention for a group of queries that
+/// share one K/V cache (multi-head: group size 1; GQA: group size
+/// `d_group`).
+///
+/// `queries` is `g×d`, `keys` and `values` are `s×d`; `valid[j] == false`
+/// marks token `j` as padding (its score is forced to −10⁴ as in §5.4).
+/// Scores are `scale · q·kⱼ`; accumulation is `f64`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `s == 0`.
+pub fn attention_reference(
+    queries: &MatrixF32,
+    keys: &MatrixF32,
+    values: &MatrixF32,
+    valid: Option<&[bool]>,
+    scale: f32,
+) -> MatrixF32 {
+    let (g, d) = (queries.rows(), queries.cols());
+    let s = keys.rows();
+    assert!(s > 0, "attention over an empty context");
+    assert_eq!(keys.cols(), d, "key dim mismatch");
+    assert_eq!(values.rows(), s, "value rows mismatch");
+    assert_eq!(values.cols(), d, "value dim mismatch");
+    if let Some(v) = valid {
+        assert_eq!(v.len(), s, "mask length mismatch");
+    }
+
+    let mut out = MatrixF32::zeros(g, d);
+    for qi in 0..g {
+        let q = queries.row(qi);
+        // Pass 0: scores.
+        let mut scores = vec![0.0f64; s];
+        for (j, sc) in scores.iter_mut().enumerate() {
+            let masked = valid.map(|v| !v[j]).unwrap_or(false);
+            if masked {
+                *sc = MASK_VALUE as f64;
+            } else {
+                let k = keys.row(j);
+                let dot: f64 =
+                    q.iter().zip(k).map(|(&a, &b)| a as f64 * b as f64).sum();
+                *sc = dot * scale as f64;
+            }
+        }
+        // Pass 1: global max.
+        let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // Pass 2: denominator.
+        let z: f64 = scores.iter().map(|&x| (x - m).exp()).sum();
+        // Pass 3: weighted sum of values.
+        let mut acc = vec![0.0f64; d];
+        for (j, &x) in scores.iter().enumerate() {
+            let w = (x - m).exp() / z;
+            let v = values.row(j);
+            for (a, &vv) in acc.iter_mut().zip(v) {
+                *a += w * vv as f64;
+            }
+        }
+        for (c, &a) in acc.iter().enumerate() {
+            out.set(qi, c, a as f32);
+        }
+    }
+    out
+}
+
+/// FlashAttention-style streaming attention: one pass over the context with
+/// an online softmax, rescaling the output accumulator whenever the running
+/// maximum grows. `f32` throughout.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `s == 0`.
+pub fn attention_streaming(
+    queries: &MatrixF32,
+    keys: &MatrixF32,
+    values: &MatrixF32,
+    valid: Option<&[bool]>,
+    scale: f32,
+) -> MatrixF32 {
+    let (g, d) = (queries.rows(), queries.cols());
+    let s = keys.rows();
+    assert!(s > 0, "attention over an empty context");
+    assert_eq!(keys.cols(), d, "key dim mismatch");
+    assert_eq!(values.rows(), s, "value rows mismatch");
+    assert_eq!(values.cols(), d, "value dim mismatch");
+    if let Some(v) = valid {
+        assert_eq!(v.len(), s, "mask length mismatch");
+    }
+
+    let mut out = MatrixF32::zeros(g, d);
+    for qi in 0..g {
+        let q = queries.row(qi);
+        let mut m = f32::NEG_INFINITY;
+        let mut z = 0.0f32;
+        let mut acc = vec![0.0f32; d];
+        for j in 0..s {
+            let masked = valid.map(|v| !v[j]).unwrap_or(false);
+            let x = if masked {
+                MASK_VALUE
+            } else {
+                let k = keys.row(j);
+                let dot: f32 = q.iter().zip(k).map(|(&a, &b)| a * b).sum();
+                dot * scale
+            };
+            if x > m {
+                let r = (m - x).exp();
+                z = z * r + 1.0;
+                for a in acc.iter_mut() {
+                    *a *= r;
+                }
+                m = x;
+                let v = values.row(j);
+                for (a, &vv) in acc.iter_mut().zip(v) {
+                    *a += vv;
+                }
+            } else {
+                let w = (x - m).exp();
+                z += w;
+                let v = values.row(j);
+                for (a, &vv) in acc.iter_mut().zip(v) {
+                    *a += w * vv;
+                }
+            }
+        }
+        for (c, &a) in acc.iter().enumerate() {
+            out.set(qi, c, a / z);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(g: usize, s: usize, d: usize, seed: u64) -> (MatrixF32, MatrixF32, MatrixF32) {
+        // Deterministic pseudo-random fill (xorshift) — no rand dependency.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0
+        };
+        let q = MatrixF32::from_fn(g, d, |_, _| next());
+        let k = MatrixF32::from_fn(s, d, |_, _| next());
+        let v = MatrixF32::from_fn(s, d, |_, _| next());
+        (q, k, v)
+    }
+
+    #[test]
+    fn single_token_returns_its_value() {
+        let (q, k, v) = toy(1, 1, 8, 3);
+        let out = attention_reference(&q, &k, &v, None, 0.35);
+        for c in 0..8 {
+            assert!((out.at(0, c) - v.at(0, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dominant_score_selects_its_value() {
+        let d = 4;
+        let q = MatrixF32::from_fn(1, d, |_, _| 10.0);
+        let mut k = MatrixF32::zeros(3, d);
+        for c in 0..d {
+            k.set(1, c, 10.0); // token 1 has a huge score
+        }
+        let v = MatrixF32::from_fn(3, d, |r, _| r as f32);
+        let out = attention_reference(&q, &k, &v, None, 1.0);
+        for c in 0..d {
+            assert!((out.at(0, c) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_reference() {
+        let (q, k, v) = toy(3, 300, 16, 42);
+        let a = attention_reference(&q, &k, &v, None, 0.25);
+        let b = attention_streaming(&q, &k, &v, None, 0.25);
+        assert!(a.max_abs_diff(&b) < 1e-4, "diff={}", a.max_abs_diff(&b));
+    }
+
+    #[test]
+    fn mask_excludes_padding() {
+        let (q, k, v) = toy(1, 10, 8, 9);
+        let mut valid = vec![true; 10];
+        for j in 5..10 {
+            valid[j] = false;
+        }
+        let masked = attention_reference(&q, &k, &v, Some(&valid), 0.3);
+        // Same result as truncating the context to the valid prefix.
+        let k5 = MatrixF32::from_fn(5, 8, |r, c| k.at(r, c));
+        let v5 = MatrixF32::from_fn(5, 8, |r, c| v.at(r, c));
+        let truncated = attention_reference(&q, &k5, &v5, None, 0.3);
+        assert!(masked.max_abs_diff(&truncated) < 1e-5);
+    }
+
+    #[test]
+    fn group_queries_processed_independently() {
+        let (q, k, v) = toy(4, 64, 8, 17);
+        let all = attention_reference(&q, &k, &v, None, 0.2);
+        for qi in 0..4 {
+            let single = MatrixF32::from_fn(1, 8, |_, c| q.at(qi, c));
+            let one = attention_reference(&single, &k, &v, None, 0.2);
+            for c in 0..8 {
+                assert!((all.at(qi, c) - one.at(0, c)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty context")]
+    fn empty_context_panics() {
+        let q = MatrixF32::zeros(1, 4);
+        let k = MatrixF32::zeros(0, 4);
+        let v = MatrixF32::zeros(0, 4);
+        let _ = attention_reference(&q, &k, &v, None, 1.0);
+    }
+}

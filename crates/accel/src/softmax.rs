@@ -1,0 +1,178 @@
+//! Softmax implementations: the conventional three-pass algorithm and the
+//! paper's two-pass blocked algorithm (Algorithm 1).
+//!
+//! The three-pass version reads the score vector three times (global max,
+//! sum of exponentials, normalization) — prohibitive off-chip traffic for
+//! 100K-token sequences. Algorithm 1 fuses the first two passes by
+//! stabilizing each block with its *local* maximum and rescaling the
+//! running sum when the global maximum changes, exactly as the
+//! softmax-statistics-aggregation unit does in hardware (Fig. 7b).
+
+/// The paper's padding-mask constant: masked scores are forced to −10⁴
+/// before softmax so padded tokens cannot influence the result (§5.4).
+pub const MASK_VALUE: f32 = -1.0e4;
+
+/// Running softmax statistics: the global maximum `m` and the running
+/// denominator `z` (sum of exponentials referenced to `m`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftmaxStats {
+    /// Running global maximum.
+    pub m: f32,
+    /// Running sum of `exp(x - m)`.
+    pub z: f32,
+}
+
+impl Default for SoftmaxStats {
+    fn default() -> Self {
+        SoftmaxStats::new()
+    }
+}
+
+impl SoftmaxStats {
+    /// Initial statistics (`m = −∞`, `z = 0`), line 1 of Algorithm 1.
+    pub fn new() -> Self {
+        SoftmaxStats { m: f32::NEG_INFINITY, z: 0.0 }
+    }
+
+    /// Streaming update with one block of scores (lines 2–9 of
+    /// Algorithm 1): computes the block's local max and partial sum, then
+    /// merges them into the running statistics.
+    pub fn update_block(&mut self, block: &[f32]) {
+        if block.is_empty() {
+            return;
+        }
+        // Local max (pipelined max-reduction tree in hardware).
+        let m_b = block.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        // Partial sum referenced to the local max (parallel exp units +
+        // adder tree).
+        let s_b: f32 = block.iter().map(|&b| (b - m_b).exp()).sum();
+        // Streaming update unit.
+        if m_b > self.m {
+            self.z = self.z * (self.m - m_b).exp() + s_b;
+            self.m = m_b;
+        } else {
+            self.z += s_b * (m_b - self.m).exp();
+        }
+    }
+
+    /// The normalized weight of a score under the final statistics
+    /// (line 11 of Algorithm 1).
+    pub fn normalize(&self, x: f32) -> f32 {
+        (x - self.m).exp() / self.z
+    }
+}
+
+/// Conventional numerically-stable three-pass softmax (the baseline the
+/// paper's two-pass design replaces).
+pub fn softmax_three_pass(x: &[f32]) -> Vec<f32> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let m = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let z: f32 = x.iter().map(|&v| (v - m).exp()).sum();
+    x.iter().map(|&v| (v - m).exp() / z).collect()
+}
+
+/// Two-pass blocked softmax (Algorithm 1): one streaming pass to build
+/// [`SoftmaxStats`] block by block, one pass to normalize.
+pub fn softmax_two_pass(x: &[f32], block_len: usize) -> Vec<f32> {
+    assert!(block_len > 0, "block length must be positive");
+    let mut stats = SoftmaxStats::new();
+    for block in x.chunks(block_len) {
+        stats.update_block(block);
+    }
+    x.iter().map(|&v| stats.normalize(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn two_pass_matches_three_pass() {
+        let x: Vec<f32> = (0..1000).map(|i| ((i * 37) % 101) as f32 * 0.13 - 5.0).collect();
+        for block in [1, 7, 128, 1000, 4096] {
+            let a = softmax_two_pass(&x, block);
+            let b = softmax_three_pass(&x);
+            assert_close(&a, &b, 1e-6);
+        }
+    }
+
+    #[test]
+    fn sums_to_one() {
+        let x: Vec<f32> = (0..500).map(|i| (i as f32).sin() * 8.0).collect();
+        let y = softmax_two_pass(&x, 128);
+        let sum: f32 = y.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum={sum}");
+    }
+
+    #[test]
+    fn stable_for_large_magnitudes() {
+        // Values that would overflow exp() without max subtraction.
+        let x = vec![1000.0f32, 999.0, 998.0];
+        let y = softmax_two_pass(&x, 2);
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!((y[0] - 0.6652).abs() < 1e-3);
+    }
+
+    #[test]
+    fn masked_scores_get_zero_weight() {
+        let x = vec![2.0f32, MASK_VALUE, 1.0, MASK_VALUE];
+        let y = softmax_two_pass(&x, 128);
+        assert_eq!(y[1], 0.0);
+        assert_eq!(y[3], 0.0);
+        assert!((y[0] + y[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_masked_degrades_to_uniform() {
+        let x = vec![MASK_VALUE; 4];
+        let y = softmax_two_pass(&x, 2);
+        for v in y {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn streaming_update_order_independent_of_block_boundaries() {
+        let x: Vec<f32> = (0..257).map(|i| (i as f32 * 0.7).cos() * 20.0).collect();
+        let mut a = SoftmaxStats::new();
+        for b in x.chunks(128) {
+            a.update_block(b);
+        }
+        let mut b = SoftmaxStats::new();
+        for c in x.chunks(13) {
+            b.update_block(c);
+        }
+        assert!((a.m - b.m).abs() < 1e-6);
+        assert!((a.z - b.z) / a.z < 1e-5);
+    }
+
+    #[test]
+    fn descending_max_path_exercised() {
+        // First block holds the global max: later blocks take the `else`
+        // branch (line 9).
+        let mut s = SoftmaxStats::new();
+        s.update_block(&[10.0, 9.0]);
+        let m_before = s.m;
+        s.update_block(&[1.0, 2.0]);
+        assert_eq!(s.m, m_before);
+        let direct = softmax_three_pass(&[10.0, 9.0, 1.0, 2.0]);
+        assert!((s.normalize(10.0) - direct[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(softmax_three_pass(&[]).is_empty());
+        let mut s = SoftmaxStats::new();
+        s.update_block(&[]);
+        assert_eq!(s.m, f32::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,264 @@
+//! Minimal row-major matrix containers for the functional kernels.
+//!
+//! The kernels only need 2-D row-major storage in `f32` (host/accumulator
+//! precision) and [`F16`](crate::F16) (the storage format of the KV cache on
+//! the device), plus conversions between the two.
+
+use crate::f16::F16;
+use std::fmt;
+
+/// A dense row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        MatrixF32 { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a generator function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = MatrixF32::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        MatrixF32 { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Rounds every element to binary16.
+    pub fn to_f16(&self) -> MatrixF16 {
+        MatrixF16 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| F16::from_f32(v)).collect(),
+        }
+    }
+
+    /// Maximum absolute element-wise difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &MatrixF32) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl fmt::Display for MatrixF32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MatrixF32({}x{})", self.rows, self.cols)
+    }
+}
+
+/// A dense row-major binary16 matrix — the device storage format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixF16 {
+    rows: usize,
+    cols: usize,
+    data: Vec<F16>,
+}
+
+impl MatrixF16 {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        MatrixF16 { rows, cols, data: vec![F16::ZERO; rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> F16 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: F16) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[F16] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Widens every element to `f32`.
+    pub fn to_f32(&self) -> MatrixF32 {
+        MatrixF32 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v.to_f32()).collect(),
+        }
+    }
+
+    /// Appends a row (KV-cache append of a newly decoded token).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[F16]) {
+        assert_eq!(row.len(), self.cols, "row length must equal cols");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Storage size in bytes (2 bytes per element).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 2
+    }
+}
+
+impl fmt::Display for MatrixF16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MatrixF16({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_accessors() {
+        let m = MatrixF32::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.at(1, 2), 12.0);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn f16_round_trip_preserves_representable() {
+        let m = MatrixF32::from_fn(3, 3, |r, c| (r as f32 - c as f32) * 0.5);
+        let h = m.to_f16();
+        assert_eq!(h.to_f32(), m);
+        assert_eq!(h.bytes(), 18);
+    }
+
+    #[test]
+    fn f16_rounding_visible() {
+        let m = MatrixF32::from_vec(1, 1, vec![1.0 + f32::powi(2.0, -12)]);
+        let h = m.to_f16();
+        assert_eq!(h.at(0, 0).to_f32(), 1.0);
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut m = MatrixF16::zeros(0, 2);
+        m.push_row(&[F16::ONE, F16::ZERO]);
+        m.push_row(&[F16::ZERO, F16::ONE]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.at(1, 1), F16::ONE);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = MatrixF32::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = MatrixF32::from_vec(1, 2, vec![1.5, 1.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let m = MatrixF32::zeros(1, 1);
+        let _ = m.at(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn diff_requires_same_shape() {
+        let a = MatrixF32::zeros(1, 2);
+        let b = MatrixF32::zeros(2, 1);
+        let _ = a.max_abs_diff(&b);
+    }
+}

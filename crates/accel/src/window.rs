@@ -1,0 +1,164 @@
+//! Sliding-window attention support (§5.1's "specialized attention
+//! variants").
+//!
+//! Models with windowed attention (Mistral-style) only attend to the last
+//! `window` tokens. On the accelerator this is a masking schedule plus a
+//! traffic saving: blocks entirely outside the window are never fetched
+//! from flash. This module builds the window masks, computes the traffic
+//! factor, and runs the windowed kernel by restricting the block range.
+
+use crate::kernel::{attention_kernel, AttentionInputs, KernelError, BLOCK_TOKENS};
+use crate::tensor::{MatrixF16, MatrixF32};
+
+/// Builds the validity mask for a query at position `query_pos` (0-based,
+/// attending over `s` stored tokens) with a sliding window of `window`
+/// tokens: only positions in `(query_pos - window, query_pos]` are valid.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn sliding_window_mask(s: usize, query_pos: usize, window: usize) -> Vec<bool> {
+    assert!(window > 0, "window must be positive");
+    let lo = (query_pos + 1).saturating_sub(window);
+    (0..s).map(|j| j >= lo && j <= query_pos).collect()
+}
+
+/// Fraction of the stored KV blocks a windowed decode step must fetch:
+/// `min(window, s) / s` rounded up to block granularity — the flash-read
+/// saving windowed models enjoy on HILOS.
+pub fn window_read_fraction(s: u64, window: u64) -> f64 {
+    if s == 0 {
+        return 0.0;
+    }
+    let needed_tokens = window.min(s);
+    let blocks_needed = needed_tokens.div_ceil(BLOCK_TOKENS as u64);
+    let blocks_total = s.div_ceil(BLOCK_TOKENS as u64);
+    (blocks_needed as f64 / blocks_total as f64).min(1.0)
+}
+
+/// Runs windowed attention for the newest token (`query_pos = s - 1`):
+/// fetches only the blocks intersecting the window and masks the rest.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn sliding_window_attention(
+    queries: &MatrixF16,
+    keys: &MatrixF16,
+    values: &MatrixF16,
+    scale: f32,
+    window: usize,
+) -> Result<MatrixF32, KernelError> {
+    let s = keys.rows();
+    let d = keys.cols();
+    if s == 0 {
+        return attention_kernel(&AttentionInputs {
+            queries,
+            keys,
+            values,
+            valid: None,
+            scale,
+            host_tail: None,
+        });
+    }
+    // Restrict to the blocks the window touches (block-aligned fetch).
+    let lo_token = s.saturating_sub(window);
+    let lo_block_start = (lo_token / BLOCK_TOKENS) * BLOCK_TOKENS;
+    let mut k_win = MatrixF16::zeros(0, d);
+    let mut v_win = MatrixF16::zeros(0, d);
+    for j in lo_block_start..s {
+        k_win.push_row(keys.row(j));
+        v_win.push_row(values.row(j));
+    }
+    // Mask the partial leading block.
+    let valid: Vec<bool> =
+        (lo_block_start..s).map(|j| j >= lo_token).collect();
+    attention_kernel(&AttentionInputs {
+        queries,
+        keys: &k_win,
+        values: &v_win,
+        valid: Some(&valid),
+        scale,
+        host_tail: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::attention_reference;
+
+    fn toy(g: usize, s: usize, d: usize, seed: u64) -> (MatrixF16, MatrixF16, MatrixF16) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0
+        };
+        (
+            MatrixF32::from_fn(g, d, |_, _| next()).to_f16(),
+            MatrixF32::from_fn(s, d, |_, _| next()).to_f16(),
+            MatrixF32::from_fn(s, d, |_, _| next()).to_f16(),
+        )
+    }
+
+    #[test]
+    fn mask_covers_exactly_the_window() {
+        let m = sliding_window_mask(10, 7, 3);
+        // Positions 5, 6, 7 valid.
+        let valid: Vec<usize> = m.iter().enumerate().filter(|(_, &v)| v).map(|(i, _)| i).collect();
+        assert_eq!(valid, vec![5, 6, 7]);
+        // Window larger than history: everything up to the query valid.
+        let m = sliding_window_mask(5, 2, 100);
+        assert_eq!(m, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn windowed_matches_reference_on_suffix() {
+        let (q, k, v) = toy(1, 400, 32, 9);
+        let window = 150;
+        let out = sliding_window_attention(&q, &k, &v, 0.2, window).unwrap();
+        // Reference over the exact last `window` tokens.
+        let kf = k.to_f32();
+        let vf = v.to_f32();
+        let k_suffix = MatrixF32::from_fn(window, 32, |r, c| kf.at(400 - window + r, c));
+        let v_suffix = MatrixF32::from_fn(window, 32, |r, c| vf.at(400 - window + r, c));
+        let reference = attention_reference(&q.to_f32(), &k_suffix, &v_suffix, None, 0.2);
+        assert!(out.max_abs_diff(&reference) < 1e-4);
+    }
+
+    #[test]
+    fn full_window_equals_plain_attention() {
+        let (q, k, v) = toy(2, 200, 16, 11);
+        let windowed = sliding_window_attention(&q, &k, &v, 0.3, 10_000).unwrap();
+        let plain = attention_kernel(&AttentionInputs {
+            queries: &q,
+            keys: &k,
+            values: &v,
+            valid: None,
+            scale: 0.3,
+            host_tail: None,
+        })
+        .unwrap();
+        assert!(windowed.max_abs_diff(&plain) < 1e-6);
+    }
+
+    #[test]
+    fn read_fraction_saves_traffic() {
+        // 4K window over 128K context: ~1/32 of the flash reads.
+        let f = window_read_fraction(128 * 1024, 4096);
+        assert!((f - 1.0 / 32.0).abs() < 0.01, "fraction {f}");
+        assert_eq!(window_read_fraction(1024, 4096), 1.0);
+        assert_eq!(window_read_fraction(0, 128), 0.0);
+        // Block granularity rounds up.
+        let f = window_read_fraction(256, 1);
+        assert_eq!(f, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = sliding_window_mask(10, 5, 0);
+    }
+}

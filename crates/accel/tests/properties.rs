@@ -1,0 +1,122 @@
+//! Property-based tests for the accelerator's numerics.
+
+use hilos_accel::{
+    attention_kernel, attention_reference, host_partial_scores, softmax_three_pass,
+    softmax_two_pass, AttentionInputs, F16, HostTail, MatrixF32,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// f32 -> f16 -> f32 never moves a value by more than half a ulp of the
+    /// f16 grid (for in-range inputs).
+    #[test]
+    fn f16_round_trip_error_bounded(x in -60000.0f32..60000.0) {
+        let h = F16::from_f32(x).to_f32();
+        // Half ulp at |x|: 2^-11 relative for normals, absolute 2^-25 floor.
+        let tol = (x.abs() * f32::powi(2.0, -11)).max(f32::powi(2.0, -25));
+        prop_assert!((h - x).abs() <= tol, "x={x} h={h}");
+    }
+
+    /// from_f32 is monotone non-decreasing.
+    #[test]
+    fn f16_conversion_monotone(a in -1e5f32..1e5, b in -1e5f32..1e5) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let hl = F16::from_f32(lo).to_f32();
+        let hh = F16::from_f32(hi).to_f32();
+        prop_assert!(hl <= hh);
+    }
+
+    /// Two-pass softmax equals three-pass softmax for any block size.
+    #[test]
+    fn softmax_two_pass_equals_three_pass(
+        xs in prop::collection::vec(-50.0f32..50.0, 1..600),
+        block in 1usize..300,
+    ) {
+        let a = softmax_two_pass(&xs, block);
+        let b = softmax_three_pass(&xs);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    /// Softmax outputs are a probability distribution.
+    #[test]
+    fn softmax_is_distribution(xs in prop::collection::vec(-30.0f32..30.0, 1..400)) {
+        let y = softmax_two_pass(&xs, 128);
+        prop_assert!(y.iter().all(|&v| (0.0..=1.0f32).contains(&v)));
+        let sum: f32 = y.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3, "sum={sum}");
+    }
+
+    /// The accelerator kernel matches the f64 reference on random inputs.
+    #[test]
+    fn kernel_matches_reference(
+        s in 1usize..400,
+        d_pow in 2u32..7,
+        g in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let d = 1usize << d_pow;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0
+        };
+        let q = MatrixF32::from_fn(g, d, |_, _| next()).to_f16();
+        let k = MatrixF32::from_fn(s, d, |_, _| next()).to_f16();
+        let v = MatrixF32::from_fn(s, d, |_, _| next()).to_f16();
+        let scale = 1.0 / (d as f32).sqrt();
+        let out = attention_kernel(&AttentionInputs {
+            queries: &q, keys: &k, values: &v, valid: None, scale, host_tail: None,
+        }).unwrap();
+        let reference = attention_reference(&q.to_f32(), &k.to_f32(), &v.to_f32(), None, scale);
+        let diff = out.max_abs_diff(&reference);
+        prop_assert!(diff < 2e-4, "diff={diff} (s={s} d={d} g={g})");
+    }
+
+    /// Splitting the context between stored KV and a buffered host tail
+    /// never changes the result (delayed-writeback correctness), for any
+    /// split point.
+    #[test]
+    fn writeback_split_invariant(
+        s in 2usize..260,
+        split_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let d = 16usize;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0
+        };
+        let q = MatrixF32::from_fn(1, d, |_, _| next()).to_f16();
+        let kf = MatrixF32::from_fn(s, d, |_, _| next());
+        let vf = MatrixF32::from_fn(s, d, |_, _| next());
+        let (k, v) = (kf.to_f16(), vf.to_f16());
+        let scale = 0.25f32;
+
+        let full = attention_kernel(&AttentionInputs {
+            queries: &q, keys: &k, values: &v, valid: None, scale, host_tail: None,
+        }).unwrap();
+
+        let split = ((s as f64 * split_frac) as usize).clamp(1, s - 1);
+        let k_stored = MatrixF32::from_fn(split, d, |r, c| kf.at(r, c)).to_f16();
+        let v_stored = MatrixF32::from_fn(split, d, |r, c| vf.at(r, c)).to_f16();
+        let k_tail = MatrixF32::from_fn(s - split, d, |r, c| kf.at(split + r, c)).to_f16();
+        let v_tail = MatrixF32::from_fn(s - split, d, |r, c| vf.at(split + r, c)).to_f16();
+        let scores = host_partial_scores(&q, &k_tail, scale);
+        let with_tail = attention_kernel(&AttentionInputs {
+            queries: &q, keys: &k_stored, values: &v_stored, valid: None, scale,
+            host_tail: Some(HostTail { scores: &scores, values: &v_tail }),
+        }).unwrap();
+
+        let diff = full.max_abs_diff(&with_tail);
+        prop_assert!(diff < 2e-4, "split={split} diff={diff}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Multi-node vLLM baseline (Fig. 17b): tensor parallelism inside each
+//! node, pipeline parallelism across nodes, no offloading.
+//!
+//! The paper's configuration: two nodes × four RTX A6000, InfiniBand EDR
+//! between them. All weights and KV must fit the aggregate GPU memory;
+//! what does not fit spills to vLLM's host swap space over PCIe — the
+//! "small batches and inter-node communication" bottleneck the paper
+//! measures. This model is analytic (no task graph): per-layer GEMM time,
+//! HBM-bound attention sweeps, per-layer all-reduces and the pipeline
+//! hop, plus swap traffic when KV overflows.
+
+use crate::error::BaselineError;
+use hilos_llm::ModelConfig;
+use hilos_platform::GpuSpec;
+
+/// A multi-node tensor+pipeline-parallel deployment.
+#[derive(Debug, Clone)]
+pub struct VllmMultiNode {
+    /// Node count (pipeline stages).
+    pub nodes: u32,
+    /// GPUs per node (tensor-parallel degree).
+    pub gpus_per_node: u32,
+    /// The GPU model.
+    pub gpu: GpuSpec,
+    /// Effective intra-node GPU-to-GPU bandwidth (PCIe P2P), bytes/s.
+    pub intra_bw: f64,
+    /// Effective inter-node bandwidth (InfiniBand EDR), bytes/s.
+    pub inter_bw: f64,
+    /// Host link bandwidth for KV swap traffic, bytes/s.
+    pub swap_bw: f64,
+    /// Fraction of GPU memory usable for weights + KV.
+    pub mem_efficiency: f64,
+}
+
+impl VllmMultiNode {
+    /// The paper's Fig. 17b testbed: 2 × 4 × A6000 with IB EDR. Swap
+    /// bandwidth reflects vLLM's page-granular block copies over the
+    /// shared PCIe fabric (~12 GB/s effective).
+    pub fn paper_testbed() -> Self {
+        VllmMultiNode {
+            nodes: 2,
+            gpus_per_node: 4,
+            gpu: GpuSpec::a6000_48g(),
+            intra_bw: 12e9,
+            inter_bw: 12.5e9,
+            swap_bw: 12e9,
+            mem_efficiency: 0.95,
+        }
+    }
+
+    /// Total GPUs.
+    pub fn total_gpus(&self) -> u32 {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Usable bytes per GPU.
+    fn usable_per_gpu(&self) -> f64 {
+        self.gpu.mem_bytes as f64 * self.mem_efficiency
+    }
+
+    /// Bytes of KV per GPU for a job (sharded over TP heads and PP
+    /// layers).
+    fn kv_per_gpu(&self, model: &ModelConfig, batch: u32, context: u64) -> f64 {
+        model.kv_bytes_per_token() as f64 * batch as f64 * context as f64
+            / self.total_gpus() as f64
+    }
+
+    /// Weight bytes per GPU.
+    fn weights_per_gpu(&self, model: &ModelConfig) -> f64 {
+        model.weight_bytes() as f64 / self.total_gpus() as f64
+    }
+
+    /// Checks whether the weights alone fit; returns the KV bytes per GPU
+    /// that overflow into swap (0 when everything fits).
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::GpuOom`] if even the weights do not fit.
+    pub fn kv_overflow_per_gpu(
+        &self,
+        model: &ModelConfig,
+        batch: u32,
+        context: u64,
+    ) -> Result<f64, BaselineError> {
+        let w = self.weights_per_gpu(model);
+        let usable = self.usable_per_gpu();
+        if w > usable {
+            return Err(BaselineError::GpuOom {
+                needed: w as u64,
+                available: usable as u64,
+            });
+        }
+        let kv = self.kv_per_gpu(model, batch, context);
+        Ok((kv - (usable - w)).max(0.0))
+    }
+
+    /// The largest power-of-two batch whose KV fits without swapping, if
+    /// any.
+    pub fn max_resident_batch(&self, model: &ModelConfig, context: u64, limit: u32) -> Option<u32> {
+        let mut best = None;
+        let mut bs = 1;
+        while bs <= limit {
+            match self.kv_overflow_per_gpu(model, bs, context) {
+                Ok(overflow) if overflow == 0.0 => best = Some(bs),
+                _ => {}
+            }
+            bs *= 2;
+        }
+        best
+    }
+
+    /// Seconds per decoding step for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::GpuOom`] if the weights do not fit at all.
+    pub fn step_seconds(
+        &self,
+        model: &ModelConfig,
+        batch: u32,
+        context: u64,
+    ) -> Result<f64, BaselineError> {
+        let overflow = self.kv_overflow_per_gpu(model, batch, context)?;
+        let tp = self.gpus_per_node as f64;
+        let bs = batch as f64;
+        let s = context as f64;
+        let h = model.hidden() as f64;
+        let layers = model.layers() as f64;
+
+        // Per-layer GEMM work, sharded over TP.
+        let flops_layer = bs
+            * (model.qkv_flops_per_token_layer()
+                + model.mlp_flops_per_token_layer(0));
+        let compute = flops_layer / (tp * self.gpu.fp16_flops);
+        // Attention: HBM sweep of the resident KV shard.
+        let kv_layer = bs * 2.0 * s * model.kv_dim() as f64 * 2.0;
+        let resident_frac = {
+            let kv_gpu = self.kv_per_gpu(model, batch, context);
+            if kv_gpu > 0.0 {
+                ((kv_gpu - overflow) / kv_gpu).clamp(0.0, 1.0)
+            } else {
+                1.0
+            }
+        };
+        let attn_hbm = kv_layer * resident_frac / (tp * self.gpu.hbm_bw);
+        // Swapped KV pages come over the host link.
+        let attn_swap = kv_layer * (1.0 - resident_frac) / self.swap_bw;
+        // Two all-reduces per layer (after attention and after MLP).
+        let ar_bytes = 2.0 * (tp - 1.0) / tp * bs * h * 2.0;
+        let allreduce = 2.0 * ar_bytes / self.intra_bw;
+
+        let per_layer = compute + attn_hbm + attn_swap + allreduce;
+        // Pipeline: stages run in sequence for a single decode step, plus
+        // the inter-node activation hop.
+        let pp_hop = (self.nodes as f64 - 1.0) * (bs * h * 2.0 / self.inter_bw + 10e-6);
+        Ok(layers * per_layer + pp_hop)
+    }
+
+    /// Decoding throughput in tokens/second.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::GpuOom`] if the weights do not fit at all.
+    pub fn tokens_per_second(
+        &self,
+        model: &ModelConfig,
+        batch: u32,
+        context: u64,
+    ) -> Result<f64, BaselineError> {
+        Ok(batch as f64 / self.step_seconds(model, batch, context)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilos_llm::presets;
+
+    #[test]
+    fn weights_fit_but_kv_overflows_for_175b() {
+        let v = VllmMultiNode::paper_testbed();
+        let m = presets::opt_175b();
+        // 350 GB over 8 x 45.6 GB: weights fit with almost nothing left.
+        let overflow = v.kv_overflow_per_gpu(&m, 1, 16 * 1024).unwrap();
+        assert!(overflow > 0.0, "16K-context KV should overflow");
+        assert_eq!(v.max_resident_batch(&m, 16 * 1024, 16), None);
+    }
+
+    #[test]
+    fn small_model_fits_comfortably() {
+        let v = VllmMultiNode::paper_testbed();
+        let m = presets::opt_30b();
+        assert_eq!(v.kv_overflow_per_gpu(&m, 1, 16 * 1024).unwrap(), 0.0);
+        assert!(v.max_resident_batch(&m, 16 * 1024, 16).unwrap() >= 4);
+    }
+
+    #[test]
+    fn swapping_destroys_throughput() {
+        let v = VllmMultiNode::paper_testbed();
+        let m = presets::opt_175b();
+        let t_30b = v.tokens_per_second(&presets::opt_30b(), 1, 16 * 1024).unwrap();
+        let t_175b = v.tokens_per_second(&m, 1, 16 * 1024).unwrap();
+        assert!(t_175b < t_30b / 4.0, "30B {t_30b} vs 175B {t_175b}");
+    }
+
+    #[test]
+    fn longer_context_is_slower() {
+        let v = VllmMultiNode::paper_testbed();
+        let m = presets::opt_175b();
+        let t16 = v.tokens_per_second(&m, 1, 16 * 1024).unwrap();
+        let t32 = v.tokens_per_second(&m, 1, 32 * 1024).unwrap();
+        assert!(t32 < t16);
+    }
+
+    #[test]
+    fn absolute_range_matches_fig17b() {
+        // Fig 17b's axis tops out at 0.2 token/s for 175B.
+        let v = VllmMultiNode::paper_testbed();
+        let m = presets::opt_175b();
+        let t = v.tokens_per_second(&m, 1, 16 * 1024).unwrap();
+        assert!((0.01..1.0).contains(&t), "t={t}");
+    }
+}

@@ -1,0 +1,42 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! ```text
+//! Usage: repro <experiment|all> [...]
+//! Experiments: fig2 fig4 table3 estimator fig10 fig11 fig12a fig12b
+//!              fig13 fig14 fig15 fig16a fig16b fig17a fig17b fig18ab fig18c
+//! ```
+
+use hilos_bench::experiments;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro <experiment...|all>");
+    eprintln!("experiments: {} fig18ab ablations straggler schedule", experiments::ALL.join(" "));
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match experiments::run(id) {
+            Some(output) => {
+                println!("{}", "=".repeat(72));
+                println!("{output}");
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                return usage();
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,100 @@
+//! Figure 4 — attention near storage: breakdown and host utilization.
+
+use crate::{run_flex_ssd, SIM_LAYERS};
+use hilos_core::{HilosConfig, HilosSystem};
+use hilos_llm::presets;
+use hilos_metrics::Table;
+use hilos_platform::SystemSpec;
+
+/// Figure 4(b)(c): decode latency breakdown and host-resource utilization,
+/// FLEX(SSD) baseline versus ANS-enabled HILOS (no X-cache, to isolate the
+/// §4.1 mechanism exactly as the paper's figure does).
+pub fn fig4() -> String {
+    let model = presets::opt_66b();
+    let mut out = String::from("Figure 4(b) — decoding latency breakdown (OPT-66B, bs=16)\n");
+    let mut t = Table::new(vec!["system", "ctx", "loadw%", "loadkv%", "storekv%", "compute%"]);
+    let mut util = Table::new(vec!["system", "ctx", "cpu%", "gpu%", "dram%"]);
+
+    for s in [16 * 1024u64, 32 * 1024] {
+        // Baseline.
+        if let Ok(r) = run_flex_ssd(&model, 16, s) {
+            let total: f64 = r.category_seconds.iter().map(|(_, v)| v).sum();
+            let pick = |cats: &[&str]| {
+                r.category_seconds
+                    .iter()
+                    .filter(|(c, _)| cats.contains(&c.as_str()))
+                    .map(|(_, v)| v)
+                    .sum::<f64>()
+                    / total
+                    * 100.0
+            };
+            t.row(vec![
+                "Baseline(SSD+CPU)".into(),
+                format!("{}K", s / 1024),
+                format!("{:.1}", 0.0f64.max(pick(&["loadw"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["loadkv", "atnmem"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["storekv"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["qkv", "atn", "mlp"]))),
+            ]);
+            util.row(vec![
+                "Baseline(SSD+CPU)".into(),
+                format!("{}K", s / 1024),
+                format!("{:.1}", r.cpu_utilization * 100.0),
+                format!("{:.1}", r.gpu_utilization * 100.0),
+                format!("{:.1}", r.dram_utilization * 100.0),
+            ]);
+        }
+        // ANS.
+        let ans = HilosSystem::new(
+            &SystemSpec::a100_smartssd(16),
+            &model,
+            &HilosConfig::ans_only(16).with_writeback(true),
+        )
+        .unwrap()
+        .with_sim_layers(SIM_LAYERS);
+        if let Ok(r) = ans.run_decode(16, s, 8) {
+            let total: f64 = r.category_seconds.iter().map(|(_, v)| v).sum();
+            let pick = |cats: &[&str]| {
+                r.category_seconds
+                    .iter()
+                    .filter(|(c, _)| cats.contains(&c.as_str()))
+                    .map(|(_, v)| v)
+                    .sum::<f64>()
+                    / total
+                    * 100.0
+            };
+            t.row(vec![
+                "Proposed(ANS)".into(),
+                format!("{}K", s / 1024),
+                format!("{:.1}", 0.0f64.max(pick(&["loadw"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["loadkv"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["spill", "storekv"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["qkv", "atn", "mlp", "partial"]))),
+            ]);
+            util.row(vec![
+                "Proposed(ANS)".into(),
+                format!("{}K", s / 1024),
+                format!("{:.1}", r.cpu_utilization * 100.0),
+                format!("{:.1}", r.gpu_utilization * 100.0),
+                format!("{:.1}", r.dram_utilization * 100.0),
+            ]);
+        }
+    }
+    out.push_str(&t.to_string());
+    out.push_str("\nFigure 4(c) — host resource utilization\n");
+    out.push_str(&util.to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shows_both_systems() {
+        let s = fig4();
+        assert!(s.contains("Baseline(SSD+CPU)"));
+        assert!(s.contains("Proposed(ANS)"));
+        assert!(s.contains("Figure 4(c)"));
+    }
+}

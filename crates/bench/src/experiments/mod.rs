@@ -1,0 +1,58 @@
+//! Experiment implementations, one per table/figure.
+
+mod ans;
+mod cost_energy;
+mod discussion;
+mod extensions;
+mod kernels;
+mod motivation;
+mod schedule;
+mod sensitivity;
+mod throughput;
+
+pub use ans::fig4;
+pub use cost_energy::{fig16a, fig16b, fig17a, fig17b};
+pub use discussion::{fig18ab, fig18c};
+pub use extensions::{ablations, straggler};
+pub use kernels::{estimator, fig12a, table3};
+pub use motivation::fig2;
+pub use schedule::schedule;
+pub use sensitivity::{fig13, fig14, fig15};
+pub use throughput::{fig10, fig11, fig12b};
+
+/// All experiment ids, in paper order.
+pub const ALL: [&str; 16] = [
+    "fig2", "fig4", "table3", "estimator", "fig10", "fig11", "fig12a", "fig12b", "fig13",
+    "fig14", "fig15", "fig16a", "fig16b", "fig17a", "fig17b", "fig18c",
+];
+
+/// Runs one experiment by id (also accepts `fig12` and `fig18ab`).
+///
+/// Returns `None` for an unknown id.
+pub fn run(id: &str) -> Option<String> {
+    let out = match id {
+        "fig2" => fig2(),
+        "fig4" => fig4(),
+        "table3" => table3(),
+        "estimator" => estimator(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "fig12a" => fig12a(),
+        "fig12b" => fig12b(),
+        "fig12" => format!("{}\n{}", fig12a(), fig12b()),
+        "fig13" => fig13(),
+        "fig14" => fig14(),
+        "fig15" => fig15(),
+        "fig16a" => fig16a(),
+        "fig16b" => fig16b(),
+        "fig17a" => fig17a(),
+        "fig17b" => fig17b(),
+        "fig18ab" => fig18ab(),
+        "fig18c" => fig18c(),
+        "ablations" => ablations(),
+        "straggler" => straggler(),
+        "schedule" => schedule(),
+        _ => return None,
+    };
+    Some(out)
+}

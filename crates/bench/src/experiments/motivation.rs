@@ -1,0 +1,88 @@
+//! Figure 2 — motivational experiments with OPT-175B (§3.1).
+
+use crate::run_flex_ssd;
+use hilos_llm::{footprint, presets, BatchSpec};
+use hilos_metrics::{fmt_bytes, Table};
+
+/// Figure 2: (a) memory-footprint breakdown, (b) execution-time breakdown
+/// of the FLEX(SSD)-style system, across context length and batch size.
+pub fn fig2() -> String {
+    let model = presets::opt_175b();
+    let mut out = String::from("Figure 2(a) — memory footprint breakdown (OPT-175B)\n");
+    let mut t = Table::new(vec!["ctx", "bs", "weights", "kv_cache", "others", "total", "kv%"]);
+    for s in [8 * 1024u64, 32 * 1024, 128 * 1024] {
+        for bs in [1u32, 4, 16] {
+            let fp = footprint(&model, &BatchSpec::new(bs, s, 64));
+            t.row(vec![
+                format!("{}K", s / 1024),
+                bs.to_string(),
+                fmt_bytes(fp.weights as f64),
+                fmt_bytes(fp.kv_cache as f64),
+                fmt_bytes(fp.others as f64),
+                fmt_bytes(fp.total() as f64),
+                format!("{:.1}%", fp.kv_fraction() * 100.0),
+            ]);
+        }
+    }
+    out.push_str(&t.to_string());
+
+    out.push_str("\nFigure 2(b) — execution-time breakdown, FLEX(SSD)-style (OPT-175B)\n");
+    let mut t = Table::new(vec!["ctx", "bs", "kv_io%", "weights%", "others%", "tok/s", "speedup_vs_bs1"]);
+    for s in [8 * 1024u64, 32 * 1024] {
+        let mut base_tps = None;
+        for bs in [1u32, 4, 16] {
+            match run_flex_ssd(&model, bs, s) {
+                Ok(r) => {
+                    let total: f64 = r.category_seconds.iter().map(|(_, v)| v).sum();
+                    let pick = |cats: &[&str]| -> f64 {
+                        r.category_seconds
+                            .iter()
+                            .filter(|(c, _)| cats.contains(&c.as_str()))
+                            .map(|(_, v)| v)
+                            .sum::<f64>()
+                            / total
+                            * 100.0
+                    };
+                    let kv = pick(&["loadkv", "atnmem", "storekv"]);
+                    let w = pick(&["loadw"]);
+                    let tps = r.tokens_per_second();
+                    let speedup = match base_tps {
+                        None => {
+                            base_tps = Some(tps);
+                            1.0
+                        }
+                        Some(b) => tps / b,
+                    };
+                    t.row(vec![
+                        format!("{}K", s / 1024),
+                        bs.to_string(),
+                        format!("{kv:.1}"),
+                        format!("{w:.1}"),
+                        format!("{:.1}", 100.0 - kv - w),
+                        format!("{tps:.4}"),
+                        format!("{speedup:.2}x"),
+                    ]);
+                }
+                Err(e) => {
+                    t.row(vec![format!("{}K", s / 1024), bs.to_string(), e.to_string()]);
+                }
+            }
+        }
+    }
+    out.push_str(&t.to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_kv_dominates_footprint_and_time() {
+        let s = fig2();
+        assert!(s.contains("Figure 2(a)"));
+        assert!(s.contains("Figure 2(b)"));
+        // Long-context rows must show TB-scale totals.
+        assert!(s.contains("TB"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Figures 10, 11 and 12(b) — the headline throughput comparisons.
+
+use crate::{
+    run_deepspeed_autobatch, run_flex_dram_autobatch, run_flex_jbof, run_flex_ssd, run_hilos,
+    norm_cell,
+};
+use hilos_llm::presets;
+use hilos_metrics::Table;
+
+/// Figure 10: normalized decoding throughput of all seven systems across
+/// model sizes and context lengths (bs=16).
+pub fn fig10() -> String {
+    let mut out =
+        String::from("Figure 10 — decoding throughput normalized to FLEX(SSD), bs=16\n");
+    let mut t = Table::new(vec![
+        "model", "ctx", "FLEX(SSD)", "FLEX(16SSD)", "DS+UVM", "FLEX(DRAM)", "HILOS(4)",
+        "HILOS(8)", "HILOS(16)", "FLEX(SSD) tok/s",
+    ]);
+    for model in [presets::opt_30b(), presets::opt_66b(), presets::opt_175b()] {
+        for s in [32 * 1024u64, 64 * 1024, 128 * 1024] {
+            let base = run_flex_ssd(&model, 16, s).map(|r| r.tokens_per_second());
+            let Ok(base_tps) = base else {
+                t.row(vec![model.name().into(), format!("{}K", s / 1024), "-".into()]);
+                continue;
+            };
+            let norm = |tps: Option<f64>| norm_cell(tps.map(|v| v / base_tps));
+            let jbof = run_flex_jbof(&model, 16, s).ok().map(|r| r.tokens_per_second());
+            let ds = run_deepspeed_autobatch(&model, 16, s)
+                .ok()
+                .map(|(_, r)| r.tokens_per_second());
+            let dram = run_flex_dram_autobatch(&model, 16, s)
+                .ok()
+                .map(|(_, r)| r.tokens_per_second());
+            let h = |n: usize| run_hilos(n, &model, 16, s).ok().map(|r| r.tokens_per_second());
+            t.row(vec![
+                model.name().into(),
+                format!("{}K", s / 1024),
+                "1.00x".into(),
+                norm(jbof),
+                norm(ds),
+                norm(dram),
+                norm(h(4)),
+                norm(h(8)),
+                norm(h(16)),
+                format!("{base_tps:.4}"),
+            ]);
+        }
+    }
+    out.push_str(&t.to_string());
+    out
+}
+
+/// Figure 11: batch-size sensitivity on OPT-66B, with the per-layer
+/// execution breakdown of Fig. 11(b).
+pub fn fig11() -> String {
+    let model = presets::opt_66b();
+    let mut out = String::from("Figure 11(a) — decoding throughput (token/s), OPT-66B\n");
+    let mut t = Table::new(vec!["ctx", "bs", "FLEX(SSD)", "FLEX(DRAM)", "HILOS(4)", "HILOS(16)"]);
+    for s in [32 * 1024u64, 64 * 1024] {
+        for bs in [1u32, 2, 4, 8, 16] {
+            let flex = run_flex_ssd(&model, bs, s).map(|r| r.tokens_per_second());
+            let dram = run_flex_dram_autobatch(&model, bs, s).and_then(|(used, r)| {
+                if used == bs {
+                    Ok(r.tokens_per_second())
+                } else {
+                    Err(hilos_baselines::BaselineError::HostOom { needed: 0, available: 0 })
+                }
+            });
+            let h4 = run_hilos(4, &model, bs, s).map(|r| r.tokens_per_second());
+            let h16 = run_hilos(16, &model, bs, s).map(|r| r.tokens_per_second());
+            t.row(vec![
+                format!("{}K", s / 1024),
+                bs.to_string(),
+                crate::tps_cell(&flex),
+                crate::tps_cell(&dram),
+                crate::tps_cell(&h4),
+                crate::tps_cell(&h16),
+            ]);
+        }
+    }
+    out.push_str(&t.to_string());
+
+    out.push_str("\nFigure 11(b) — per-layer execution breakdown (s=32K)\n");
+    let mut t = Table::new(vec!["system", "bs", "loadw%", "loadkv%", "storekv%", "compute%"]);
+    for bs in [1u32, 4, 16] {
+        if let Ok(r) = run_flex_ssd(&model, bs, 32 * 1024) {
+            let total: f64 = r.category_seconds.iter().map(|(_, v)| v).sum();
+            let pick = |cats: &[&str]| {
+                r.category_seconds
+                    .iter()
+                    .filter(|(c, _)| cats.contains(&c.as_str()))
+                    .map(|(_, v)| v)
+                    .sum::<f64>()
+                    / total
+                    * 100.0
+            };
+            t.row(vec![
+                "FLEX(SSD)".into(),
+                bs.to_string(),
+                format!("{:.1}", 0.0f64.max(pick(&["loadw"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["loadkv", "atnmem"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["storekv"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["qkv", "atn", "mlp"]))),
+            ]);
+        }
+        if let Ok(r) = run_hilos(16, &model, bs, 32 * 1024) {
+            let total: f64 = r.category_seconds.iter().map(|(_, v)| v).sum();
+            let pick = |cats: &[&str]| {
+                r.category_seconds
+                    .iter()
+                    .filter(|(c, _)| cats.contains(&c.as_str()))
+                    .map(|(_, v)| v)
+                    .sum::<f64>()
+                    / total
+                    * 100.0
+            };
+            t.row(vec![
+                "HILOS(16)".into(),
+                bs.to_string(),
+                format!("{:.1}", 0.0f64.max(pick(&["loadw"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["loadkv", "loadx"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["spill", "storekv"]))),
+                format!("{:.1}", 0.0f64.max(pick(&["qkv", "atn", "atnx", "regen", "mlp", "partial"]))),
+            ]);
+        }
+    }
+    out.push_str(&t.to_string());
+    out
+}
+
+/// Figure 12(b): model-architecture sensitivity — GQA and MoE models
+/// across context lengths.
+pub fn fig12b() -> String {
+    let mut out = String::from(
+        "Figure 12(b) — decoding throughput normalized to FLEX(SSD), GQA/MoE models, bs=16\n",
+    );
+    let mut t =
+        Table::new(vec!["model", "ctx", "FLEX(SSD)", "FLEX(DRAM)", "HILOS(16)", "base tok/s"]);
+    for model in [presets::qwen25_32b(), presets::mixtral_8x7b(), presets::glam_143b()] {
+        for s in [32 * 1024u64, 64 * 1024, 96 * 1024, 128 * 1024, 192 * 1024] {
+            let Ok(base) = run_flex_ssd(&model, 16, s).map(|r| r.tokens_per_second()) else {
+                continue;
+            };
+            let dram = run_flex_dram_autobatch(&model, 16, s)
+                .ok()
+                .map(|(_, r)| r.tokens_per_second());
+            let h16 = run_hilos(16, &model, 16, s).ok().map(|r| r.tokens_per_second());
+            t.row(vec![
+                model.name().into(),
+                format!("{}K", s / 1024),
+                "1.00x".into(),
+                norm_cell(dram.map(|v| v / base)),
+                norm_cell(h16.map(|v| v / base)),
+                format!("{base:.4}"),
+            ]);
+        }
+    }
+    out.push_str(&t.to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_hilos16_wins_at_long_context() {
+        let model = presets::opt_66b();
+        let base = run_flex_ssd(&model, 16, 128 * 1024).unwrap().tokens_per_second();
+        let h16 = run_hilos(16, &model, 16, 128 * 1024).unwrap().tokens_per_second();
+        let speedup = h16 / base;
+        // Paper: 5.3x-7.8x over FLEX(SSD) for long contexts.
+        assert!(speedup > 3.0, "speedup {speedup}");
+        assert!(speedup < 15.0, "speedup {speedup} implausible");
+    }
+
+    #[test]
+    fn fig10_device_scaling_monotone() {
+        let model = presets::opt_66b();
+        let t4 = run_hilos(4, &model, 16, 64 * 1024).unwrap().tokens_per_second();
+        let t8 = run_hilos(8, &model, 16, 64 * 1024).unwrap().tokens_per_second();
+        let t16 = run_hilos(16, &model, 16, 64 * 1024).unwrap().tokens_per_second();
+        assert!(t4 < t8 && t8 < t16, "{t4} {t8} {t16}");
+    }
+
+    #[test]
+    fn fig11_dram_ooms_beyond_batch_two() {
+        let model = presets::opt_66b();
+        let r = run_flex_dram_autobatch(&model, 16, 32 * 1024).unwrap();
+        assert_eq!(r.0, 2, "FLEX(DRAM) should cap at batch 2");
+    }
+
+    #[test]
+    fn fig12b_hilos_beats_baselines_on_gqa_and_moe() {
+        for model in [presets::qwen25_32b(), presets::mixtral_8x7b()] {
+            let base = run_flex_ssd(&model, 16, 96 * 1024).unwrap().tokens_per_second();
+            let h16 = run_hilos(16, &model, 16, 96 * 1024).unwrap().tokens_per_second();
+            assert!(h16 > base, "{}: hilos {h16} vs flex {base}", model.name());
+        }
+    }
+}

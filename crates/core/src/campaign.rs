@@ -1,0 +1,228 @@
+//! Long-horizon serving campaigns: run many offline jobs back to back,
+//! accumulating per-device NAND wear — the operational view behind the
+//! §6.6 endurance analysis.
+//!
+//! Each job's reads and (amplification-inclusive) NAND writes are recorded
+//! into stateful [`SsdDevice`] counters, so a campaign answers the
+//! operator questions the paper's Fig. 16b compresses into one number:
+//! how many jobs until the array hits its PBW budget, and how fast is it
+//! burning down.
+
+use crate::runner::{CoreError, HilosSystem, JobReport};
+use hilos_llm::BatchSpec;
+use hilos_storage::{SsdDevice, WritePattern};
+
+/// Aggregate statistics of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignSummary {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Generated tokens across all jobs.
+    pub tokens: u64,
+    /// Total simulated wall-clock seconds.
+    pub seconds: f64,
+    /// NAND bytes programmed across the array (amplification included).
+    pub nand_bytes_written: f64,
+    /// Fraction of the array's endurance budget consumed, `[0, 1]`.
+    pub endurance_used: f64,
+}
+
+impl CampaignSummary {
+    /// Sustained generated-token throughput over the campaign.
+    pub fn tokens_per_second(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.tokens as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A stateful sequence of jobs on one HILOS deployment.
+///
+/// # Examples
+///
+/// ```
+/// use hilos_core::{HilosConfig, HilosSystem, ServingCampaign};
+/// use hilos_llm::{presets, BatchSpec};
+/// use hilos_platform::SystemSpec;
+///
+/// # fn main() -> Result<(), hilos_core::CoreError> {
+/// let system = HilosSystem::new(
+///     &SystemSpec::a100_smartssd(8),
+///     &presets::opt_30b(),
+///     &HilosConfig::new(8),
+/// )?
+/// .with_sim_layers(2);
+/// let mut campaign = ServingCampaign::new(system);
+/// campaign.run_job(&BatchSpec::new(8, 4096, 4))?;
+/// assert_eq!(campaign.summary().jobs, 1);
+/// assert!(campaign.summary().endurance_used > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServingCampaign {
+    system: HilosSystem,
+    devices: Vec<SsdDevice>,
+    jobs: u64,
+    tokens: u64,
+    seconds: f64,
+}
+
+impl ServingCampaign {
+    /// Starts a campaign on a deployment with fresh devices.
+    pub fn new(system: HilosSystem) -> Self {
+        let n = system.config().n_devices();
+        let spec = system.spec().storage.ssd_spec();
+        ServingCampaign {
+            system,
+            devices: (0..n).map(|_| SsdDevice::new(spec.clone())).collect(),
+            jobs: 0,
+            tokens: 0,
+            seconds: 0.0,
+        }
+    }
+
+    /// The underlying deployment.
+    pub fn system(&self) -> &HilosSystem {
+        &self.system
+    }
+
+    /// Per-device states (counters, occupancy).
+    pub fn devices(&self) -> &[SsdDevice] {
+        &self.devices
+    }
+
+    /// Runs one job, accumulating wear and throughput statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity/simulation errors; a failed job records
+    /// nothing.
+    pub fn run_job(&mut self, spec: &BatchSpec) -> Result<JobReport, CoreError> {
+        let report = self.system.run_job(spec)?;
+        let n = self.devices.len() as f64;
+
+        // Prefill writes the whole cache once, page-aligned and striped.
+        let prefill_per_dev = (report.prefill.cache_bytes_written / n) as u64;
+        // Decode writes arrive pre-amplified from the spill model.
+        let decode_per_dev =
+            (report.decode.nand_write_bytes_per_step * spec.output_len as f64 / n) as u64;
+        let reads_per_dev = ((report.decode.internal_read_bytes_per_step
+            + report.decode.host_pcie_bytes_per_step)
+            * spec.output_len as f64
+            / n) as u64;
+        for dev in &mut self.devices {
+            dev.record_write(prefill_per_dev, WritePattern::PageAligned);
+            dev.record_write(decode_per_dev, WritePattern::PageAligned);
+            dev.record_read(reads_per_dev);
+        }
+
+        self.jobs += 1;
+        self.tokens += spec.total_generated_tokens();
+        self.seconds += report.total_seconds();
+        Ok(report)
+    }
+
+    /// Fraction of the endurance budget consumed (worst device).
+    pub fn endurance_used(&self) -> f64 {
+        self.devices.iter().map(|d| d.endurance_used()).fold(0.0, f64::max)
+    }
+
+    /// Projected total jobs of this shape until the budget is exhausted.
+    pub fn projected_lifetime_jobs(&self) -> f64 {
+        let used = self.endurance_used();
+        if used <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.jobs as f64 / used
+        }
+    }
+
+    /// Aggregate statistics so far.
+    pub fn summary(&self) -> CampaignSummary {
+        CampaignSummary {
+            jobs: self.jobs,
+            tokens: self.tokens,
+            seconds: self.seconds,
+            nand_bytes_written: self
+                .devices
+                .iter()
+                .map(|d| d.counters().nand_bytes_programmed as f64)
+                .sum(),
+            endurance_used: self.endurance_used(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HilosConfig;
+    use hilos_llm::presets;
+    use hilos_platform::SystemSpec;
+
+    fn campaign() -> ServingCampaign {
+        let system = HilosSystem::new(
+            &SystemSpec::a100_smartssd(8),
+            &presets::opt_30b(),
+            &HilosConfig::new(8),
+        )
+        .unwrap()
+        .with_sim_layers(2);
+        ServingCampaign::new(system)
+    }
+
+    #[test]
+    fn jobs_accumulate_wear_linearly() {
+        let mut c = campaign();
+        let job = BatchSpec::new(8, 8192, 4);
+        c.run_job(&job).unwrap();
+        let one = c.endurance_used();
+        c.run_job(&job).unwrap();
+        let two = c.endurance_used();
+        assert!(one > 0.0);
+        assert!((two / one - 2.0).abs() < 1e-6, "wear should be linear: {one} vs {two}");
+    }
+
+    #[test]
+    fn summary_tracks_jobs_and_tokens() {
+        let mut c = campaign();
+        c.run_job(&BatchSpec::new(8, 8192, 4)).unwrap();
+        c.run_job(&BatchSpec::new(4, 4096, 8)).unwrap();
+        let s = c.summary();
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.tokens, 8 * 4 + 4 * 8);
+        assert!(s.seconds > 0.0);
+        assert!(s.tokens_per_second() > 0.0);
+        assert!(s.nand_bytes_written > 0.0);
+    }
+
+    #[test]
+    fn lifetime_projection_is_enormous_for_single_jobs() {
+        // §6.6: millions of requests fit the PBW budget; one batch job
+        // must project a very long lifetime.
+        let mut c = campaign();
+        c.run_job(&BatchSpec::new(8, 8192, 4)).unwrap();
+        assert!(c.projected_lifetime_jobs() > 1e4, "{}", c.projected_lifetime_jobs());
+    }
+
+    #[test]
+    fn failed_jobs_record_nothing() {
+        let mut c = campaign();
+        // Absurd job: exceeds device capacity.
+        let err = c.run_job(&BatchSpec::new(512, 1024 * 1024, 64));
+        assert!(err.is_err());
+        assert_eq!(c.summary().jobs, 0);
+        assert_eq!(c.endurance_used(), 0.0);
+    }
+
+    #[test]
+    fn fresh_campaign_is_unworn() {
+        let c = campaign();
+        assert_eq!(c.endurance_used(), 0.0);
+        assert_eq!(c.projected_lifetime_jobs(), f64::INFINITY);
+        assert_eq!(c.devices().len(), 8);
+    }
+}

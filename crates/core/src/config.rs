@@ -1,0 +1,172 @@
+//! HILOS configuration: device count, optimization toggles and tuning
+//! knobs.
+
+use std::fmt;
+
+/// How the X-cache ratio α is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlphaPolicy {
+    /// Solve the §4.2 analytic model and snap to the best candidate ratio.
+    Auto,
+    /// Use a fixed ratio in `[0, 1]`.
+    Fixed(f64),
+}
+
+/// Configuration of a HILOS deployment.
+///
+/// The three optimization toggles map onto the paper's ablation (Fig. 15):
+/// `ANS` alone, `ANS+WB`, `ANS+X` and `ANS+WB+X`.
+///
+/// # Examples
+///
+/// ```
+/// use hilos_core::HilosConfig;
+///
+/// let full = HilosConfig::new(8);
+/// assert!(full.delayed_writeback() && full.cooperative_xcache());
+///
+/// let ans = HilosConfig::ans_only(8);
+/// assert!(!ans.delayed_writeback() && !ans.cooperative_xcache());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HilosConfig {
+    n_devices: usize,
+    alpha: AlphaPolicy,
+    spill_interval: u32,
+    delayed_writeback: bool,
+    cooperative_xcache: bool,
+}
+
+impl HilosConfig {
+    /// Full HILOS: attention near storage + delayed writeback + X-cache,
+    /// auto α, spill interval 16 (the paper's defaults, §6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_devices` is zero.
+    pub fn new(n_devices: usize) -> Self {
+        assert!(n_devices > 0, "need at least one NSP device");
+        HilosConfig {
+            n_devices,
+            alpha: AlphaPolicy::Auto,
+            spill_interval: 16,
+            delayed_writeback: true,
+            cooperative_xcache: true,
+        }
+    }
+
+    /// Bare attention-near-storage (the `ANS` ablation point).
+    pub fn ans_only(n_devices: usize) -> Self {
+        HilosConfig::new(n_devices).with_writeback(false).with_xcache(false)
+    }
+
+    /// Sets the spill interval `c` (§4.3). Must be ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is zero.
+    pub fn with_spill_interval(mut self, c: u32) -> Self {
+        assert!(c >= 1, "spill interval must be at least 1");
+        self.spill_interval = c;
+        self
+    }
+
+    /// Sets the α policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fixed α is outside `[0, 1]`.
+    pub fn with_alpha(mut self, alpha: AlphaPolicy) -> Self {
+        if let AlphaPolicy::Fixed(a) = alpha {
+            assert!((0.0..=1.0).contains(&a), "alpha must be in [0,1], got {a}");
+        }
+        self.alpha = alpha;
+        self
+    }
+
+    /// Enables or disables the delayed KV-cache writeback.
+    pub fn with_writeback(mut self, on: bool) -> Self {
+        self.delayed_writeback = on;
+        self
+    }
+
+    /// Enables or disables the cooperative X-cache.
+    pub fn with_xcache(mut self, on: bool) -> Self {
+        self.cooperative_xcache = on;
+        self
+    }
+
+    /// Number of NSP devices used.
+    pub fn n_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    /// The α policy.
+    pub fn alpha_policy(&self) -> AlphaPolicy {
+        self.alpha
+    }
+
+    /// Spill interval `c`.
+    pub fn spill_interval(&self) -> u32 {
+        self.spill_interval
+    }
+
+    /// Whether delayed writeback is enabled.
+    pub fn delayed_writeback(&self) -> bool {
+        self.delayed_writeback
+    }
+
+    /// Whether the cooperative X-cache is enabled.
+    pub fn cooperative_xcache(&self) -> bool {
+        self.cooperative_xcache
+    }
+}
+
+impl fmt::Display for HilosConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HILOS({} dev, {}{}, c={})",
+            self.n_devices,
+            if self.cooperative_xcache { "+X" } else { "" },
+            if self.delayed_writeback { "+WB" } else { "" },
+            self.spill_interval
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = HilosConfig::new(8);
+        assert_eq!(c.n_devices(), 8);
+        assert_eq!(c.spill_interval(), 16);
+        assert!(matches!(c.alpha_policy(), AlphaPolicy::Auto));
+    }
+
+    #[test]
+    fn ablation_points() {
+        let ans = HilosConfig::ans_only(4);
+        assert!(!ans.delayed_writeback());
+        assert!(!ans.cooperative_xcache());
+        let ans_wb = HilosConfig::ans_only(4).with_writeback(true);
+        assert!(ans_wb.delayed_writeback() && !ans_wb.cooperative_xcache());
+        let ans_x = HilosConfig::ans_only(4).with_xcache(true);
+        assert!(!ans_x.delayed_writeback() && ans_x.cooperative_xcache());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one NSP device")]
+    fn zero_devices_rejected() {
+        let _ = HilosConfig::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1]")]
+    fn bad_alpha_rejected() {
+        let _ = HilosConfig::new(1).with_alpha(AlphaPolicy::Fixed(1.5));
+    }
+}

@@ -1,0 +1,64 @@
+//! # hilos-core — the HILOS framework
+//!
+//! The paper's primary contribution: high-throughput offline LLM inference
+//! with near-storage processing. This crate implements, on top of the
+//! simulation substrates:
+//!
+//! * **attention near storage** (§4.1) — the decode schedule that confines
+//!   KV-cache traffic to the devices' internal paths ([`build_hilos_decode_step`],
+//!   with the Eq. 3 traffic model in [`traffic`]),
+//! * **cooperative X-cache** (§4.2) — the analytic α model and candidate
+//!   selection ([`AlphaModel`]), exercised by the *Cache Scheduler*,
+//! * **delayed KV-cache writeback** (§4.3) — the host-side buffer and
+//!   spill policy ([`WritebackManager`]) plus the sub-page write-cost
+//!   model,
+//! * the **Inference Controller** ([`HilosSystem`]) that runs simulated
+//!   prefill/decode jobs and reports throughput, utilization and traffic,
+//! * a **functional pipeline** ([`FunctionalBlock`]) proving bit-level
+//!   equivalence of the ANS / X-cache / writeback numerics against the
+//!   baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use hilos_core::{HilosConfig, HilosSystem};
+//! use hilos_llm::presets;
+//! use hilos_platform::SystemSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = HilosSystem::new(
+//!     &SystemSpec::a100_smartssd(8),
+//!     &presets::opt_30b(),
+//!     &HilosConfig::new(8),
+//! )?
+//! .with_sim_layers(4);
+//! let report = system.run_decode(16, 16 * 1024, 4)?;
+//! assert!(report.tokens_per_second() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod config;
+mod functional;
+mod middleware;
+mod runner;
+mod scheduler;
+pub mod traffic;
+mod writeback;
+mod xcache;
+
+pub use campaign::{CampaignSummary, ServingCampaign};
+pub use config::{AlphaPolicy, HilosConfig};
+pub use functional::FunctionalBlock;
+pub use middleware::{CacheScheduler, WeightsPrefetcher};
+pub use runner::{CoreError, HilosSystem, JobReport, PrefillReport, RunReport};
+pub use scheduler::{
+    build_hilos_decode_step, build_hilos_prefill, load_weights, weight_source, DecodeStepSpec,
+    WeightSource, GDS_EFFICIENCY, SUB_PAGE_WRITE_PENALTY_S,
+};
+pub use writeback::{spill_nand_bytes_per_token, SpillDecision, WritebackManager};
+pub use xcache::{paper_alpha_mha, AlphaModel, ALPHA_CANDIDATES};

@@ -1,0 +1,148 @@
+//! The paper's middleware components (Fig. 8), as a façade over the
+//! schedulers: *Inference Controller*, *Cache Scheduler*, *Writeback
+//! Manager* and *Weights Prefetcher*.
+//!
+//! [`HilosSystem`](crate::HilosSystem) is the Inference Controller;
+//! [`WritebackManager`](crate::WritebackManager) matches its paper name
+//! already. This module adds the remaining two under their paper names so
+//! the public API reads like the system diagram.
+
+use crate::scheduler::{weight_source, WeightSource, GDS_EFFICIENCY};
+use crate::xcache::AlphaModel;
+use hilos_llm::ModelConfig;
+use hilos_platform::BuiltSystem;
+
+/// The *Cache Scheduler* (Fig. 8): decides the X-cache ratio and the
+/// KV/X partition for a job on a built system (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheScheduler;
+
+impl CacheScheduler {
+    /// Creates a scheduler.
+    pub fn new() -> Self {
+        CacheScheduler
+    }
+
+    /// Builds the §4.2 α model for a job on a system.
+    pub fn alpha_model(
+        &self,
+        sys: &BuiltSystem,
+        model: &ModelConfig,
+        batch: u32,
+        context: u64,
+    ) -> AlphaModel {
+        let bs = batch as f64;
+        let s = context as f64;
+        let layers = model.layers() as f64;
+        AlphaModel {
+            x_bytes: bs * s * model.hidden() as f64 * 2.0 * layers,
+            kv_bytes: bs * 2.0 * s * model.kv_dim() as f64 * 2.0 * layers,
+            b_ssd: sys.aggregate_internal_read_bw(),
+            b_pci: sys.effective_pci_bw() * GDS_EFFICIENCY,
+            regen_flops: 4.0 * bs * s * model.hidden() as f64 * model.kv_dim() as f64 * layers,
+            c_gpu: sys.spec.gpu.fp16_flops,
+        }
+    }
+
+    /// Selects α for the job (the ratio the prefill partition uses).
+    pub fn select_alpha(
+        &self,
+        sys: &BuiltSystem,
+        model: &ModelConfig,
+        batch: u32,
+        context: u64,
+    ) -> f64 {
+        self.alpha_model(sys, model, batch, context).select_alpha()
+    }
+}
+
+/// The *Weights Prefetcher* (Fig. 8): placement decision and per-step
+/// weight traffic for a model on a system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WeightsPrefetcher;
+
+impl WeightsPrefetcher {
+    /// Creates a prefetcher.
+    pub fn new() -> Self {
+        WeightsPrefetcher
+    }
+
+    /// Where the weights live (host DRAM vs storage, §6.1's >100B rule).
+    pub fn placement(&self, sys: &BuiltSystem, model: &ModelConfig) -> WeightSource {
+        weight_source(sys, model, 32 << 30)
+    }
+
+    /// Weight bytes staged to the GPU per decoding step for a batch.
+    pub fn bytes_per_step(&self, model: &ModelConfig, batch: u32) -> u64 {
+        model.decode_weight_traffic_bytes(batch)
+    }
+
+    /// Seconds the weight stream needs per step at the placement's
+    /// bandwidth — the floor the KV-side optimizations cannot beat.
+    pub fn stream_seconds_per_step(
+        &self,
+        sys: &BuiltSystem,
+        model: &ModelConfig,
+        batch: u32,
+    ) -> f64 {
+        let bytes = self.bytes_per_step(model, batch) as f64;
+        let bw = match self.placement(sys, model) {
+            WeightSource::HostDram => sys.spec.gpu.link.bandwidth(),
+            WeightSource::Storage => sys
+                .aggregate_internal_read_bw()
+                .min(sys.spec.gpu.link.bandwidth()),
+        };
+        bytes / bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilos_accel::AccelTimingModel;
+    use hilos_llm::presets;
+    use hilos_platform::SystemSpec;
+
+    fn sys(n: usize) -> BuiltSystem {
+        BuiltSystem::build(
+            &SystemSpec::a100_smartssd(n),
+            Some(&AccelTimingModel::smartssd(1)),
+            128,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cache_scheduler_matches_runner_alpha() {
+        let sys = sys(16);
+        let alpha = CacheScheduler::new().select_alpha(&sys, &presets::opt_66b(), 16, 32 * 1024);
+        assert_eq!(alpha, 0.5, "the 16-device testbed selects 50%");
+    }
+
+    #[test]
+    fn cache_scheduler_disables_xcache_for_gqa() {
+        let sys = sys(16);
+        let alpha = CacheScheduler::new().select_alpha(&sys, &presets::qwen25_32b(), 16, 32 * 1024);
+        assert_eq!(alpha, 0.0);
+    }
+
+    #[test]
+    fn prefetcher_places_large_models_on_storage() {
+        let sys = sys(8);
+        let p = WeightsPrefetcher::new();
+        assert_eq!(p.placement(&sys, &presets::opt_66b()), WeightSource::HostDram);
+        assert_eq!(p.placement(&sys, &presets::opt_175b()), WeightSource::Storage);
+    }
+
+    #[test]
+    fn weight_stream_floor_is_sane() {
+        let sys = sys(8);
+        let p = WeightsPrefetcher::new();
+        // 66B FP16 ~132 GB over a Gen4 x16 link: ~4.2 s per step.
+        let t = p.stream_seconds_per_step(&sys, &presets::opt_66b(), 16);
+        assert!((3.0..6.0).contains(&t), "t={t}");
+        // Storage-resident 175B streams slower.
+        let t175 = p.stream_seconds_per_step(&sys, &presets::opt_175b(), 16);
+        assert!(t175 > t);
+    }
+}

@@ -1,0 +1,72 @@
+//! The interconnect-traffic model of attention near storage (§4.1,
+//! Eq. 3).
+//!
+//! Per decoding step, per token and transformer block, the baseline moves
+//! the whole KV cache plus the new entries over the shared system
+//! interconnect, while ANS moves only the fresh Q/K/V down and the
+//! attention output back up.
+
+use hilos_llm::FP16_BYTES;
+
+/// Baseline interconnect bytes per decoding step for one token and one
+/// transformer block at context `s` and hidden size `h`: `4·s·h` of KV
+/// reads plus `4·h` of new-KV writes (Eq. 3 numerator).
+pub fn baseline_step_bytes(s: u64, h: u64) -> f64 {
+    (4 * s * h + 4 * h) as f64 * (FP16_BYTES as f64 / 2.0)
+}
+
+/// ANS interconnect bytes for the same step: the `2·h`-byte attention
+/// output up plus the `6·h` bytes of fresh Q/K/V down (Eq. 3 denominator).
+pub fn ans_step_bytes(h: u64) -> f64 {
+    (2 * h + 6 * h) as f64 * (FP16_BYTES as f64 / 2.0)
+}
+
+/// The traffic-reduction ratio `T_BASE / T_ANS = (s + 1)/2` of Eq. 3.
+pub fn traffic_reduction_ratio(s: u64) -> f64 {
+    (s as f64 + 1.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq3_ratio_exact() {
+        for s in [1u64, 2, 100, 4096, 32 * 1024, 128 * 1024] {
+            let ratio = baseline_step_bytes(s, 12288) / ans_step_bytes(12288);
+            assert!(
+                (ratio - traffic_reduction_ratio(s)).abs() < 1e-9,
+                "s={s}: {ratio} vs {}",
+                traffic_reduction_ratio(s)
+            );
+        }
+    }
+
+    #[test]
+    fn ans_always_wins_beyond_one_token() {
+        // Eq 3: (s+1)/2 > 1 for s > 1.
+        for s in [2u64, 16, 1024] {
+            assert!(traffic_reduction_ratio(s) > 1.0);
+        }
+        assert_eq!(traffic_reduction_ratio(1), 1.0);
+    }
+
+    #[test]
+    fn ratio_grows_linearly_with_context() {
+        let r32 = traffic_reduction_ratio(32 * 1024);
+        let r64 = traffic_reduction_ratio(64 * 1024);
+        assert!((r64 / r32 - 2.0).abs() < 0.001);
+        // At 128K context the reduction is ~65,000x.
+        assert!(traffic_reduction_ratio(128 * 1024) > 65_000.0);
+    }
+
+    #[test]
+    fn ans_write_traffic_increases_slightly() {
+        // §4.1: writes grow from 4h to 6h bytes — the price of shipping Q.
+        let h = 8192u64;
+        let base_writes = 4 * h;
+        let ans_writes = 6 * h;
+        assert_eq!(ans_writes as f64 / base_writes as f64, 1.5);
+        assert!(ans_step_bytes(h) < baseline_step_bytes(2, h));
+    }
+}

@@ -1,0 +1,173 @@
+//! The cooperative X-cache scheduler (§4.2): the analytic α model and its
+//! candidate selection.
+//!
+//! For an α fraction of the (batch × KV-head) shards the system stores the
+//! pre-projection activation `X` instead of K/V and lets the GPU
+//! re-project it, overlapped with the NSP attention on the remaining
+//! `1-α`. With per-step sizes `S_X` (X bytes) and `S_KV` (KV bytes):
+//!
+//! * `T_PCI = α·S_X / B_PCI` — GPUDirect reads of the X shard,
+//! * `T_SSD = (α·S_X + (1-α)·S_KV) / B_SSD` — total flash reads,
+//! * `T_GPU = α·F_regen / C_GPU` — the K/V re-projection,
+//!
+//! and the best α balances the pipelined maximum. For the MHA case
+//! (`S_X = S_KV/2`) setting `T_PCI = T_SSD` yields the paper's closed form
+//! `α* = 2·B_PCI / (B_SSD + B_PCI)`; the runtime then snaps to the best of
+//! the power-of-two candidates the paper sweeps in Fig. 13.
+
+/// Candidate α values (the Fig. 13 sweep grid).
+pub const ALPHA_CANDIDATES: [f64; 5] = [0.0, 0.125, 0.25, 0.5, 0.75];
+
+/// Inputs of the α model for one decoding step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaModel {
+    /// Bytes of the full X-cache touched per step (all layers, batch).
+    pub x_bytes: f64,
+    /// Bytes of the full KV cache touched per step.
+    pub kv_bytes: f64,
+    /// Aggregate internal flash read bandwidth, bytes/s (B_SSD).
+    pub b_ssd: f64,
+    /// Effective host-interconnect bandwidth for X reads, bytes/s (B_PCI).
+    pub b_pci: f64,
+    /// FLOPs to regenerate K/V from the entire X-cache (α = 1).
+    pub regen_flops: f64,
+    /// GPU throughput in FLOP/s (C_GPU).
+    pub c_gpu: f64,
+}
+
+impl AlphaModel {
+    /// The closed-form balance point of `T_PCI = T_SSD` (ignoring
+    /// `T_GPU`), clamped to `[0, 1]`. Returns 0 when the X-cache is at
+    /// least as large as the KV cache (aggressive GQA), where caching `X`
+    /// can only add traffic.
+    pub fn closed_form_alpha(&self) -> f64 {
+        if self.x_bytes >= self.kv_bytes {
+            return 0.0;
+        }
+        let denom = self.x_bytes * (self.b_ssd - self.b_pci) + self.kv_bytes * self.b_pci;
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        (self.kv_bytes * self.b_pci / denom).clamp(0.0, 1.0)
+    }
+
+    /// The pipelined step time under a given α: `max(T_GPU, T_SSD, T_PCI)`
+    /// (§4.2, "assuming the regeneration computation and data transfers
+    /// are well-pipelined").
+    pub fn effective_seconds(&self, alpha: f64) -> f64 {
+        let alpha = alpha.clamp(0.0, 1.0);
+        let t_pci = alpha * self.x_bytes / self.b_pci;
+        let t_ssd = (alpha * self.x_bytes + (1.0 - alpha) * self.kv_bytes) / self.b_ssd;
+        let t_gpu = alpha * self.regen_flops / self.c_gpu;
+        t_pci.max(t_ssd).max(t_gpu)
+    }
+
+    /// Selects the best candidate α: the [`ALPHA_CANDIDATES`] entry with
+    /// the smallest modeled step time (ties go to the smaller α, which
+    /// also writes less to flash — the §6.6 endurance bonus).
+    pub fn select_alpha(&self) -> f64 {
+        let mut best = 0.0;
+        let mut best_t = self.effective_seconds(0.0);
+        for &a in &ALPHA_CANDIDATES[1..] {
+            let t = self.effective_seconds(a);
+            if t < best_t * (1.0 - 1e-9) {
+                best = a;
+                best_t = t;
+            }
+        }
+        best
+    }
+}
+
+/// The paper's simplified MHA closed form: `α* = 2·B_PCI/(B_SSD + B_PCI)`.
+pub fn paper_alpha_mha(b_ssd: f64, b_pci: f64) -> f64 {
+    (2.0 * b_pci / (b_ssd + b_pci)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mha_model(b_ssd: f64, b_pci: f64) -> AlphaModel {
+        AlphaModel {
+            x_bytes: 1.0e12,
+            kv_bytes: 2.0e12,
+            b_ssd,
+            b_pci,
+            regen_flops: 1.0e12, // negligible vs. transfers
+            c_gpu: 250e12,
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_paper_equation() {
+        // For S_X = S_KV/2 the general solution reduces to the paper's
+        // 2·B_PCI/(B_SSD+B_PCI).
+        for (b_ssd, b_pci) in [(51.2e9, 17.0e9), (12.8e9, 8.7e9), (30e9, 10e9)] {
+            let m = mha_model(b_ssd, b_pci);
+            let ours = m.closed_form_alpha();
+            let paper = paper_alpha_mha(b_ssd, b_pci);
+            assert!((ours - paper).abs() < 1e-12, "{ours} vs {paper}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_ratio_three_gives_half() {
+        // §6.4: B_SSD/B_PCI ≈ 3 ⇒ α* ≈ 50%, and the candidate search
+        // picks 0.5.
+        let m = mha_model(51.0e9, 17.0e9);
+        assert!((m.closed_form_alpha() - 0.5).abs() < 0.01);
+        assert_eq!(m.select_alpha(), 0.5);
+    }
+
+    #[test]
+    fn xcache_disabled_for_aggressive_gqa() {
+        // When X is no smaller than KV (e.g. Qwen2.5's d_group = 5),
+        // X-caching only adds flash traffic: α must be 0.
+        let m = AlphaModel {
+            x_bytes: 2.5e12,
+            kv_bytes: 1.0e12,
+            b_ssd: 51.2e9,
+            b_pci: 17.0e9,
+            regen_flops: 1e12,
+            c_gpu: 250e12,
+        };
+        assert_eq!(m.closed_form_alpha(), 0.0);
+        assert_eq!(m.select_alpha(), 0.0);
+    }
+
+    #[test]
+    fn selected_alpha_never_worse_than_zero() {
+        for b_pci in [5e9, 10e9, 20e9, 40e9] {
+            let m = mha_model(51.2e9, b_pci);
+            let a = m.select_alpha();
+            assert!(m.effective_seconds(a) <= m.effective_seconds(0.0) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn gpu_bound_regime_reduces_alpha() {
+        // A weak GPU makes T_GPU dominate: the selector should back off
+        // from the transfer-balanced α.
+        let weak = AlphaModel { c_gpu: 1e12, regen_flops: 100e12, ..mha_model(51e9, 17e9) };
+        let strong = AlphaModel { c_gpu: 1e15, ..weak };
+        assert!(weak.select_alpha() <= strong.select_alpha());
+    }
+
+    #[test]
+    fn effective_time_is_max_of_terms() {
+        let m = mha_model(51e9, 17e9);
+        // α = 0: pure SSD time.
+        assert!((m.effective_seconds(0.0) - m.kv_bytes / m.b_ssd).abs() < 1e-9);
+        // α = 1 with tiny regen: max(PCI, SSD-with-X-only).
+        let t1 = m.effective_seconds(1.0);
+        let expect = (m.x_bytes / m.b_pci).max(m.x_bytes / m.b_ssd);
+        assert!((t1 - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn paper_alpha_clamped() {
+        assert_eq!(paper_alpha_mha(1e9, 10e9), 1.0);
+        assert!((paper_alpha_mha(3e9, 1e9) - 0.5).abs() < 1e-12);
+    }
+}

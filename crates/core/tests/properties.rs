@@ -1,0 +1,116 @@
+//! Property tests for the α model and writeback invariants.
+
+use hilos_core::{
+    paper_alpha_mha, spill_nand_bytes_per_token, AlphaModel, WritebackManager, ALPHA_CANDIDATES,
+};
+use hilos_llm::presets;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The selected α is the argmin over the candidate grid, for any
+    /// bandwidth/size configuration.
+    #[test]
+    fn selected_alpha_is_candidate_argmin(
+        x_frac in 0.2f64..3.0,
+        b_ssd in 1.0e9..100.0e9,
+        b_pci in 1.0e9..100.0e9,
+        regen in 1.0e12..1.0e17,
+        c_gpu in 10.0e12..1000.0e12,
+    ) {
+        let kv = 1.0e12;
+        let m = AlphaModel {
+            x_bytes: kv * x_frac,
+            kv_bytes: kv,
+            b_ssd,
+            b_pci,
+            regen_flops: regen,
+            c_gpu,
+        };
+        let a = m.select_alpha();
+        let t = m.effective_seconds(a);
+        for &cand in &ALPHA_CANDIDATES {
+            prop_assert!(t <= m.effective_seconds(cand) * (1.0 + 1e-9),
+                "alpha {a} ({t}s) beaten by {cand} ({}s)", m.effective_seconds(cand));
+        }
+    }
+
+    /// The MHA closed form solves T_PCI = T_SSD exactly when unclamped.
+    #[test]
+    fn closed_form_balances_transfers(
+        b_ssd in 2.0e9..100.0e9,
+        b_pci in 1.0e9..100.0e9,
+    ) {
+        let m = AlphaModel {
+            x_bytes: 0.5e12,
+            kv_bytes: 1.0e12,
+            b_ssd,
+            b_pci,
+            regen_flops: 1.0,
+            c_gpu: 1e15,
+        };
+        let a = m.closed_form_alpha();
+        prop_assume!(a > 0.0 && a < 1.0);
+        let t_pci = a * m.x_bytes / m.b_pci;
+        let t_ssd = (a * m.x_bytes + (1.0 - a) * m.kv_bytes) / m.b_ssd;
+        prop_assert!((t_pci - t_ssd).abs() / t_ssd < 1e-9);
+        // And it matches the paper's published formula.
+        prop_assert!((a - paper_alpha_mha(b_ssd, b_pci)).abs() < 1e-12);
+    }
+
+    /// Effective step time is monotone non-increasing in both bandwidths.
+    #[test]
+    fn effective_time_monotone_in_bandwidth(
+        alpha_i in 0usize..5,
+        b_ssd in 2.0e9..50.0e9,
+        b_pci in 2.0e9..50.0e9,
+        boost in 1.01f64..4.0,
+    ) {
+        let alpha = ALPHA_CANDIDATES[alpha_i];
+        let base = AlphaModel {
+            x_bytes: 0.5e12,
+            kv_bytes: 1.0e12,
+            b_ssd,
+            b_pci,
+            regen_flops: 1e15,
+            c_gpu: 290e12,
+        };
+        let faster_ssd = AlphaModel { b_ssd: b_ssd * boost, ..base };
+        let faster_pci = AlphaModel { b_pci: b_pci * boost, ..base };
+        prop_assert!(faster_ssd.effective_seconds(alpha) <= base.effective_seconds(alpha));
+        prop_assert!(faster_pci.effective_seconds(alpha) <= base.effective_seconds(alpha));
+    }
+
+    /// The writeback manager spills exactly floor(steps/c) times over any
+    /// horizon and never buffers ≥ c tokens.
+    #[test]
+    fn writeback_spill_count_exact(c in 1u32..64, steps in 1u32..512) {
+        let mut wb = WritebackManager::new(c);
+        let mut spills = 0u32;
+        for _ in 0..steps {
+            let d = wb.on_step();
+            prop_assert!(d.buffered_tokens < c);
+            if d.spill_now {
+                prop_assert_eq!(d.spill_tokens, c);
+                spills += 1;
+            }
+        }
+        prop_assert_eq!(spills, steps / c);
+        prop_assert_eq!(wb.buffered_tokens(), steps % c);
+        prop_assert_eq!(wb.total_spills() as u32, spills);
+    }
+
+    /// Spill write amplification is ≥ 1 and non-increasing in the spill
+    /// interval, for any page size.
+    #[test]
+    fn spill_waf_bounds(c in 1u32..128, page_pow in 12u32..15) {
+        let page = 1u64 << page_pow;
+        let m = presets::opt_66b();
+        let payload = m.kv_bytes_per_token() as f64;
+        let waf = spill_nand_bytes_per_token(&m, c, page) / payload;
+        prop_assert!(waf >= 1.0 - 1e-9, "waf {waf} < 1");
+        let waf2 = spill_nand_bytes_per_token(&m, c * 2, page) / payload;
+        prop_assert!(waf2 <= waf * (1.0 + 1e-9), "waf not monotone: {waf} -> {waf2}");
+    }
+}

@@ -1,0 +1,126 @@
+//! PCIe link characteristics.
+
+use std::fmt;
+
+/// PCIe generation.
+///
+/// Effective per-lane bandwidth accounts for encoding and protocol
+/// overhead (TLP headers, flow control): roughly 0.985 GB/s per Gen3 lane
+/// and double per generation after that — the figures commonly measured
+/// for large DMA transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PcieGen {
+    /// PCIe 3.0 — 8 GT/s, 128b/130b encoding.
+    Gen3,
+    /// PCIe 4.0 — 16 GT/s.
+    Gen4,
+    /// PCIe 5.0 — 32 GT/s (the §7.2 what-if analysis).
+    Gen5,
+}
+
+impl PcieGen {
+    /// Effective payload bandwidth per lane in bytes/second.
+    pub fn bytes_per_sec_per_lane(self) -> f64 {
+        match self {
+            PcieGen::Gen3 => 0.985e9,
+            PcieGen::Gen4 => 1.969e9,
+            PcieGen::Gen5 => 3.938e9,
+        }
+    }
+}
+
+impl fmt::Display for PcieGen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcieGen::Gen3 => write!(f, "PCIe3.0"),
+            PcieGen::Gen4 => write!(f, "PCIe4.0"),
+            PcieGen::Gen5 => write!(f, "PCIe5.0"),
+        }
+    }
+}
+
+/// A link: a PCIe generation and a lane count.
+///
+/// # Examples
+///
+/// ```
+/// use hilos_interconnect::{LinkSpec, PcieGen};
+///
+/// let x16 = LinkSpec::new(PcieGen::Gen4, 16);
+/// assert!((x16.bandwidth() - 31.5e9).abs() < 0.1e9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    gen: PcieGen,
+    lanes: u8,
+}
+
+impl LinkSpec {
+    /// Creates a link spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or not a power of two ≤ 16 (PCIe widths
+    /// are ×1/×2/×4/×8/×16).
+    pub fn new(gen: PcieGen, lanes: u8) -> Self {
+        assert!(
+            matches!(lanes, 1 | 2 | 4 | 8 | 16),
+            "PCIe lane width must be 1, 2, 4, 8 or 16; got {lanes}"
+        );
+        LinkSpec { gen, lanes }
+    }
+
+    /// The PCIe generation.
+    pub fn gen(self) -> PcieGen {
+        self.gen
+    }
+
+    /// Lane count.
+    pub fn lanes(self) -> u8 {
+        self.lanes
+    }
+
+    /// Effective one-direction bandwidth in bytes/second.
+    pub fn bandwidth(self) -> f64 {
+        self.gen.bytes_per_sec_per_lane() * self.lanes as f64
+    }
+}
+
+impl fmt::Display for LinkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} x{}", self.gen, self.lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_lane_bandwidth_doubles_per_gen() {
+        assert!(PcieGen::Gen4.bytes_per_sec_per_lane() > 1.9 * PcieGen::Gen3.bytes_per_sec_per_lane());
+        assert!(PcieGen::Gen5.bytes_per_sec_per_lane() > 1.9 * PcieGen::Gen4.bytes_per_sec_per_lane());
+    }
+
+    #[test]
+    fn known_link_bandwidths() {
+        // Gen3 x4 (SmartSSD host link) ~ 3.94 GB/s.
+        let g3x4 = LinkSpec::new(PcieGen::Gen3, 4).bandwidth();
+        assert!((g3x4 - 3.94e9).abs() < 0.01e9);
+        // Gen4 x16 (A100 host link) ~ 31.5 GB/s.
+        let g4x16 = LinkSpec::new(PcieGen::Gen4, 16).bandwidth();
+        assert!((g4x16 - 31.5e9).abs() < 0.1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane width")]
+    fn invalid_lane_count_rejected() {
+        let _ = LinkSpec::new(PcieGen::Gen3, 3);
+    }
+
+    #[test]
+    fn display_format() {
+        let l = LinkSpec::new(PcieGen::Gen4, 8);
+        assert_eq!(l.to_string(), "PCIe4.0 x8");
+    }
+}

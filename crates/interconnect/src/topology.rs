@@ -1,0 +1,395 @@
+//! Tree topologies of PCIe nodes and their instantiation as simulation
+//! resources.
+
+use crate::pcie::LinkSpec;
+use hilos_sim::{FlowEngine, ResourceId, ResourceKind, ResourceSpec};
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a node in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Index of the node inside its topology.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The root complex (host CPU + DRAM side).
+    Host,
+    /// A PCIe switch.
+    Switch,
+    /// An endpoint device (GPU, SSD, NSP device, NIC...).
+    Device,
+}
+
+/// Errors from topology operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A node id did not belong to this topology.
+    UnknownNode(usize),
+    /// A route between identical endpoints was requested.
+    SameEndpoint(usize),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(i) => write!(f, "unknown topology node index {i}"),
+            TopologyError::SameEndpoint(i) => {
+                write!(f, "route endpoints are the same node (index {i})")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    kind: NodeKind,
+    /// Parent node and the link connecting to it (None for the root).
+    parent: Option<(NodeId, LinkSpec)>,
+    depth: u32,
+}
+
+/// A tree of PCIe nodes.
+///
+/// Construction is purely structural; call [`Topology::instantiate`] to
+/// materialize each link direction as a bandwidth resource inside a
+/// [`FlowEngine`].
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+}
+
+impl Topology {
+    /// Creates a topology containing only the host root complex.
+    pub fn new(host_name: impl Into<String>) -> Self {
+        Topology {
+            nodes: vec![Node {
+                name: host_name.into(),
+                kind: NodeKind::Host,
+                parent: None,
+                depth: 0,
+            }],
+        }
+    }
+
+    /// The root (host) node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the topology has only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    fn add_node(&mut self, name: String, kind: NodeKind, parent: NodeId, link: LinkSpec) -> NodeId {
+        assert!(parent.index() < self.nodes.len(), "unknown parent {parent}");
+        let depth = self.nodes[parent.index()].depth + 1;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { name, kind, parent: Some((parent, link)), depth });
+        id
+    }
+
+    /// Adds a PCIe switch under `parent`, connected with `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not belong to this topology.
+    pub fn add_switch(&mut self, name: impl Into<String>, parent: NodeId, link: LinkSpec) -> NodeId {
+        self.add_node(name.into(), NodeKind::Switch, parent, link)
+    }
+
+    /// Adds an endpoint device under `parent`, connected with `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not belong to this topology.
+    pub fn add_device(&mut self, name: impl Into<String>, parent: NodeId, link: LinkSpec) -> NodeId {
+        self.add_node(name.into(), NodeKind::Device, parent, link)
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this topology.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// Kind of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this topology.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// The link connecting `id` to its parent, or `None` for the root.
+    pub fn uplink(&self, id: NodeId) -> Option<LinkSpec> {
+        self.nodes[id.index()].parent.map(|(_, l)| l)
+    }
+
+    /// Registers every link direction as a resource in `engine` and
+    /// returns the instance used to compute routes.
+    pub fn instantiate(&self, engine: &mut FlowEngine) -> TopologyInstance {
+        let mut links = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            match &node.parent {
+                None => links.push(None),
+                Some((parent, link)) => {
+                    let pname = &self.nodes[parent.index()].name;
+                    let up = engine.add_resource(ResourceSpec::new(
+                        format!("pcie:{}->{}:{}", node.name, pname, link),
+                        ResourceKind::Link,
+                        link.bandwidth(),
+                    ));
+                    let down = engine.add_resource(ResourceSpec::new(
+                        format!("pcie:{}->{}:{}", pname, node.name, link),
+                        ResourceKind::Link,
+                        link.bandwidth(),
+                    ));
+                    let _ = i;
+                    links.push(Some(DirectedLinks { up, down }));
+                }
+            }
+        }
+        TopologyInstance { topo: self.clone(), links }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DirectedLinks {
+    /// Towards the root.
+    up: ResourceId,
+    /// Away from the root.
+    down: ResourceId,
+}
+
+/// A [`Topology`] whose links are materialized as engine resources.
+#[derive(Debug, Clone)]
+pub struct TopologyInstance {
+    topo: Topology,
+    links: Vec<Option<DirectedLinks>>,
+}
+
+impl TopologyInstance {
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Resource carrying traffic from `id` towards its parent, or `None`
+    /// for the root.
+    pub fn uplink_resource(&self, id: NodeId) -> Option<ResourceId> {
+        self.links.get(id.index())?.map(|l| l.up)
+    }
+
+    /// Resource carrying traffic from the parent towards `id`, or `None`
+    /// for the root.
+    pub fn downlink_resource(&self, id: NodeId) -> Option<ResourceId> {
+        self.links.get(id.index())?.map(|l| l.down)
+    }
+
+    /// Computes the ordered list of directed link resources a transfer from
+    /// `from` to `to` traverses (up to the lowest common ancestor, then
+    /// down).
+    ///
+    /// # Errors
+    ///
+    /// * [`TopologyError::UnknownNode`] if either endpoint is not in the
+    ///   topology.
+    /// * [`TopologyError::SameEndpoint`] if `from == to` (a zero-hop route
+    ///   would model an on-chip copy, which the caller should express as a
+    ///   memory-port resource instead).
+    pub fn route(&self, from: NodeId, to: NodeId) -> Result<Vec<ResourceId>, TopologyError> {
+        let n = self.topo.nodes.len();
+        if from.index() >= n {
+            return Err(TopologyError::UnknownNode(from.index()));
+        }
+        if to.index() >= n {
+            return Err(TopologyError::UnknownNode(to.index()));
+        }
+        if from == to {
+            return Err(TopologyError::SameEndpoint(from.index()));
+        }
+
+        // Walk both endpoints to the same depth, then in lockstep to the LCA.
+        let mut a = from;
+        let mut b = to;
+        let mut up_path: Vec<ResourceId> = Vec::new();
+        let mut down_path: Vec<ResourceId> = Vec::new();
+
+        let depth = |id: NodeId| self.topo.nodes[id.index()].depth;
+        while depth(a) > depth(b) {
+            up_path.push(self.links[a.index()].unwrap().up);
+            a = self.topo.nodes[a.index()].parent.unwrap().0;
+        }
+        while depth(b) > depth(a) {
+            down_path.push(self.links[b.index()].unwrap().down);
+            b = self.topo.nodes[b.index()].parent.unwrap().0;
+        }
+        while a != b {
+            up_path.push(self.links[a.index()].unwrap().up);
+            a = self.topo.nodes[a.index()].parent.unwrap().0;
+            down_path.push(self.links[b.index()].unwrap().down);
+            b = self.topo.nodes[b.index()].parent.unwrap().0;
+        }
+        down_path.reverse();
+        up_path.extend(down_path);
+        Ok(up_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcie::PcieGen;
+    use hilos_sim::SimTime;
+
+    fn x4g3() -> LinkSpec {
+        LinkSpec::new(PcieGen::Gen3, 4)
+    }
+    fn x16g4() -> LinkSpec {
+        LinkSpec::new(PcieGen::Gen4, 16)
+    }
+
+    #[test]
+    fn route_device_to_host_is_uplinks() {
+        let mut t = Topology::new("host");
+        let sw = t.add_switch("sw", t.root(), x16g4());
+        let dev = t.add_device("ssd", sw, x4g3());
+        let mut eng = FlowEngine::new();
+        let inst = t.instantiate(&mut eng);
+        let r = inst.route(dev, t.root()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], inst.uplink_resource(dev).unwrap());
+        assert_eq!(r[1], inst.uplink_resource(sw).unwrap());
+    }
+
+    #[test]
+    fn route_between_siblings_goes_through_parent() {
+        let mut t = Topology::new("host");
+        let sw = t.add_switch("sw", t.root(), x16g4());
+        let a = t.add_device("a", sw, x4g3());
+        let b = t.add_device("b", sw, x4g3());
+        let mut eng = FlowEngine::new();
+        let inst = t.instantiate(&mut eng);
+        let r = inst.route(a, b).unwrap();
+        // a->sw (up), sw->b (down). Does not touch the host uplink: P2P
+        // stays inside the switch, as in the SmartSSD chassis.
+        assert_eq!(r, vec![inst.uplink_resource(a).unwrap(), inst.downlink_resource(b).unwrap()]);
+    }
+
+    #[test]
+    fn route_across_switches() {
+        let mut t = Topology::new("host");
+        let s1 = t.add_switch("s1", t.root(), x16g4());
+        let s2 = t.add_switch("s2", t.root(), x16g4());
+        let a = t.add_device("a", s1, x4g3());
+        let b = t.add_device("b", s2, x4g3());
+        let mut eng = FlowEngine::new();
+        let inst = t.instantiate(&mut eng);
+        let r = inst.route(a, b).unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], inst.uplink_resource(a).unwrap());
+        assert_eq!(r[1], inst.uplink_resource(s1).unwrap());
+        assert_eq!(r[2], inst.downlink_resource(s2).unwrap());
+        assert_eq!(r[3], inst.downlink_resource(b).unwrap());
+    }
+
+    #[test]
+    fn errors_on_bad_endpoints() {
+        let t = Topology::new("host");
+        let mut eng = FlowEngine::new();
+        let inst = t.instantiate(&mut eng);
+        assert_eq!(
+            inst.route(t.root(), t.root()),
+            Err(TopologyError::SameEndpoint(0))
+        );
+        assert_eq!(
+            inst.route(t.root(), NodeId(7)),
+            Err(TopologyError::UnknownNode(7))
+        );
+    }
+
+    #[test]
+    fn full_duplex_links_do_not_contend() {
+        let mut t = Topology::new("host");
+        let dev = t.add_device("gpu", t.root(), x16g4());
+        let mut eng = FlowEngine::new();
+        let inst = t.instantiate(&mut eng);
+        let up = inst.route(dev, t.root()).unwrap();
+        let down = inst.route(t.root(), dev).unwrap();
+        let bw = x16g4().bandwidth();
+        eng.submit(&up, bw, None).unwrap();
+        eng.submit(&down, bw, None).unwrap();
+        // Both directions run at full rate: total time is 1 s, not 2 s.
+        let end = eng.run_to_idle().unwrap();
+        assert_eq!(end, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn shared_uplink_contention_matches_fig3() {
+        // 4 devices behind one Gen4 x16 uplink, each with a Gen3 x4 link.
+        // Aggregate device bandwidth (4 x 3.94 = 15.8 GB/s) fits the uplink,
+        // but 16 devices (63 GB/s) saturate it.
+        let build = |n: usize| {
+            let mut t = Topology::new("host");
+            let sw = t.add_switch("sw", t.root(), x16g4());
+            let devs: Vec<_> =
+                (0..n).map(|i| t.add_device(format!("d{i}"), sw, x4g3())).collect();
+            let mut eng = FlowEngine::new();
+            let inst = t.instantiate(&mut eng);
+            for d in &devs {
+                let route = inst.route(*d, t.root()).unwrap();
+                eng.submit(&route, 1e9, None).unwrap();
+            }
+            eng.run_to_idle().unwrap().as_secs_f64()
+        };
+        let t4 = build(4);
+        let t16 = build(16);
+        // 4 devices: device-link bound (1e9/3.94e9 s each, parallel).
+        assert!((t4 - 1.0 / 3.94).abs() < 0.01, "t4={t4}");
+        // 16 devices: uplink bound (16e9 / 31.5e9 s).
+        assert!((t16 - 16.0 / 31.5).abs() < 0.01, "t16={t16}");
+        assert!(t16 > t4 * 1.5);
+    }
+
+    #[test]
+    fn node_metadata_accessors() {
+        let mut t = Topology::new("host");
+        let sw = t.add_switch("sw", t.root(), x16g4());
+        let d = t.add_device("nvme", sw, x4g3());
+        assert_eq!(t.name(d), "nvme");
+        assert_eq!(t.kind(sw), NodeKind::Switch);
+        assert_eq!(t.kind(t.root()), NodeKind::Host);
+        assert_eq!(t.uplink(d), Some(x4g3()));
+        assert_eq!(t.uplink(t.root()), None);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Memory-footprint accounting (Fig. 2a of the paper).
+
+use crate::config::ModelConfig;
+use crate::workload::BatchSpec;
+
+/// Memory footprint breakdown of one inference job, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Footprint {
+    /// Model weights.
+    pub weights: u64,
+    /// KV cache at the *end* of generation (worst case).
+    pub kv_cache: u64,
+    /// Activations, workspace and framework overhead ("Others" in Fig. 2a).
+    pub others: u64,
+}
+
+impl Footprint {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.weights + self.kv_cache + self.others
+    }
+
+    /// Fraction of the total occupied by the KV cache.
+    pub fn kv_fraction(&self) -> f64 {
+        self.kv_cache as f64 / self.total() as f64
+    }
+}
+
+/// Computes the footprint of running `spec` on `model`.
+///
+/// "Others" covers per-token activations for the live batch (a few hidden
+/// vectors per layer boundary) plus a fixed framework workspace,
+/// matching the small residual slice of Fig. 2a.
+pub fn footprint(model: &ModelConfig, spec: &BatchSpec) -> Footprint {
+    let weights = model.weight_bytes();
+    let max_ctx = spec.context_len + spec.output_len;
+    let kv_cache = model.kv_bytes_per_token() * spec.batch as u64 * max_ctx;
+    // Activations: pinned I/O buffers of ~4 hidden vectors per layer per
+    // sequence plus one logits buffer, and a 2 GiB framework workspace.
+    let act = 4 * model.layers() as u64 * model.hidden() as u64 * 2 * spec.batch as u64
+        + spec.batch as u64 * 50_272 * 2;
+    let others = act + (2u64 << 30);
+    Footprint { weights, kv_cache, others }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::presets;
+
+    #[test]
+    fn fig2a_kv_dominates_at_long_context() {
+        let m = presets::opt_175b();
+        // bs=16, s=128K: KV cache dwarfs the 350 GB of weights.
+        let fp = footprint(&m, &BatchSpec::new(16, 128 * 1024, 64));
+        assert!(fp.kv_fraction() > 0.9, "kv fraction {}", fp.kv_fraction());
+        assert!(fp.total() > 5_000_000_000_000, "total {} should be TB-scale", fp.total());
+    }
+
+    #[test]
+    fn fig2a_weights_dominate_at_small_batch_short_context() {
+        let m = presets::opt_175b();
+        let fp = footprint(&m, &BatchSpec::new(1, 8 * 1024, 64));
+        assert!(fp.weights > fp.kv_cache, "weights {} kv {}", fp.weights, fp.kv_cache);
+    }
+
+    #[test]
+    fn kv_scales_linearly_with_batch_and_context() {
+        let m = presets::opt_66b();
+        let a = footprint(&m, &BatchSpec::new(4, 32 * 1024, 64)).kv_cache;
+        let b = footprint(&m, &BatchSpec::new(8, 32 * 1024, 64)).kv_cache;
+        assert_eq!(b, 2 * a);
+        let c = footprint(&m, &BatchSpec::new(4, 64 * 1024, 128)).kv_cache;
+        assert!(c > 19 * a / 10);
+    }
+
+    #[test]
+    fn exceeds_host_dram_as_motivation_claims() {
+        // §3.1: footprints reach TB scale, beyond the 512 GB host.
+        let host = 512u64 << 30;
+        let m = presets::opt_175b();
+        for (bs, s) in [(4, 32 * 1024u64), (16, 32 * 1024), (16, 128 * 1024)] {
+            let fp = footprint(&m, &BatchSpec::new(bs, s, 64));
+            assert!(fp.total() > host, "bs={bs} s={s}");
+        }
+    }
+}

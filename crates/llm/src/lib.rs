@@ -1,0 +1,26 @@
+//! # hilos-llm — model configurations and workloads
+//!
+//! The LLM-side substrate of the HILOS reproduction:
+//!
+//! * [`ModelConfig`] with [`presets`] for every Table 2 model (OPT-30B/66B/
+//!   175B, Qwen2.5-32B with GQA, Mixtral-8×7B and GLaM-143B with MoE),
+//!   including the weight/KV/X-cache size arithmetic and per-op FLOP
+//!   counts the schedulers consume,
+//! * [`footprint`] — the Fig. 2a memory-footprint breakdown,
+//! * [`BatchSpec`] / [`RequestClass`] — offline batch jobs and the
+//!   Azure-derived request classes of the endurance study (Fig. 16b),
+//! * [`RetrievalTask`] — synthetic long-context retrieval tasks standing
+//!   in for LongBench in the Fig. 18c accuracy experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod footprint;
+mod synthetic;
+mod workload;
+
+pub use config::{presets, MlpKind, ModelConfig, MoeConfig, FP16_BYTES};
+pub use footprint::{footprint, Footprint};
+pub use synthetic::{RetrievalTask, RetrievalTaskConfig};
+pub use workload::{BatchSpec, RequestClass};

@@ -1,0 +1,68 @@
+//! Cost-efficiency analysis (Fig. 16a): tokens per second per dollar.
+
+use hilos_platform::SystemSpec;
+
+/// Cost efficiency of a measured throughput on a system, in
+/// tokens/second/USD.
+pub fn tokens_per_second_per_dollar(spec: &SystemSpec, tokens_per_second: f64) -> f64 {
+    tokens_per_second / spec.total_price_usd()
+}
+
+/// Normalizes a set of `(label, tps, spec)` triples to the first entry's
+/// cost efficiency (the Fig. 16a presentation).
+pub fn normalized_cost_efficiency(
+    entries: &[(&str, f64, &SystemSpec)],
+) -> Vec<(String, f64)> {
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let base = tokens_per_second_per_dollar(entries[0].2, entries[0].1);
+    entries
+        .iter()
+        .map(|(label, tps, spec)| {
+            (label.to_string(), tokens_per_second_per_dollar(spec, *tps) / base)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_scales_with_throughput_and_price() {
+        let flex = SystemSpec::a100_pm9a3(4);
+        let hilos = SystemSpec::a100_smartssd(16);
+        // HILOS costs ~3x more; it needs >3x throughput to win on cost.
+        let price_ratio = hilos.total_price_usd() / flex.total_price_usd();
+        assert!((2.5..3.5).contains(&price_ratio), "ratio {price_ratio}");
+        let even = tokens_per_second_per_dollar(&hilos, price_ratio)
+            / tokens_per_second_per_dollar(&flex, 1.0);
+        assert!((even - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_sets_base_to_one() {
+        let flex = SystemSpec::a100_pm9a3(4);
+        let hilos = SystemSpec::a100_smartssd(16);
+        let rows =
+            normalized_cost_efficiency(&[("flex", 0.2, &flex), ("hilos", 1.4, &hilos)]);
+        assert_eq!(rows[0].1, 1.0);
+        assert!(rows[1].1 > 2.0, "hilos at 7x throughput should win on cost: {}", rows[1].1);
+    }
+
+    #[test]
+    fn h100_upgrade_is_cost_inefficient_without_speedup() {
+        // Fig 16a: a 1.39x speedup on a $30k GPU loses to HILOS.
+        let h100 = SystemSpec::h100_pm9a3(4);
+        let a100 = SystemSpec::a100_pm9a3(4);
+        let e_h = tokens_per_second_per_dollar(&h100, 1.39);
+        let e_a = tokens_per_second_per_dollar(&a100, 1.0);
+        assert!(e_h < e_a, "H100 {e_h} vs A100 {e_a}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(normalized_cost_efficiency(&[]).is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! SSD endurance analysis (Fig. 16b): serviceable requests under the PBW
+//! budget.
+//!
+//! The KV workload is write-once-read-many, so lifetime is governed by
+//! total NAND write volume per request. HILOS reduces it two ways: the
+//! X-cache stores `X` (half the K+V bytes for MHA) for an α fraction, and
+//! the delayed writeback spills page-aligned chunks instead of one page
+//! per 256-byte entry.
+
+use hilos_llm::{ModelConfig, RequestClass, FP16_BYTES};
+
+/// Endurance budget of the storage complex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    /// NAND page size in bytes.
+    pub page_bytes: u64,
+    /// Endurance of one device in bytes (PBW × 10¹⁵).
+    pub endurance_bytes_per_device: f64,
+    /// Device count.
+    pub n_devices: usize,
+}
+
+impl EnduranceModel {
+    /// The paper's 16-SmartSSD array: 7.008 PBW each (§6.6).
+    pub fn smartssd_array(n_devices: usize) -> Self {
+        EnduranceModel { page_bytes: 4096, endurance_bytes_per_device: 7.008e15, n_devices }
+    }
+
+    /// Total endurance budget in bytes.
+    pub fn total_endurance_bytes(&self) -> f64 {
+        self.endurance_bytes_per_device * self.n_devices as f64
+    }
+
+    /// NAND bytes for a token stream of `tokens` written in per-head
+    /// chunks of `chunk_tokens` entries of `entry_bytes` each (the final
+    /// partial chunk rounds up to pages).
+    fn chunked_stream_bytes(&self, tokens: u64, chunk_tokens: u64, entry_bytes: u64) -> f64 {
+        let full_chunks = tokens / chunk_tokens;
+        let rem = tokens % chunk_tokens;
+        let chunk_payload = chunk_tokens * entry_bytes;
+        let chunk_pages = chunk_payload.div_ceil(self.page_bytes);
+        let mut bytes = full_chunks as f64 * (chunk_pages * self.page_bytes) as f64;
+        if rem > 0 {
+            let rem_pages = (rem * entry_bytes).div_ceil(self.page_bytes);
+            bytes += (rem_pages * self.page_bytes) as f64;
+        }
+        bytes
+    }
+
+    /// NAND bytes one request writes under HILOS with X-cache ratio
+    /// `alpha` and spill interval `c`. Prefill writes are bulk and
+    /// page-aligned; decode writes stream through the spill buffer.
+    pub fn hilos_request_bytes(
+        &self,
+        model: &ModelConfig,
+        class: RequestClass,
+        alpha: f64,
+        spill_interval: u32,
+    ) -> f64 {
+        let kv_entry = 2 * model.head_dim() as u64 * FP16_BYTES; // K+V per head
+        let x_entry = model.hidden() as u64 * FP16_BYTES; // X per layer
+        let kv_streams = (model.kv_heads() * model.layers()) as f64;
+        let x_streams = model.layers() as f64;
+
+        // Prefill: one bulk row-wise write per stream.
+        let pf = class.input_tokens();
+        let prefill_kv = kv_streams
+            * ((pf * kv_entry).div_ceil(self.page_bytes) * self.page_bytes) as f64;
+        let prefill_x = x_streams
+            * ((pf * x_entry).div_ceil(self.page_bytes) * self.page_bytes) as f64;
+
+        // Decode: chunked spills of c tokens.
+        let out = class.output_tokens();
+        let decode_kv = kv_streams
+            * self.chunked_stream_bytes(out, spill_interval as u64, kv_entry);
+        let decode_x =
+            x_streams * self.chunked_stream_bytes(out, spill_interval as u64, x_entry);
+
+        (1.0 - alpha) * (prefill_kv + decode_kv) + alpha * (prefill_x + decode_x)
+    }
+
+    /// NAND bytes one request writes under the FlexGen-style baseline:
+    /// full KV, prefill bulk plus per-step layer-coalesced decode writes
+    /// (the whole batch's new entries for a layer written contiguously).
+    pub fn flexgen_request_bytes(&self, model: &ModelConfig, class: RequestClass, batch: u32) -> f64 {
+        let kv_entry = 2 * model.head_dim() as u64 * FP16_BYTES;
+        let kv_streams = (model.kv_heads() * model.layers()) as f64;
+        let pf = class.input_tokens();
+        let prefill = kv_streams
+            * ((pf * kv_entry).div_ceil(self.page_bytes) * self.page_bytes) as f64;
+        // Per step, per layer: batch x kv_dim entries written together,
+        // rounded to pages and amortized per request.
+        let layer_step_payload = batch as u64 * 2 * model.kv_dim() as u64 * FP16_BYTES;
+        let layer_step_nand =
+            layer_step_payload.div_ceil(self.page_bytes) * self.page_bytes;
+        let decode = class.output_tokens() as f64 * model.layers() as f64
+            * layer_step_nand as f64
+            / batch as f64;
+        prefill + decode
+    }
+
+    /// Serviceable requests (the Fig. 16b bars) given per-request bytes.
+    pub fn serviceable_requests(&self, bytes_per_request: f64) -> f64 {
+        self.total_endurance_bytes() / bytes_per_request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilos_llm::presets;
+
+    #[test]
+    fn long_requests_on_175b_exceed_four_million() {
+        // §6.6: "even for long requests with the 175B model, our system
+        // supports over 4.08 million requests" on 16 SmartSSDs.
+        let e = EnduranceModel::smartssd_array(16);
+        let bytes = e.hilos_request_bytes(&presets::opt_175b(), RequestClass::Long, 0.5, 16);
+        let requests = e.serviceable_requests(bytes) / 1e6;
+        assert!((3.0..6.0).contains(&requests), "requests {requests}M");
+    }
+
+    #[test]
+    fn hilos_beats_flexgen_endurance() {
+        // Fig 16b: 1.34x-1.47x more serviceable requests.
+        let e = EnduranceModel::smartssd_array(16);
+        let m = presets::opt_66b();
+        for class in RequestClass::all() {
+            let hilos = e.hilos_request_bytes(&m, class, 0.5, 16);
+            let flex = e.flexgen_request_bytes(&m, class, 16);
+            let gain = flex / hilos;
+            assert!((1.15..1.9).contains(&gain), "{class}: gain {gain}");
+        }
+    }
+
+    #[test]
+    fn xcache_reduces_writes_by_about_alpha_over_two() {
+        // §6.6: an X-cache rate of α lowers storage writes by ~α/2.
+        let e = EnduranceModel::smartssd_array(16);
+        let m = presets::opt_66b();
+        let with = e.hilos_request_bytes(&m, RequestClass::Medium, 0.5, 16);
+        let without = e.hilos_request_bytes(&m, RequestClass::Medium, 0.0, 16);
+        let reduction = 1.0 - with / without;
+        assert!((0.18..0.32).contains(&reduction), "reduction {reduction}");
+    }
+
+    #[test]
+    fn larger_spill_interval_never_hurts() {
+        let e = EnduranceModel::smartssd_array(16);
+        let m = presets::opt_30b();
+        for class in RequestClass::all() {
+            let c16 = e.hilos_request_bytes(&m, class, 0.5, 16);
+            let c32 = e.hilos_request_bytes(&m, class, 0.5, 32);
+            assert!(c32 <= c16 * 1.001, "{class}: c32 {c32} vs c16 {c16}");
+        }
+    }
+
+    #[test]
+    fn shorter_requests_serve_more() {
+        let e = EnduranceModel::smartssd_array(16);
+        let m = presets::opt_66b();
+        let short =
+            e.serviceable_requests(e.hilos_request_bytes(&m, RequestClass::Short, 0.5, 16));
+        let long =
+            e.serviceable_requests(e.hilos_request_bytes(&m, RequestClass::Long, 0.5, 16));
+        assert!(short > 5.0 * long);
+    }
+
+    #[test]
+    fn bigger_models_wear_faster() {
+        let e = EnduranceModel::smartssd_array(16);
+        let small =
+            e.hilos_request_bytes(&presets::opt_30b(), RequestClass::Medium, 0.5, 16);
+        let large =
+            e.hilos_request_bytes(&presets::opt_175b(), RequestClass::Medium, 0.5, 16);
+        assert!(large > 2.0 * small);
+    }
+}

@@ -1,0 +1,113 @@
+//! Energy model (Fig. 17a): per-component idle/active power integrated
+//! over simulated activity.
+//!
+//! The paper measures GPU power with NVML, CPU/DRAM with RAPL and the
+//! SmartSSD power from the chassis BMC; we integrate the same component
+//! set over the utilizations the simulator reports.
+
+use hilos_platform::SystemSpec;
+
+/// Activity levels of one decoding step, in `[0, 1]` per component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivitySnapshot {
+    /// Seconds the snapshot covers.
+    pub seconds: f64,
+    /// GPU utilization.
+    pub gpu: f64,
+    /// CPU utilization.
+    pub cpu: f64,
+    /// Host DRAM utilization.
+    pub dram: f64,
+    /// Storage-device utilization (average across devices).
+    pub ssd: f64,
+}
+
+/// Energy in joules, broken down by component (the Fig. 17a stack).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// CPU package energy.
+    pub cpu_j: f64,
+    /// Host DRAM energy.
+    pub dram_j: f64,
+    /// GPU energy.
+    pub gpu_j: f64,
+    /// Storage (SSD or SmartSSD incl. FPGA) energy.
+    pub ssd_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.cpu_j + self.dram_j + self.gpu_j + self.ssd_j
+    }
+}
+
+/// Computes the energy of an activity window on a system.
+pub fn energy(spec: &SystemSpec, activity: &ActivitySnapshot) -> EnergyBreakdown {
+    let t = activity.seconds;
+    let n_ssd = spec.storage.device_count() as f64;
+    EnergyBreakdown {
+        cpu_j: spec.host.cpu_power.at_utilization(activity.cpu) * t,
+        dram_j: spec.host.dram_power.at_utilization(activity.dram) * t,
+        gpu_j: spec.gpu.power.at_utilization(activity.gpu) * t,
+        ssd_j: spec.storage_price_power.power.at_utilization(activity.ssd) * t * n_ssd,
+    }
+}
+
+/// Energy per generated token: energy of one step divided by the batch.
+pub fn joules_per_token(spec: &SystemSpec, activity: &ActivitySnapshot, batch: u32) -> f64 {
+    energy(spec, activity).total() / batch as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle(seconds: f64) -> ActivitySnapshot {
+        ActivitySnapshot { seconds, gpu: 0.0, cpu: 0.0, dram: 0.0, ssd: 0.0 }
+    }
+
+    #[test]
+    fn idle_energy_is_idle_power_times_time() {
+        let spec = SystemSpec::a100_pm9a3(4);
+        let e = energy(&spec, &idle(10.0));
+        let expect = (spec.host.cpu_power.idle_w
+            + spec.host.dram_power.idle_w
+            + spec.gpu.power.idle_w
+            + 4.0 * spec.storage_price_power.power.idle_w)
+            * 10.0;
+        assert!((e.total() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_increases_energy() {
+        let spec = SystemSpec::a100_smartssd(16);
+        let busy = ActivitySnapshot { seconds: 5.0, gpu: 0.8, cpu: 0.5, dram: 0.6, ssd: 0.9 };
+        assert!(energy(&spec, &busy).total() > energy(&spec, &idle(5.0)).total());
+    }
+
+    #[test]
+    fn smartssd_array_draws_more_than_plain_ssds() {
+        // §6.6: "HILOS's SmartSSDs consume more power than conventional
+        // SSDs" — but runtime, not power, decides the energy outcome.
+        let hilos = SystemSpec::a100_smartssd(16);
+        let flex = SystemSpec::a100_pm9a3(4);
+        let act = ActivitySnapshot { seconds: 1.0, gpu: 0.2, cpu: 0.2, dram: 0.3, ssd: 0.9 };
+        let e_h = energy(&hilos, &act);
+        let e_f = energy(&flex, &act);
+        assert!(e_h.ssd_j > e_f.ssd_j);
+    }
+
+    #[test]
+    fn faster_run_wins_despite_higher_power() {
+        // The Fig 17a mechanism: a 5x faster step at higher device power
+        // still uses far less energy per token.
+        let hilos = SystemSpec::a100_smartssd(16);
+        let flex = SystemSpec::a100_pm9a3(4);
+        let fast = ActivitySnapshot { seconds: 2.0, gpu: 0.3, cpu: 0.1, dram: 0.2, ssd: 0.9 };
+        let slow = ActivitySnapshot { seconds: 10.0, gpu: 0.1, cpu: 0.4, dram: 0.7, ssd: 0.8 };
+        let per_tok_hilos = joules_per_token(&hilos, &fast, 16);
+        let per_tok_flex = joules_per_token(&flex, &slow, 16);
+        assert!(per_tok_hilos < per_tok_flex * 0.5);
+    }
+}

@@ -1,0 +1,23 @@
+//! # hilos-metrics — energy, cost and endurance models
+//!
+//! The derived analyses of the paper's evaluation:
+//!
+//! * [`energy`] / [`EnergyBreakdown`] — per-component energy integration
+//!   (Fig. 17a),
+//! * [`tokens_per_second_per_dollar`] — cost efficiency (Fig. 16a),
+//! * [`EnduranceModel`] — PBW-budget endurance and serviceable requests
+//!   (Fig. 16b),
+//! * [`Table`] — plain-text table rendering used by the `repro` harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod endurance;
+mod energy;
+mod report;
+
+pub use cost::{normalized_cost_efficiency, tokens_per_second_per_dollar};
+pub use endurance::EnduranceModel;
+pub use energy::{energy, joules_per_token, ActivitySnapshot, EnergyBreakdown};
+pub use report::{fmt_bytes, fmt_ratio, Table};

@@ -1,0 +1,144 @@
+//! Plain-text table rendering for the reproduction harness.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use hilos_metrics::Table;
+///
+/// let mut t = Table::new(vec!["system", "tok/s"]);
+/// t.row(vec!["FLEX(SSD)".into(), "0.12".into()]);
+/// t.row(vec!["HILOS".into(), "0.94".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("HILOS"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// extend the header width with blanks.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        fn cell(row: &[String], i: usize) -> &str {
+            row.get(i).map(String::as_str).unwrap_or("")
+        }
+        for (i, w) in widths.iter_mut().enumerate() {
+            *w = std::iter::once(cell(&self.headers, i).len())
+                .chain(self.rows.iter().map(|r| cell(r, i).len()))
+                .max()
+                .unwrap_or(0);
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:<w$}", cell(row, i), w = w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a byte count with a binary-ish SI suffix.
+pub fn fmt_bytes(bytes: f64) -> String {
+    let abs = bytes.abs();
+    if abs >= 1e12 {
+        format!("{:.2}TB", bytes / 1e12)
+    } else if abs >= 1e9 {
+        format!("{:.2}GB", bytes / 1e9)
+    } else if abs >= 1e6 {
+        format!("{:.2}MB", bytes / 1e6)
+    } else if abs >= 1e3 {
+        format!("{:.2}KB", bytes / 1e3)
+    } else {
+        format!("{bytes:.0}B")
+    }
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "2".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows equal width up to trailing spaces.
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].starts_with("xxxxxx"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_tolerated() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "extra".into()]);
+        t.row(vec![]);
+        let s = t.to_string();
+        assert!(s.contains("extra"));
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(1.5e12), "1.50TB");
+        assert_eq!(fmt_bytes(2.0e9), "2.00GB");
+        assert_eq!(fmt_bytes(3.1e6), "3.10MB");
+        assert_eq!(fmt_bytes(1024.0), "1.02KB");
+        assert_eq!(fmt_bytes(12.0), "12B");
+        assert_eq!(fmt_ratio(7.856), "7.86x");
+    }
+}

@@ -1,0 +1,586 @@
+//! The flow engine: max-min fair sharing of resources among concurrent jobs.
+//!
+//! Every active job demands a fixed amount of work (bytes, FLOPs) across a
+//! *route* of resources it occupies simultaneously. At any instant each job
+//! receives a rate determined by **max-min fairness with rate caps**
+//! (progressive filling): rates grow uniformly until a resource saturates or
+//! a job hits its cap, those jobs freeze, and filling continues among the
+//! rest. Rates are recomputed whenever the set of active jobs changes, which
+//! makes this the classical *flow-level* network simulation — exact for
+//! bandwidth-shared links and a good first-order model for memory ports,
+//! storage channels and compute engines.
+
+use crate::error::SimError;
+use crate::resource::{ResourceId, ResourceSpec, ResourceStats};
+use crate::time::SimTime;
+
+/// Identifier of an in-flight job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId {
+    slot: u32,
+    seq: u64,
+}
+
+impl JobId {
+    /// Monotonic sequence number (unique across the engine's lifetime).
+    pub fn sequence(self) -> u64 {
+        self.seq
+    }
+}
+
+#[derive(Debug, Clone)]
+struct JobState {
+    seq: u64,
+    demand: f64,
+    remaining: f64,
+    route: Vec<ResourceId>,
+    rate_cap: Option<f64>,
+    rate: f64,
+}
+
+#[derive(Debug, Clone)]
+struct ResourceState {
+    spec: ResourceSpec,
+    stats: ResourceStats,
+}
+
+/// A job that finished during [`FlowEngine::advance_to`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// The job that completed.
+    pub job: JobId,
+    /// The instant at which it completed (the time advanced to).
+    pub at: SimTime,
+}
+
+/// Deterministic flow-level simulation engine.
+///
+/// # Examples
+///
+/// Two equal transfers sharing one link take twice as long as one:
+///
+/// ```
+/// use hilos_sim::{FlowEngine, ResourceKind, ResourceSpec, SimTime};
+///
+/// let mut eng = FlowEngine::new();
+/// let link = eng.add_resource(ResourceSpec::new("link", ResourceKind::Link, 1e9));
+/// eng.submit(&[link], 1e9, None).unwrap();
+/// eng.submit(&[link], 1e9, None).unwrap();
+/// let end = eng.run_to_idle().unwrap();
+/// assert_eq!(end, SimTime::from_secs(2));
+/// ```
+#[derive(Debug, Default)]
+pub struct FlowEngine {
+    resources: Vec<ResourceState>,
+    jobs: Vec<Option<JobState>>,
+    free_slots: Vec<u32>,
+    next_seq: u64,
+    now: SimTime,
+    rates_dirty: bool,
+    active_jobs: usize,
+}
+
+impl FlowEngine {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        FlowEngine::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of jobs currently in flight.
+    pub fn active_jobs(&self) -> usize {
+        self.active_jobs
+    }
+
+    /// Registers a resource and returns its id.
+    pub fn add_resource(&mut self, spec: ResourceSpec) -> ResourceId {
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(ResourceState { spec, stats: ResourceStats::default() });
+        id
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// The static description of a resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this engine.
+    pub fn resource(&self, id: ResourceId) -> &ResourceSpec {
+        &self.resources[id.index()].spec
+    }
+
+    /// Cumulative statistics of a resource since engine creation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this engine.
+    pub fn stats(&self, id: ResourceId) -> ResourceStats {
+        self.resources[id.index()].stats
+    }
+
+    /// Snapshot of all resource statistics, indexed by resource index.
+    pub fn stats_snapshot(&self) -> Vec<ResourceStats> {
+        self.resources.iter().map(|r| r.stats).collect()
+    }
+
+    /// Submits a job demanding `amount` units across `route`.
+    ///
+    /// The job occupies every resource in `route` simultaneously; its rate
+    /// is bounded by the max-min fair share on each and by `rate_cap` if
+    /// given. Zero-amount jobs are accepted and complete at the next
+    /// [`FlowEngine::advance_to`] boundary.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyRoute`] if `route` is empty.
+    /// * [`SimError::UnknownResource`] if any id is out of range.
+    /// * [`SimError::InvalidAmount`] if `amount` is negative or non-finite,
+    ///   or `rate_cap` is non-positive or non-finite.
+    pub fn submit(
+        &mut self,
+        route: &[ResourceId],
+        amount: f64,
+        rate_cap: Option<f64>,
+    ) -> Result<JobId, SimError> {
+        if route.is_empty() {
+            return Err(SimError::EmptyRoute);
+        }
+        for r in route {
+            if r.index() >= self.resources.len() {
+                return Err(SimError::UnknownResource(r.index()));
+            }
+        }
+        if !amount.is_finite() || amount < 0.0 {
+            return Err(SimError::InvalidAmount(amount));
+        }
+        if let Some(cap) = rate_cap {
+            if !cap.is_finite() || cap <= 0.0 {
+                return Err(SimError::InvalidAmount(cap));
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let state = JobState {
+            seq,
+            demand: amount,
+            remaining: amount,
+            route: route.to_vec(),
+            rate_cap,
+            rate: 0.0,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.jobs[s as usize] = Some(state);
+                s
+            }
+            None => {
+                self.jobs.push(Some(state));
+                (self.jobs.len() - 1) as u32
+            }
+        };
+        self.active_jobs += 1;
+        self.rates_dirty = true;
+        Ok(JobId { slot, seq })
+    }
+
+    /// Recomputes max-min fair rates (progressive filling with caps).
+    fn recompute_rates(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        self.rates_dirty = false;
+
+        let n_res = self.resources.len();
+        let mut residual: Vec<f64> = self.resources.iter().map(|r| r.spec.capacity()).collect();
+        let mut load: Vec<u32> = vec![0; n_res];
+
+        // Collect indices of unfrozen jobs.
+        let mut unfrozen: Vec<u32> = Vec::with_capacity(self.active_jobs);
+        for (i, j) in self.jobs.iter().enumerate() {
+            if let Some(job) = j {
+                for r in &job.route {
+                    load[r.index()] += 1;
+                }
+                unfrozen.push(i as u32);
+            }
+        }
+
+        // Progressive filling.
+        while !unfrozen.is_empty() {
+            // Bottleneck share among resources used by unfrozen jobs.
+            let mut share = f64::INFINITY;
+            for r in 0..n_res {
+                if load[r] > 0 {
+                    let s = (residual[r] / load[r] as f64).max(0.0);
+                    if s < share {
+                        share = s;
+                    }
+                }
+            }
+            debug_assert!(share.is_finite(), "unfrozen jobs must load some resource");
+
+            // Jobs whose cap is below the share freeze at their cap first.
+            let min_cap = unfrozen
+                .iter()
+                .filter_map(|&i| self.jobs[i as usize].as_ref().unwrap().rate_cap)
+                .fold(f64::INFINITY, f64::min);
+
+            let eps = 1e-12 * (1.0 + share.abs());
+            if min_cap < share - eps {
+                // Freeze every job whose cap is (close to) the minimum cap.
+                let mut next = Vec::with_capacity(unfrozen.len());
+                for &i in &unfrozen {
+                    let job = self.jobs[i as usize].as_ref().unwrap();
+                    let frozen = match job.rate_cap {
+                        Some(c) => c <= min_cap + eps,
+                        None => false,
+                    };
+                    if frozen {
+                        let rate = job.rate_cap.unwrap();
+                        let route = job.route.clone();
+                        self.jobs[i as usize].as_mut().unwrap().rate = rate;
+                        for r in &route {
+                            residual[r.index()] = (residual[r.index()] - rate).max(0.0);
+                            load[r.index()] -= 1;
+                        }
+                    } else {
+                        next.push(i);
+                    }
+                }
+                unfrozen = next;
+            } else {
+                // Freeze jobs that cross a bottleneck resource at `share`.
+                let mut bottleneck = vec![false; n_res];
+                for r in 0..n_res {
+                    if load[r] > 0 {
+                        let s = residual[r] / load[r] as f64;
+                        if s <= share + eps {
+                            bottleneck[r] = true;
+                        }
+                    }
+                }
+                let mut next = Vec::with_capacity(unfrozen.len());
+                let mut froze_any = false;
+                for &i in &unfrozen {
+                    let job = self.jobs[i as usize].as_ref().unwrap();
+                    let hits = job.route.iter().any(|r| bottleneck[r.index()]);
+                    if hits {
+                        froze_any = true;
+                        let rate = match job.rate_cap {
+                            Some(c) => c.min(share),
+                            None => share,
+                        };
+                        let route = job.route.clone();
+                        self.jobs[i as usize].as_mut().unwrap().rate = rate;
+                        for r in &route {
+                            residual[r.index()] = (residual[r.index()] - rate).max(0.0);
+                            load[r.index()] -= 1;
+                        }
+                    } else {
+                        next.push(i);
+                    }
+                }
+                // Safety net against numerical stalls: freeze everything at
+                // the current share if no bottleneck was detected.
+                if !froze_any {
+                    for &i in &next {
+                        let job = self.jobs[i as usize].as_mut().unwrap();
+                        job.rate = match job.rate_cap {
+                            Some(c) => c.min(share),
+                            None => share,
+                        };
+                    }
+                    next.clear();
+                }
+                unfrozen = next;
+            }
+        }
+    }
+
+    /// The next instant at which some job completes, if any job is active.
+    ///
+    /// Recomputes rates if the active set changed since the last call.
+    pub fn next_completion_time(&mut self) -> Option<SimTime> {
+        if self.active_jobs == 0 {
+            return None;
+        }
+        self.recompute_rates();
+        let mut best: Option<SimTime> = None;
+        for j in self.jobs.iter().flatten() {
+            let t = if j.remaining <= self.completion_eps(j.demand) {
+                self.now
+            } else if j.rate > 0.0 {
+                self.now + SimTime::from_secs_f64_ceil(j.remaining / j.rate)
+            } else {
+                continue;
+            };
+            best = Some(match best {
+                Some(b) => b.min(t),
+                None => t,
+            });
+        }
+        best
+    }
+
+    fn completion_eps(&self, demand: f64) -> f64 {
+        1e-9 + 1e-12 * demand.abs()
+    }
+
+    /// Advances simulated time to `t`, progressing every active job at its
+    /// current fair rate, and returns the jobs that completed (in
+    /// submission order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TimeReversal`] if `t` is earlier than
+    /// [`FlowEngine::now`].
+    pub fn advance_to(&mut self, t: SimTime) -> Result<Vec<Completion>, SimError> {
+        if t < self.now {
+            return Err(SimError::TimeReversal { now: self.now, requested: t });
+        }
+        self.recompute_rates();
+        let dt = (t - self.now).as_secs_f64();
+
+        // Accumulate resource statistics for the elapsed window.
+        if dt > 0.0 {
+            let mut allocated: Vec<f64> = vec![0.0; self.resources.len()];
+            for j in self.jobs.iter().flatten() {
+                for r in &j.route {
+                    allocated[r.index()] += j.rate;
+                }
+            }
+            for (r, state) in self.resources.iter_mut().enumerate() {
+                let rate = allocated[r].min(state.spec.capacity());
+                state.stats.units_served += rate * dt;
+                state.stats.busy_seconds += (rate / state.spec.capacity()) * dt;
+                state.stats.observed_seconds += dt;
+            }
+        }
+
+        // Progress jobs and collect completions.
+        let mut done: Vec<(u64, JobId)> = Vec::new();
+        for (i, slot) in self.jobs.iter_mut().enumerate() {
+            if let Some(j) = slot {
+                if dt > 0.0 {
+                    j.remaining -= j.rate * dt;
+                }
+                let eps = 1e-9 + 1e-12 * j.demand.abs();
+                if j.remaining <= eps {
+                    done.push((j.seq, JobId { slot: i as u32, seq: j.seq }));
+                }
+            }
+        }
+        done.sort_by_key(|(seq, _)| *seq);
+        let mut completions = Vec::with_capacity(done.len());
+        for (_, id) in done {
+            self.jobs[id.slot as usize] = None;
+            self.free_slots.push(id.slot);
+            self.active_jobs -= 1;
+            self.rates_dirty = true;
+            completions.push(Completion { job: id, at: t });
+        }
+        self.now = t;
+        Ok(completions)
+    }
+
+    /// Runs until no jobs remain, returning the final time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] if active jobs exist but none can make
+    /// progress (all rates zero), which indicates an engine bug or a
+    /// zero-capacity configuration.
+    pub fn run_to_idle(&mut self) -> Result<SimTime, SimError> {
+        while self.active_jobs > 0 {
+            let t = self.next_completion_time().ok_or(SimError::Stalled)?;
+            self.advance_to(t)?;
+        }
+        Ok(self.now)
+    }
+
+    /// The current fair rate of a job, or `None` if it is not active.
+    pub fn job_rate(&mut self, id: JobId) -> Option<f64> {
+        self.recompute_rates();
+        match self.jobs.get(id.slot as usize)? {
+            Some(j) if j.seq == id.seq => Some(j.rate),
+            _ => None,
+        }
+    }
+
+    /// Remaining demand of a job, or `None` if it is not active.
+    pub fn job_remaining(&self, id: JobId) -> Option<f64> {
+        match self.jobs.get(id.slot as usize)? {
+            Some(j) if j.seq == id.seq => Some(j.remaining),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceKind;
+
+    fn link(eng: &mut FlowEngine, bw: f64) -> ResourceId {
+        eng.add_resource(ResourceSpec::new("link", ResourceKind::Link, bw))
+    }
+
+    #[test]
+    fn single_flow_exact_time() {
+        let mut eng = FlowEngine::new();
+        let l = link(&mut eng, 2e9);
+        eng.submit(&[l], 1e9, None).unwrap();
+        let end = eng.run_to_idle().unwrap();
+        assert_eq!(end, SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut eng = FlowEngine::new();
+        let l = link(&mut eng, 1e9);
+        let a = eng.submit(&[l], 1e9, None).unwrap();
+        eng.submit(&[l], 1e9, None).unwrap();
+        assert!((eng.job_rate(a).unwrap() - 0.5e9).abs() < 1.0);
+        let end = eng.run_to_idle().unwrap();
+        assert_eq!(end, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn unequal_flows_short_finishes_first_then_speedup() {
+        let mut eng = FlowEngine::new();
+        let l = link(&mut eng, 1e9);
+        eng.submit(&[l], 0.5e9, None).unwrap();
+        let b = eng.submit(&[l], 1.5e9, None).unwrap();
+        // Short flow completes at t=1s (both at 0.5 GB/s). Long flow then has
+        // 1.0e9 left at full rate -> finishes at 2s.
+        let t1 = eng.next_completion_time().unwrap();
+        assert_eq!(t1, SimTime::from_secs(1));
+        let done = eng.advance_to(t1).unwrap();
+        assert_eq!(done.len(), 1);
+        assert!((eng.job_remaining(b).unwrap() - 1.0e9).abs() < 1.0);
+        let end = eng.run_to_idle().unwrap();
+        assert_eq!(end, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn route_bottleneck_is_min_link() {
+        let mut eng = FlowEngine::new();
+        let fast = link(&mut eng, 10e9);
+        let slow = link(&mut eng, 1e9);
+        eng.submit(&[fast, slow], 2e9, None).unwrap();
+        let end = eng.run_to_idle().unwrap();
+        assert_eq!(end, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn max_min_asymmetric_three_flows() {
+        // Classic example: flows A (l1), B (l1+l2), C (l2).
+        // l1 = 1 GB/s, l2 = 2 GB/s.
+        // Fair shares: A = B = 0.5 on l1; C gets 2 - 0.5 = 1.5 on l2.
+        let mut eng = FlowEngine::new();
+        let l1 = link(&mut eng, 1e9);
+        let l2 = link(&mut eng, 2e9);
+        let a = eng.submit(&[l1], 1e18, None).unwrap();
+        let b = eng.submit(&[l1, l2], 1e18, None).unwrap();
+        let c = eng.submit(&[l2], 1e18, None).unwrap();
+        assert!((eng.job_rate(a).unwrap() - 0.5e9).abs() < 1.0);
+        assert!((eng.job_rate(b).unwrap() - 0.5e9).abs() < 1.0);
+        assert!((eng.job_rate(c).unwrap() - 1.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_cap_respected_and_redistributed() {
+        let mut eng = FlowEngine::new();
+        let l = link(&mut eng, 3e9);
+        let a = eng.submit(&[l], 1e18, Some(0.5e9)).unwrap();
+        let b = eng.submit(&[l], 1e18, None).unwrap();
+        assert!((eng.job_rate(a).unwrap() - 0.5e9).abs() < 1.0);
+        // B picks up the slack: 3 - 0.5 = 2.5 GB/s.
+        assert!((eng.job_rate(b).unwrap() - 2.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_amount_job_completes_immediately() {
+        let mut eng = FlowEngine::new();
+        let l = link(&mut eng, 1e9);
+        eng.submit(&[l], 0.0, None).unwrap();
+        let end = eng.run_to_idle().unwrap();
+        assert_eq!(end, SimTime::ZERO);
+    }
+
+    #[test]
+    fn submit_validation() {
+        let mut eng = FlowEngine::new();
+        let l = link(&mut eng, 1e9);
+        assert!(matches!(eng.submit(&[], 1.0, None), Err(SimError::EmptyRoute)));
+        assert!(matches!(
+            eng.submit(&[ResourceId(9)], 1.0, None),
+            Err(SimError::UnknownResource(9))
+        ));
+        assert!(matches!(eng.submit(&[l], -1.0, None), Err(SimError::InvalidAmount(_))));
+        assert!(matches!(eng.submit(&[l], 1.0, Some(0.0)), Err(SimError::InvalidAmount(_))));
+        assert!(matches!(eng.submit(&[l], f64::NAN, None), Err(SimError::InvalidAmount(_))));
+    }
+
+    #[test]
+    fn time_reversal_rejected() {
+        let mut eng = FlowEngine::new();
+        let l = link(&mut eng, 1e9);
+        eng.submit(&[l], 1e9, None).unwrap();
+        eng.run_to_idle().unwrap();
+        assert!(matches!(
+            eng.advance_to(SimTime::ZERO),
+            Err(SimError::TimeReversal { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_accumulate_served_units_and_busy_time() {
+        let mut eng = FlowEngine::new();
+        let l = link(&mut eng, 2e9);
+        eng.submit(&[l], 1e9, None).unwrap();
+        eng.run_to_idle().unwrap();
+        // Idle second afterwards.
+        let idle_until = eng.now() + SimTime::from_millis(500);
+        eng.advance_to(idle_until).unwrap();
+        let s = eng.stats(l);
+        assert!((s.units_served - 1e9).abs() < 1e3);
+        assert!((s.busy_seconds - 0.5).abs() < 1e-9);
+        assert!((s.observed_seconds - 1.0).abs() < 1e-9);
+        assert!((s.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slots_are_reused_but_ids_stay_unique() {
+        let mut eng = FlowEngine::new();
+        let l = link(&mut eng, 1e9);
+        let a = eng.submit(&[l], 1.0, None).unwrap();
+        eng.run_to_idle().unwrap();
+        let b = eng.submit(&[l], 1.0, None).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(eng.job_remaining(a), None);
+        assert!(eng.job_remaining(b).is_some());
+    }
+
+    #[test]
+    fn many_flows_work_conservation() {
+        let mut eng = FlowEngine::new();
+        let l = link(&mut eng, 1e9);
+        let total: f64 = (1..=10).map(|i| i as f64 * 1e8).sum();
+        for i in 1..=10 {
+            eng.submit(&[l], i as f64 * 1e8, None).unwrap();
+        }
+        let end = eng.run_to_idle().unwrap();
+        // Work conservation: single busy link serves total units at capacity.
+        assert!((end.as_secs_f64() - total / 1e9).abs() < 1e-6);
+        assert!((eng.stats(l).units_served - total).abs() < 1e3);
+    }
+}

@@ -1,0 +1,315 @@
+//! Task graphs: dependency-ordered work submitted to the flow engine.
+//!
+//! A [`TaskGraph`] is a DAG of [`Task`]s. Each task is a transfer (bytes
+//! over a route of links), a compute (FLOPs on one engine), a fixed delay
+//! (command latency, kernel launch) or a zero-cost milestone used as a
+//! synchronization point. Tasks carry a free-form label whose *prefix up to
+//! the first `':'`* is treated as a category for breakdown reporting
+//! (e.g. `"loadw:layer3"` → category `loadw`).
+//!
+//! Tasks marked **background** (e.g. the delayed KV-cache spills of §4.3 of
+//! the paper) contend for resources like any other task but are excluded
+//! from the foreground makespan.
+
+use crate::resource::ResourceId;
+use crate::time::SimTime;
+use std::fmt;
+
+/// Identifier of a task inside one [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// Index of the task inside its graph.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The work a task performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskKind {
+    /// Move `bytes` across every resource in `route` simultaneously.
+    Transfer {
+        /// Payload size in bytes.
+        bytes: f64,
+        /// Resources crossed (links, memory ports, storage channels).
+        route: Vec<ResourceId>,
+        /// Optional per-task rate cap in bytes/s.
+        rate_cap: Option<f64>,
+    },
+    /// Execute `ops` units of work on a single compute resource.
+    Compute {
+        /// Work amount (FLOPs or device-specific ops).
+        ops: f64,
+        /// The compute resource.
+        resource: ResourceId,
+    },
+    /// Wait for a fixed duration (latency not tied to bandwidth).
+    Delay {
+        /// How long to wait.
+        duration: SimTime,
+    },
+    /// Zero-cost synchronization point.
+    Milestone,
+}
+
+/// One node of a [`TaskGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    label: String,
+    kind: TaskKind,
+    deps: Vec<TaskId>,
+    background: bool,
+}
+
+impl Task {
+    /// The task's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The label's category: the prefix up to the first `':'`, or the whole
+    /// label if it contains none.
+    pub fn category(&self) -> &str {
+        match self.label.split_once(':') {
+            Some((head, _)) => head,
+            None => &self.label,
+        }
+    }
+
+    /// The work this task performs.
+    pub fn kind(&self) -> &TaskKind {
+        &self.kind
+    }
+
+    /// Tasks that must complete before this one starts.
+    pub fn deps(&self) -> &[TaskId] {
+        &self.deps
+    }
+
+    /// Whether the task is excluded from the foreground makespan.
+    pub fn is_background(&self) -> bool {
+        self.background
+    }
+}
+
+/// A DAG of tasks to execute on a [`crate::FlowEngine`].
+///
+/// # Examples
+///
+/// ```
+/// use hilos_sim::{FlowEngine, ResourceKind, ResourceSpec, TaskGraph};
+///
+/// let mut eng = FlowEngine::new();
+/// let link = eng.add_resource(ResourceSpec::new("link", ResourceKind::Link, 1e9));
+/// let gpu = eng.add_resource(ResourceSpec::new("gpu", ResourceKind::Compute, 1e12));
+///
+/// let mut g = TaskGraph::new();
+/// let load = g.transfer("loadw:l0", 1e9, vec![link], &[]);
+/// let mm = g.compute("gemm:l0", 2e12, gpu, &[load]);
+/// assert_eq!(g.len(), 2);
+/// assert_eq!(g.task(mm).deps(), &[load]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Number of tasks in the graph.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the graph holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Returns the task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this graph.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Iterates over `(TaskId, &Task)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i as u32), t))
+    }
+
+    fn push(&mut self, label: impl Into<String>, kind: TaskKind, deps: &[TaskId]) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task {
+            label: label.into(),
+            kind,
+            deps: deps.to_vec(),
+            background: false,
+        });
+        id
+    }
+
+    /// Adds a transfer task.
+    pub fn transfer(
+        &mut self,
+        label: impl Into<String>,
+        bytes: f64,
+        route: Vec<ResourceId>,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.push(label, TaskKind::Transfer { bytes, route, rate_cap: None }, deps)
+    }
+
+    /// Adds a transfer task with a per-task rate cap in bytes/s.
+    pub fn transfer_capped(
+        &mut self,
+        label: impl Into<String>,
+        bytes: f64,
+        route: Vec<ResourceId>,
+        rate_cap: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.push(label, TaskKind::Transfer { bytes, route, rate_cap: Some(rate_cap) }, deps)
+    }
+
+    /// Adds a compute task.
+    pub fn compute(
+        &mut self,
+        label: impl Into<String>,
+        ops: f64,
+        resource: ResourceId,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.push(label, TaskKind::Compute { ops, resource }, deps)
+    }
+
+    /// Adds a fixed-latency task.
+    pub fn delay(
+        &mut self,
+        label: impl Into<String>,
+        duration: SimTime,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.push(label, TaskKind::Delay { duration }, deps)
+    }
+
+    /// Adds a zero-cost synchronization milestone.
+    pub fn milestone(&mut self, label: impl Into<String>, deps: &[TaskId]) -> TaskId {
+        self.push(label, TaskKind::Milestone, deps)
+    }
+
+    /// Marks a task as background: it still contends for resources but does
+    /// not extend the foreground makespan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_background(&mut self, id: TaskId) {
+        self.tasks[id.index()].background = true;
+    }
+
+    /// Adds extra dependencies to an existing task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or any dependency is out of range.
+    pub fn add_deps(&mut self, id: TaskId, deps: &[TaskId]) {
+        for d in deps {
+            assert!(d.index() < self.tasks.len(), "dependency {d} out of range");
+        }
+        self.tasks[id.index()].deps.extend_from_slice(deps);
+    }
+
+    /// Total bytes across all transfer tasks (useful for traffic analyses).
+    pub fn total_transfer_bytes(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| match &t.kind {
+                TaskKind::Transfer { bytes, .. } => *bytes,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Bytes transferred across tasks whose route includes `resource`.
+    pub fn transfer_bytes_through(&self, resource: ResourceId) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| match &t.kind {
+                TaskKind::Transfer { bytes, route, .. } if route.contains(&resource) => *bytes,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_splits_on_colon() {
+        let mut g = TaskGraph::new();
+        let a = g.milestone("loadkv:layer0:head3", &[]);
+        let b = g.milestone("plain", &[]);
+        assert_eq!(g.task(a).category(), "loadkv");
+        assert_eq!(g.task(b).category(), "plain");
+    }
+
+    #[test]
+    fn builder_wires_dependencies() {
+        let mut g = TaskGraph::new();
+        let a = g.delay("a", SimTime::from_nanos(1), &[]);
+        let b = g.milestone("b", &[a]);
+        let c = g.milestone("c", &[a, b]);
+        assert_eq!(g.task(c).deps(), &[a, b]);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn background_flag() {
+        let mut g = TaskGraph::new();
+        let a = g.milestone("spill", &[]);
+        assert!(!g.task(a).is_background());
+        g.set_background(a);
+        assert!(g.task(a).is_background());
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let mut g = TaskGraph::new();
+        let r0 = ResourceId(0);
+        let r1 = ResourceId(1);
+        g.transfer("x", 100.0, vec![r0], &[]);
+        g.transfer("y", 50.0, vec![r0, r1], &[]);
+        g.compute("z", 1e9, r1, &[]);
+        assert_eq!(g.total_transfer_bytes(), 150.0);
+        assert_eq!(g.transfer_bytes_through(r0), 150.0);
+        assert_eq!(g.transfer_bytes_through(r1), 50.0);
+    }
+
+    #[test]
+    fn add_deps_appends() {
+        let mut g = TaskGraph::new();
+        let a = g.milestone("a", &[]);
+        let b = g.milestone("b", &[]);
+        let c = g.milestone("c", &[a]);
+        g.add_deps(c, &[b]);
+        assert_eq!(g.task(c).deps(), &[a, b]);
+    }
+}

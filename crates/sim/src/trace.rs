@@ -1,0 +1,200 @@
+//! Execution traces: turn a [`Timeline`](crate::Timeline) into a textual
+//! Gantt chart for debugging schedules — which transfers overlap, where
+//! the pipeline bubbles are, what gates the critical path.
+
+use crate::executor::Timeline;
+use crate::task::{TaskGraph, TaskId};
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// One rendered lane of a Gantt chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanttLane {
+    /// Task label.
+    pub label: String,
+    /// Start of the span.
+    pub start: SimTime,
+    /// End of the span.
+    pub end: SimTime,
+    /// The rendered bar.
+    pub bar: String,
+}
+
+/// Renders the executed tasks of `graph` as a fixed-width text Gantt
+/// chart with `width` columns spanning the timeline's duration.
+///
+/// Tasks are sorted by start time; milestones (zero-length) render as a
+/// single `|`. Background tasks are marked with `~` bars instead of `#`.
+///
+/// # Examples
+///
+/// ```
+/// use hilos_sim::{execute, gantt, FlowEngine, ResourceKind, ResourceSpec, TaskGraph};
+///
+/// let mut eng = FlowEngine::new();
+/// let link = eng.add_resource(ResourceSpec::new("link", ResourceKind::Link, 1e9));
+/// let mut g = TaskGraph::new();
+/// let a = g.transfer("load", 1e9, vec![link], &[]);
+/// g.transfer("load2", 1e9, vec![link], &[a]);
+/// let tl = execute(&mut eng, &g).unwrap();
+/// let chart = gantt(&g, &tl, 40);
+/// assert!(chart.contains("load"));
+/// ```
+pub fn gantt(graph: &TaskGraph, timeline: &Timeline, width: usize) -> String {
+    let width = width.max(10);
+    let t0 = timeline.started_at();
+    let t1 = timeline.finished_at();
+    let total = (t1 - t0).as_secs_f64().max(1e-12);
+
+    let mut lanes: Vec<(TaskId, GanttLane)> = Vec::new();
+    for (id, task) in graph.iter() {
+        let Some(span) = timeline.span(id) else { continue };
+        let s = ((span.start - t0).as_secs_f64() / total * width as f64).floor() as usize;
+        let e = ((span.end - t0).as_secs_f64() / total * width as f64).ceil() as usize;
+        let s = s.min(width.saturating_sub(1));
+        let e = e.clamp(s + 1, width).max(s + 1);
+        let mut bar = " ".repeat(width);
+        let fill = if span.start == span.end {
+            "|"
+        } else if task.is_background() {
+            "~"
+        } else {
+            "#"
+        };
+        bar.replace_range(char_range(&bar, s, e), &fill.repeat(e - s));
+        lanes.push((
+            id,
+            GanttLane { label: task.label().to_string(), start: span.start, end: span.end, bar },
+        ));
+    }
+    lanes.sort_by_key(|(id, l)| (l.start, *id));
+
+    let label_w = lanes.iter().map(|(_, l)| l.label.len()).max().unwrap_or(4).min(32);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<label_w$}  0{}{}", "task", " ".repeat(width.saturating_sub(2)), t1 - t0);
+    for (_, lane) in &lanes {
+        let mut label = lane.label.clone();
+        label.truncate(label_w);
+        let _ = writeln!(out, "{label:<label_w$}  {}", lane.bar);
+    }
+    out
+}
+
+fn char_range(s: &str, start: usize, end: usize) -> std::ops::Range<usize> {
+    // All-ASCII bars: byte indices equal char indices.
+    debug_assert!(s.is_ascii());
+    start..end.min(s.len())
+}
+
+/// Returns the tasks on the foreground critical path: walking back from
+/// the last-finishing foreground task through the dependency that
+/// finished last.
+pub fn critical_path(graph: &TaskGraph, timeline: &Timeline) -> Vec<TaskId> {
+    // Find the foreground task that ends last.
+    let mut cur: Option<TaskId> = None;
+    let mut best_end = SimTime::ZERO;
+    for (id, task) in graph.iter() {
+        if task.is_background() {
+            continue;
+        }
+        if let Some(span) = timeline.span(id) {
+            // Ties go to the later task id: a milestone that closes the
+            // step should win over the work that fed it.
+            if cur.is_none() || span.end >= best_end {
+                best_end = span.end;
+                cur = Some(id);
+            }
+        }
+    }
+    let mut path = Vec::new();
+    while let Some(id) = cur {
+        path.push(id);
+        let deps = graph.task(id).deps();
+        cur = deps
+            .iter()
+            .copied()
+            .max_by_key(|d| timeline.span(*d).map(|s| s.end).unwrap_or(SimTime::ZERO));
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FlowEngine;
+    use crate::executor::execute;
+    use crate::resource::{ResourceKind, ResourceSpec};
+
+    fn world() -> (FlowEngine, crate::resource::ResourceId) {
+        let mut eng = FlowEngine::new();
+        let link = eng.add_resource(ResourceSpec::new("link", ResourceKind::Link, 1e9));
+        (eng, link)
+    }
+
+    #[test]
+    fn gantt_renders_sequential_bars() {
+        let (mut eng, link) = world();
+        let mut g = TaskGraph::new();
+        let a = g.transfer("first", 1e9, vec![link], &[]);
+        g.transfer("second", 1e9, vec![link], &[a]);
+        let tl = execute(&mut eng, &g).unwrap();
+        let chart = gantt(&g, &tl, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // First bar occupies the left half, second the right half.
+        let first = lines[1].split_at(8).1;
+        let second = lines[2].split_at(8).1;
+        assert!(first.trim_end().starts_with('#'));
+        assert!(second.trim_start().starts_with('#'));
+        assert!(first.find('#') < second.find('#'));
+    }
+
+    #[test]
+    fn background_tasks_render_differently() {
+        let (mut eng, link) = world();
+        let mut g = TaskGraph::new();
+        g.transfer("fg", 1e9, vec![link], &[]);
+        let bg = g.transfer("bg", 1e9, vec![link], &[]);
+        g.set_background(bg);
+        let tl = execute(&mut eng, &g).unwrap();
+        let chart = gantt(&g, &tl, 16);
+        assert!(chart.contains('#'));
+        assert!(chart.contains('~'));
+    }
+
+    #[test]
+    fn critical_path_follows_latest_dependency() {
+        let (mut eng, link) = world();
+        let mut g = TaskGraph::new();
+        let fast = g.transfer("fast", 1e8, vec![link], &[]);
+        let slow = g.transfer("slow", 2e9, vec![link], &[]);
+        let sink = g.milestone("sink", &[fast, slow]);
+        let tl = execute(&mut eng, &g).unwrap();
+        let path = critical_path(&g, &tl);
+        assert_eq!(path, vec![slow, sink]);
+    }
+
+    #[test]
+    fn critical_path_ignores_background() {
+        let (mut eng, link) = world();
+        let mut g = TaskGraph::new();
+        let fg = g.transfer("fg", 1e9, vec![link], &[]);
+        let bg = g.transfer("bg", 5e9, vec![link], &[]);
+        g.set_background(bg);
+        let tl = execute(&mut eng, &g).unwrap();
+        let path = critical_path(&g, &tl);
+        assert_eq!(path, vec![fg]);
+    }
+
+    #[test]
+    fn milestones_render_as_pipe() {
+        let (mut eng, _link) = world();
+        let mut g = TaskGraph::new();
+        g.milestone("m", &[]);
+        g.delay("d", SimTime::from_secs(1), &[]);
+        let tl = execute(&mut eng, &g).unwrap();
+        let chart = gantt(&g, &tl, 12);
+        assert!(chart.contains('|'));
+    }
+}

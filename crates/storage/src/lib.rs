@@ -1,0 +1,32 @@
+//! # hilos-storage — SSD and NAND flash model
+//!
+//! The storage substrate of the HILOS reproduction. It provides:
+//!
+//! * [`SsdSpec`] — datasheet-level device descriptions (bandwidths, page
+//!   size, command latency, endurance budget) with presets for the paper's
+//!   devices: the Samsung PM9A3 baseline SSD and the NVMe SSD inside a
+//!   SmartSSD,
+//! * [`SsdDevice`] / [`IoCounters`] — per-device accounting of host I/O and
+//!   NAND programs, including the **write amplification** of sub-page
+//!   writes that motivates the paper's delayed KV-cache writeback (§4.3),
+//! * [`Ftl`] — a small functional log-structured flash translation layer
+//!   used to validate the analytic write-amplification model,
+//! * [`Raid0`] — mdadm-style striping across devices (the baselines'
+//!   4-SSD array),
+//! * [`SsdInstance`] — the adapter that materializes a device's read/write
+//!   channels as [`hilos_sim`] resources and emits transfer tasks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod ftl;
+mod nand;
+mod raid;
+mod spec;
+
+pub use device::{IoCounters, SsdDevice, SsdInstance, WritePattern};
+pub use ftl::{Ftl, FtlConfig, FtlStats};
+pub use nand::NandGeometry;
+pub use raid::{Raid0, RaidError, StripeExtent};
+pub use spec::SsdSpec;

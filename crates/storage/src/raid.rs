@@ -1,0 +1,184 @@
+//! RAID-0 striping across devices, as the paper's baselines configure with
+//! `mdadm` (§6.1).
+
+use std::error::Error;
+use std::fmt;
+
+/// One device's share of a striped request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeExtent {
+    /// Index of the device inside the array.
+    pub device: usize,
+    /// Bytes this device serves.
+    pub bytes: u64,
+}
+
+/// Errors from RAID planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RaidError {
+    /// The array was constructed with zero devices.
+    NoDevices,
+}
+
+impl fmt::Display for RaidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaidError::NoDevices => write!(f, "RAID-0 array needs at least one device"),
+        }
+    }
+}
+
+impl Error for RaidError {}
+
+/// An mdadm-style RAID-0 array: fixed-size chunks round-robin across
+/// devices.
+///
+/// # Examples
+///
+/// ```
+/// use hilos_storage::Raid0;
+///
+/// let raid = Raid0::new(4, 512 * 1024)?;
+/// let plan = raid.plan(0, 4 * 512 * 1024);
+/// assert_eq!(plan.len(), 4);
+/// assert!(plan.iter().all(|e| e.bytes == 512 * 1024));
+/// # Ok::<(), hilos_storage::RaidError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Raid0 {
+    devices: usize,
+    chunk_bytes: u64,
+}
+
+impl Raid0 {
+    /// Creates an array of `devices` drives with the given chunk size
+    /// (mdadm's default is 512 KiB).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaidError::NoDevices`] if `devices` is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes` is zero.
+    pub fn new(devices: usize, chunk_bytes: u64) -> Result<Self, RaidError> {
+        if devices == 0 {
+            return Err(RaidError::NoDevices);
+        }
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        Ok(Raid0 { devices, chunk_bytes })
+    }
+
+    /// Number of devices in the array.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Stripe chunk size in bytes.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_bytes
+    }
+
+    /// Splits the byte range `[offset, offset+len)` into per-device byte
+    /// counts. Devices with zero bytes are omitted; extents are returned in
+    /// device order.
+    pub fn plan(&self, offset: u64, len: u64) -> Vec<StripeExtent> {
+        let mut per_device = vec![0u64; self.devices];
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let chunk_index = pos / self.chunk_bytes;
+            let device = (chunk_index % self.devices as u64) as usize;
+            let chunk_end = (chunk_index + 1) * self.chunk_bytes;
+            let take = chunk_end.min(end) - pos;
+            per_device[device] += take;
+            pos += take;
+        }
+        per_device
+            .into_iter()
+            .enumerate()
+            .filter(|(_, b)| *b > 0)
+            .map(|(device, bytes)| StripeExtent { device, bytes })
+            .collect()
+    }
+
+    /// Splits a bulk transfer as evenly as possible across all devices —
+    /// the steady-state behaviour for large sequential KV-cache I/O.
+    pub fn split_even(&self, bytes: u64) -> Vec<StripeExtent> {
+        let base = bytes / self.devices as u64;
+        let rem = bytes % self.devices as u64;
+        (0..self.devices)
+            .map(|device| StripeExtent {
+                device,
+                bytes: base + if (device as u64) < rem { 1 } else { 0 },
+            })
+            .filter(|e| e.bytes > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_devices_rejected() {
+        assert_eq!(Raid0::new(0, 512).unwrap_err(), RaidError::NoDevices);
+    }
+
+    #[test]
+    fn plan_round_robins_chunks() {
+        let raid = Raid0::new(4, 1024).unwrap();
+        // 6 KiB from offset 0: chunks 0..6 -> devices 0,1,2,3,0,1.
+        let plan = raid.plan(0, 6 * 1024);
+        assert_eq!(
+            plan,
+            vec![
+                StripeExtent { device: 0, bytes: 2048 },
+                StripeExtent { device: 1, bytes: 2048 },
+                StripeExtent { device: 2, bytes: 1024 },
+                StripeExtent { device: 3, bytes: 1024 },
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_handles_unaligned_offsets() {
+        let raid = Raid0::new(2, 1024).unwrap();
+        // 1.5 KiB starting mid-chunk at 512: 512 on dev0, 1024 on dev1.
+        let plan = raid.plan(512, 1536);
+        assert_eq!(
+            plan,
+            vec![
+                StripeExtent { device: 0, bytes: 512 },
+                StripeExtent { device: 1, bytes: 1024 },
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_conserves_bytes() {
+        let raid = Raid0::new(3, 4096).unwrap();
+        for (off, len) in [(0u64, 100_000u64), (123, 77_777), (8191, 1)] {
+            let total: u64 = raid.plan(off, len).iter().map(|e| e.bytes).sum();
+            assert_eq!(total, len);
+        }
+    }
+
+    #[test]
+    fn split_even_balances() {
+        let raid = Raid0::new(4, 512).unwrap();
+        let plan = raid.split_even(10);
+        let bytes: Vec<u64> = plan.iter().map(|e| e.bytes).collect();
+        assert_eq!(bytes, vec![3, 3, 2, 2]);
+        assert_eq!(bytes.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn split_even_drops_empty_devices() {
+        let raid = Raid0::new(8, 512).unwrap();
+        let plan = raid.split_even(3);
+        assert_eq!(plan.len(), 3);
+    }
+}

@@ -1,0 +1,62 @@
+//! Accelerator design-space exploration (§4.4, §7.2): sweep the query
+//! group size on the KU15P resource budget and ask the paper's PCIe 5.0
+//! what-if question.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_design
+//! ```
+
+use hilos::accel::{AccelTimingModel, ResourceModel};
+use hilos::metrics::Table;
+use hilos::storage::SsdSpec;
+
+fn main() {
+    let model = ResourceModel::smartssd();
+    println!("KU15P design space (clock {:.2} MHz):\n", 296.05);
+
+    let mut table = Table::new(vec![
+        "d_group", "LUT%", "DSP%", "BRAM%", "power W", "GFLOPS", "KV GB/s", "fits?",
+    ]);
+    for d in 1..=model.max_d_group() + 1 {
+        match model.report(d) {
+            Ok(r) => {
+                let t = AccelTimingModel::smartssd(d);
+                table.row(vec![
+                    d.to_string(),
+                    format!("{:.1}", r.utilization[0] * 100.0),
+                    format!("{:.1}", r.utilization[4] * 100.0),
+                    format!("{:.1}", r.utilization[2] * 100.0),
+                    format!("{:.2}", r.power_watts),
+                    format!("{:.1}", t.sustained_gflops(128)),
+                    format!("{:.1}", t.kv_bytes_per_sec(128) / 1e9),
+                    "yes".into(),
+                ]);
+            }
+            Err(e) => {
+                table.row(vec![d.to_string(), e.to_string()]);
+            }
+        }
+    }
+    println!("{table}");
+
+    // §7.2: a PCIe 5.0 SSD would feed ~4x faster. Does the kernel keep up?
+    let gen5_feed = 4.0 * SsdSpec::smartssd_nvme().seq_read_bw();
+    println!("\nPCIe 5.0 what-if (Section 7.2): feed = {:.1} GB/s", gen5_feed / 1e9);
+    for d in [1u32, 5] {
+        let kernel = AccelTimingModel::smartssd(d).kv_bytes_per_sec(128);
+        let verdict = if kernel >= gen5_feed { "keeps up" } else { "falls behind" };
+        println!(
+            "  d_group={d}: kernel drains {:.1} GB/s -> {verdict} (needs ~4x DSP scaling, \
+             exceeding the SmartSSD budget, as the paper argues)",
+            kernel / 1e9
+        );
+    }
+
+    // A beefier off-chip memory (the §7.1 ISP LPDDR5X) lifts the ceiling.
+    let mut isp = AccelTimingModel::smartssd(1);
+    isp.dram_bw = 68e9;
+    println!(
+        "\nISP-class LPDDR5X (68 GB/s): d_group=1 kernel drains {:.1} GB/s",
+        isp.kv_bytes_per_sec(128) / 1e9
+    );
+}

@@ -1,0 +1,84 @@
+//! Book-length summarization (the paper's motivating offline workload,
+//! §1): a batch of 128K-token documents pushed through OPT-175B, compared
+//! across FLEX(SSD), FLEX(DRAM) and HILOS — with cost and energy.
+//!
+//! ```sh
+//! cargo run --release --example book_summarization
+//! ```
+
+use hilos::baselines::{FlexGenSystem, KvLocation};
+use hilos::core::{HilosConfig, HilosSystem};
+use hilos::llm::presets;
+use hilos::metrics::{energy, tokens_per_second_per_dollar, ActivitySnapshot, Table};
+use hilos::platform::SystemSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = presets::opt_175b();
+    let (batch, ctx, out_len) = (16u32, 128 * 1024u64, 350u64);
+    println!("Workload: {batch} documents x {}K tokens -> {out_len}-token summaries", ctx / 1024);
+    println!("Model: {model}\n");
+
+    let mut table = Table::new(vec![
+        "system", "status", "decode tok/s", "batch job (h)", "tok/s/$", "J/token",
+    ]);
+
+    // FLEX(SSD): four PM9A3 on an A100 server.
+    let flex_spec = SystemSpec::a100_pm9a3(4);
+    let flex = FlexGenSystem::new(&flex_spec, &model, KvLocation::SsdArray)?;
+    match flex.run_decode(batch, ctx, out_len) {
+        Ok(r) => {
+            let act = ActivitySnapshot {
+                seconds: r.avg_step_seconds,
+                gpu: r.gpu_utilization,
+                cpu: r.cpu_utilization,
+                dram: r.dram_utilization,
+                ssd: 0.6,
+            };
+            table.row(vec![
+                "FLEX(SSD)".into(),
+                "ok".into(),
+                format!("{:.4}", r.tokens_per_second()),
+                format!("{:.1}", r.decode_seconds / 3600.0),
+                format!("{:.2e}", tokens_per_second_per_dollar(&flex_spec, r.tokens_per_second())),
+                format!("{:.0}", energy(&flex_spec, &act).total() / batch as f64),
+            ]);
+        }
+        Err(e) => {
+            table.row(vec!["FLEX(SSD)".into(), e.to_string()]);
+        }
+    }
+
+    // FLEX(DRAM): the 512 GB host cannot hold this KV cache at all.
+    let dram = FlexGenSystem::new(&flex_spec, &model, KvLocation::HostDram)?;
+    match dram.run_decode(batch, ctx, out_len) {
+        Ok(r) => {
+            table.row(vec!["FLEX(DRAM)".into(), "ok".into(), format!("{:.4}", r.tokens_per_second())]);
+        }
+        Err(e) => {
+            table.row(vec!["FLEX(DRAM)".into(), e.to_string()]);
+        }
+    }
+
+    // HILOS with 16 SmartSSDs.
+    let hilos_spec = SystemSpec::a100_smartssd(16);
+    let hilos = HilosSystem::new(&hilos_spec, &model, &HilosConfig::new(16))?;
+    let r = hilos.run_decode(batch, ctx, out_len)?;
+    let act = ActivitySnapshot {
+        seconds: r.avg_step_seconds,
+        gpu: r.gpu_utilization,
+        cpu: r.cpu_utilization,
+        dram: r.dram_utilization,
+        ssd: 0.9,
+    };
+    table.row(vec![
+        "HILOS(16)".into(),
+        format!("ok (alpha={:.0}%)", r.alpha * 100.0),
+        format!("{:.4}", r.tokens_per_second()),
+        format!("{:.1}", r.decode_seconds / 3600.0),
+        format!("{:.2e}", tokens_per_second_per_dollar(&hilos_spec, r.tokens_per_second())),
+        format!("{:.0}", energy(&hilos_spec, &act).total() / batch as f64),
+    ]);
+
+    println!("{table}");
+    Ok(())
+}

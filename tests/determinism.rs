@@ -1,0 +1,60 @@
+//! The reproducibility guarantee: every experiment and every simulated
+//! run is bit-deterministic — the property that lets EXPERIMENTS.md quote
+//! exact numbers.
+
+use hilos::core::{HilosConfig, HilosSystem};
+use hilos::llm::presets;
+use hilos::platform::SystemSpec;
+use hilos_bench::experiments;
+
+#[test]
+fn decode_runs_are_bit_identical() {
+    let run = || {
+        HilosSystem::new(
+            &SystemSpec::a100_smartssd(8),
+            &presets::opt_66b(),
+            &HilosConfig::new(8),
+        )
+        .unwrap()
+        .with_sim_layers(4)
+        .run_decode(16, 32 * 1024, 8)
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.avg_step_seconds.to_bits(), b.avg_step_seconds.to_bits());
+    assert_eq!(a.gpu_utilization.to_bits(), b.gpu_utilization.to_bits());
+    assert_eq!(a.category_seconds, b.category_seconds);
+}
+
+#[test]
+fn experiments_render_identically_across_runs() {
+    // A representative subset covering the sim, analytic and functional
+    // paths (the full set is exercised by the smoke tests).
+    for id in ["table3", "estimator", "fig12a", "fig16b", "fig18c", "straggler"] {
+        let a = experiments::run(id).unwrap();
+        let b = experiments::run(id).unwrap();
+        assert_eq!(a, b, "{id} not deterministic");
+    }
+}
+
+#[test]
+fn synthetic_tasks_and_kernels_are_seed_stable() {
+    use hilos::accel::{attention_kernel, AttentionInputs};
+    use hilos::llm::{RetrievalTask, RetrievalTaskConfig};
+    let t1 = RetrievalTask::generate(&RetrievalTaskConfig::longbench_like(1024, 42));
+    let t2 = RetrievalTask::generate(&RetrievalTaskConfig::longbench_like(1024, 42));
+    let out = |t: &RetrievalTask| {
+        attention_kernel(&AttentionInputs {
+            queries: &t.queries,
+            keys: &t.keys,
+            values: &t.values,
+            valid: None,
+            scale: t.scale,
+            host_tail: None,
+        })
+        .unwrap()
+    };
+    assert_eq!(out(&t1), out(&t2));
+    assert_eq!(t1.answers, t2.answers);
+}

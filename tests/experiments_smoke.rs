@@ -1,0 +1,93 @@
+//! Smoke tests: every `repro` experiment renders a non-empty table with
+//! its expected headers. These run the same code paths as the binary.
+
+use hilos_bench::experiments;
+
+fn check(id: &str, must_contain: &[&str]) {
+    let out = experiments::run(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
+    assert!(!out.trim().is_empty(), "{id} produced no output");
+    for needle in must_contain {
+        assert!(out.contains(needle), "{id}: missing {needle:?} in output:\n{out}");
+    }
+}
+
+#[test]
+fn fig2_smoke() {
+    check("fig2", &["Figure 2(a)", "Figure 2(b)", "kv_cache", "TB"]);
+}
+
+#[test]
+fn fig4_smoke() {
+    check("fig4", &["Figure 4(b)", "Figure 4(c)", "Baseline(SSD+CPU)", "Proposed(ANS)"]);
+}
+
+#[test]
+fn table3_smoke() {
+    check("table3", &["Table 3", "model", "paper", "296.05"]);
+}
+
+#[test]
+fn estimator_smoke() {
+    check("estimator", &["§5.1", "Pearson r"]);
+}
+
+#[test]
+fn fig10_smoke() {
+    check("fig10", &["Figure 10", "OPT-175B", "HILOS(16)", "OOM"]);
+}
+
+#[test]
+fn fig11_smoke() {
+    check("fig11", &["Figure 11(a)", "Figure 11(b)", "CPU OOM"]);
+}
+
+#[test]
+fn fig12_smoke() {
+    check("fig12a", &["Figure 12(a)", "SSD P2P read"]);
+    check("fig12b", &["Figure 12(b)", "Qwen2.5-32B", "Mixtral-8x7B", "GLaM-143B"]);
+}
+
+#[test]
+fn fig13_smoke() {
+    check("fig13", &["Figure 13", "OPT-30B", "OPT-66B", "a=50%"]);
+}
+
+#[test]
+fn fig14_smoke() {
+    check("fig14", &["Figure 14", "speedup"]);
+}
+
+#[test]
+fn fig15_smoke() {
+    check("fig15", &["Figure 15", "ANS+WB+X", "GLaM-143B"]);
+}
+
+#[test]
+fn fig16_smoke() {
+    check("fig16a", &["Figure 16(a)", "H100", "HILOS(16)"]);
+    check("fig16b", &["Figure 16(b)", "Long(I:8K/O:350)"]);
+}
+
+#[test]
+fn fig17_smoke() {
+    check("fig17a", &["Figure 17(a)", "J/tok"]);
+    check("fig17b", &["Figure 17(b)", "vLLM(8xA6000)"]);
+}
+
+#[test]
+fn fig18_smoke() {
+    check("fig18ab", &["ISP-CSD"]);
+    check("fig18c", &["Figure 18(c)", "FlashAttention", "InstAttention"]);
+}
+
+#[test]
+fn unknown_experiment_rejected() {
+    assert!(experiments::run("fig99").is_none());
+}
+
+#[test]
+fn all_ids_resolve() {
+    for id in experiments::ALL {
+        assert!(experiments::run(id).is_some(), "{id} should resolve");
+    }
+}

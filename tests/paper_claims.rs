@@ -1,0 +1,227 @@
+//! Cross-crate integration tests asserting the paper's headline claims
+//! hold in the reproduction (shape, not absolute numbers — see
+//! EXPERIMENTS.md for the paper-vs-measured table).
+
+use hilos::baselines::{
+    accuracy_comparison, FlexGenSystem, KvLocation, VllmMultiNode, DEFAULT_KEEP_FRACTION,
+};
+use hilos::core::{traffic, AlphaPolicy, HilosConfig, HilosSystem};
+use hilos::llm::{presets, BatchSpec, RequestClass};
+use hilos::metrics::{tokens_per_second_per_dollar, EnduranceModel};
+use hilos::platform::SystemSpec;
+
+fn hilos(n: usize, model: &hilos::llm::ModelConfig) -> HilosSystem {
+    HilosSystem::new(&SystemSpec::a100_smartssd(n), model, &HilosConfig::new(n))
+        .unwrap()
+        .with_sim_layers(4)
+}
+
+fn flex_ssd(model: &hilos::llm::ModelConfig) -> FlexGenSystem {
+    FlexGenSystem::new(&SystemSpec::a100_pm9a3(4), model, KvLocation::SsdArray)
+        .unwrap()
+        .with_sim_layers(4)
+}
+
+/// Abstract headline: "up to 7.86x throughput" over conventional
+/// SSD-based solutions.
+#[test]
+fn headline_speedup_in_band() {
+    let mut best = 0.0f64;
+    for model in [presets::opt_30b(), presets::opt_66b(), presets::opt_175b()] {
+        for ctx in [64 * 1024u64, 128 * 1024] {
+            let base = flex_ssd(&model).run_decode(16, ctx, 4).unwrap().tokens_per_second();
+            let h = hilos(16, &model).run_decode(16, ctx, 4).unwrap().tokens_per_second();
+            best = best.max(h / base);
+        }
+    }
+    assert!((5.0..12.0).contains(&best), "best speedup {best} (paper: up to 7.86x)");
+}
+
+/// §6.3: HILOS(4) edges out FLEX(DRAM); HILOS(16) roughly doubles+ it.
+#[test]
+fn fig10_relations_to_flex_dram() {
+    let model = presets::opt_66b();
+    let dram = FlexGenSystem::new(&SystemSpec::a100_pm9a3(4), &model, KvLocation::HostDram)
+        .unwrap()
+        .with_sim_layers(4);
+    let bs = dram.max_batch(32 * 1024, 8, 16).unwrap();
+    let dram_tps = dram.run_decode(bs, 32 * 1024, 4).unwrap().tokens_per_second();
+    let h4 = hilos(4, &model).run_decode(16, 32 * 1024, 4).unwrap().tokens_per_second();
+    let h16 = hilos(16, &model).run_decode(16, 32 * 1024, 4).unwrap().tokens_per_second();
+    assert!(h4 / dram_tps > 0.95, "HILOS(4)/FLEX(DRAM) = {}", h4 / dram_tps);
+    assert!(h16 / dram_tps > 1.85, "HILOS(16)/FLEX(DRAM) = {}", h16 / dram_tps);
+}
+
+/// §6.3: disabling the FPGAs degrades the chassis to 0.64-0.94x of
+/// FLEX(SSD) — near-data compute, not raw device count, is what matters.
+#[test]
+fn jbof_without_fpgas_is_no_better() {
+    let model = presets::opt_66b();
+    let base = flex_ssd(&model).run_decode(16, 32 * 1024, 4).unwrap().tokens_per_second();
+    let jbof =
+        FlexGenSystem::new(&SystemSpec::a100_chassis_no_fpga(16), &model, KvLocation::SsdArray)
+            .unwrap()
+            .with_sim_layers(4)
+            .run_decode(16, 32 * 1024, 4)
+            .unwrap()
+            .tokens_per_second();
+    let ratio = jbof / base;
+    assert!((0.6..1.0).contains(&ratio), "ratio {ratio} (paper: 0.64-0.94x)");
+}
+
+/// Eq. 3: the ANS interconnect-traffic reduction is (s+1)/2.
+#[test]
+fn eq3_traffic_ratio() {
+    for s in [2u64, 1024, 32 * 1024, 128 * 1024] {
+        let ratio = traffic::baseline_step_bytes(s, 12288) / traffic::ans_step_bytes(12288);
+        assert!((ratio - traffic::traffic_reduction_ratio(s)).abs() < 1e-9);
+    }
+}
+
+/// §4.2 / Fig. 13: the analytic α selector agrees with the empirical
+/// sweep — its choice is within a few percent of the best fixed α.
+#[test]
+fn alpha_selector_matches_empirical_optimum() {
+    let model = presets::opt_66b();
+    let selected = hilos(16, &model).select_alpha(16, 32 * 1024).unwrap();
+    let mut best_alpha = 0.0;
+    let mut best_tps = 0.0f64;
+    let mut selected_tps = 0.0;
+    for alpha in [0.0, 0.125, 0.25, 0.5, 0.75] {
+        let cfg = HilosConfig::new(16).with_alpha(AlphaPolicy::Fixed(alpha));
+        let sys = HilosSystem::new(&SystemSpec::a100_smartssd(16), &model, &cfg)
+            .unwrap()
+            .with_sim_layers(4);
+        let tps = sys.run_decode(16, 32 * 1024, 4).unwrap().tokens_per_second();
+        if tps > best_tps {
+            best_tps = tps;
+            best_alpha = alpha;
+        }
+        if alpha == selected {
+            selected_tps = tps;
+        }
+    }
+    assert!(
+        selected_tps >= best_tps * 0.95,
+        "selected alpha {selected} ({selected_tps} tok/s) vs empirical best {best_alpha} ({best_tps})"
+    );
+}
+
+/// Fig. 15: every optimization contributes, X-cache more than writeback.
+#[test]
+fn ablation_ordering_holds() {
+    let model = presets::opt_30b();
+    let base = flex_ssd(&model).run_decode(16, 32 * 1024, 4).unwrap().tokens_per_second();
+    let run = |wb: bool, x: bool| {
+        let cfg = HilosConfig::ans_only(16).with_writeback(wb).with_xcache(x);
+        HilosSystem::new(&SystemSpec::a100_smartssd(16), &model, &cfg)
+            .unwrap()
+            .with_sim_layers(4)
+            .run_decode(16, 32 * 1024, 8)
+            .unwrap()
+            .tokens_per_second()
+    };
+    let ans = run(false, false);
+    let wb = run(true, false);
+    let x = run(false, true);
+    let full = run(true, true);
+    assert!(ans > 2.0 * base, "ANS alone should be a multiple of FLEX(SSD)");
+    assert!(wb > ans && x > ans && full > ans);
+    assert!(x > wb, "X-cache is the bigger lever (paper: 1.64x vs 1.32x)");
+}
+
+/// Fig. 16a: HILOS beats FLEX(SSD) on tokens/s/$ despite costing ~3x.
+#[test]
+fn cost_efficiency_band() {
+    let model = presets::opt_66b();
+    let flex_spec = SystemSpec::a100_pm9a3(4);
+    let hilos_spec = SystemSpec::a100_smartssd(16);
+    let base = flex_ssd(&model).run_decode(16, 32 * 1024, 4).unwrap().tokens_per_second();
+    let h = hilos(16, &model).run_decode(16, 32 * 1024, 4).unwrap().tokens_per_second();
+    let rel = tokens_per_second_per_dollar(&hilos_spec, h)
+        / tokens_per_second_per_dollar(&flex_spec, base);
+    assert!((1.2..5.0).contains(&rel), "relative cost efficiency {rel} (paper: up to 2.02x)");
+}
+
+/// Fig. 16b / §6.6: endurance gains over the baseline and the 4M-request
+/// claim for long requests on the 175B model.
+#[test]
+fn endurance_claims() {
+    let e = EnduranceModel::smartssd_array(16);
+    let m175 = presets::opt_175b();
+    let hilos_long = e.serviceable_requests(e.hilos_request_bytes(&m175, RequestClass::Long, 0.5, 16));
+    assert!(hilos_long > 3.0e6, "long-request budget {hilos_long} (paper: >4.08M)");
+    for class in RequestClass::all() {
+        let gain = e.flexgen_request_bytes(&presets::opt_66b(), class, 16)
+            / e.hilos_request_bytes(&presets::opt_66b(), class, 0.5, 16);
+        assert!((1.2..1.6).contains(&gain), "{class}: gain {gain} (paper: 1.34-1.47x)");
+    }
+}
+
+/// Fig. 17b: HILOS outruns the 2x4xA6000 vLLM deployment on 175B.
+#[test]
+fn beats_multinode_vllm() {
+    let model = presets::opt_175b();
+    let v = VllmMultiNode::paper_testbed();
+    for ctx in [16 * 1024u64, 32 * 1024] {
+        let vllm_tps = v.tokens_per_second(&model, 1, ctx).unwrap();
+        let h = hilos(16, &model).run_decode(16, ctx, 4).unwrap().tokens_per_second();
+        let ratio = h / vllm_tps;
+        assert!(ratio > 1.2, "ctx {ctx}: HILOS/vLLM = {ratio} (paper: 1.64-1.81x)");
+    }
+}
+
+/// Fig. 18c: HILOS is lossless; InstAttention's 1/8 retrieval pays F1.
+#[test]
+fn accuracy_is_lossless_vs_lossy() {
+    let cmp = accuracy_comparison(4096, 8, DEFAULT_KEEP_FRACTION).unwrap();
+    assert!((cmp.hilos_f1 - cmp.flash_f1).abs() < 0.02, "HILOS must match FlashAttention");
+    let gap = cmp.lossy_gap_points();
+    assert!((1.0..12.0).contains(&gap), "lossy gap {gap} pp (paper: 3.52-5.73)");
+}
+
+/// §7.1: one ISP-CSD ≈ four SmartSSDs.
+#[test]
+fn isp_parity_with_four_smartssds() {
+    let model = presets::opt_66b();
+    let four = hilos(4, &model).run_decode(16, 32 * 1024, 4).unwrap().tokens_per_second();
+    let isp = HilosSystem::new(&SystemSpec::a100_isp(1), &model, &HilosConfig::new(1))
+        .unwrap()
+        .with_sim_layers(4)
+        .run_decode(16, 32 * 1024, 4)
+        .unwrap()
+        .tokens_per_second();
+    let ratio = isp / four;
+    assert!((0.7..1.8).contains(&ratio), "ISP/4xSmartSSD = {ratio} (paper: ~1x)");
+}
+
+/// The paper's OOM walls reproduce exactly where they should.
+#[test]
+fn oom_walls() {
+    let m66 = presets::opt_66b();
+    // FLEX(DRAM): 66B/32K caps at batch 2; 128K fails even at batch 1.
+    let dram = FlexGenSystem::new(&SystemSpec::a100_pm9a3(4), &m66, KvLocation::HostDram).unwrap();
+    assert_eq!(dram.max_batch(32 * 1024, 8, 16), Some(2));
+    assert_eq!(dram.max_batch(128 * 1024, 8, 16), None);
+    // HILOS swallows the same jobs on flash.
+    hilos(16, &m66).check_capacity(&BatchSpec::new(16, 128 * 1024, 64)).unwrap();
+}
+
+/// Decode throughput monotonically degrades with context and improves
+/// with device count, across every Table 2 model.
+#[test]
+fn monotonicity_across_model_zoo() {
+    for model in presets::all() {
+        let short = hilos(8, &model).run_decode(8, 16 * 1024, 4).unwrap().tokens_per_second();
+        let long = hilos(8, &model).run_decode(8, 64 * 1024, 4).unwrap().tokens_per_second();
+        assert!(short > long, "{}: {short} vs {long}", model.name());
+        // Device scaling shows once KV I/O dominates (64K); at short
+        // contexts GQA models are weight-streaming-bound and flat.
+        let more_dev = hilos(16, &model).run_decode(8, 64 * 1024, 4).unwrap().tokens_per_second();
+        assert!(
+            more_dev > long * 0.999,
+            "{}: 16 dev {more_dev} vs 8 dev {long}",
+            model.name()
+        );
+    }
+}
