@@ -10,6 +10,16 @@ use std::fmt;
 
 /// An IEEE 754 binary16 value.
 ///
+/// # Equality semantics
+///
+/// `PartialEq` is **derived over the raw bit pattern**, not IEEE
+/// semantics: `F16::NAN == F16::NAN` is `true` (same bits) while two NaNs
+/// with different payloads or signs compare unequal, and `+0.0 != -0.0`
+/// (different bits). This is deliberate — the type models the *storage*
+/// format of the KV cache, where bit-level identity is the property the
+/// golden tests assert. Convert [`to_f32`](F16::to_f32) first when IEEE
+/// comparison semantics are needed.
+///
 /// # Examples
 ///
 /// ```
@@ -19,6 +29,9 @@ use std::fmt;
 /// assert_eq!(x.to_f32(), 1.5);
 /// // Rounding: 1 + 2^-11 is not representable and rounds to even (1.0).
 /// assert_eq!(F16::from_f32(1.0 + f32::powi(2.0, -11)).to_f32(), 1.0);
+/// // Bitwise equality: NaN equals itself, unlike IEEE floats.
+/// assert_eq!(F16::NAN, F16::NAN);
+/// assert_ne!(F16::from_f32(0.0), F16::from_f32(-0.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct F16(u16);
@@ -95,6 +108,13 @@ impl F16 {
     }
 
     /// Converts to `f32` exactly (every binary16 value is representable).
+    ///
+    /// NaNs widen bit-faithfully: the sign bit and the (left-shifted)
+    /// mantissa payload are preserved, so `-NaN` stays negative and
+    /// distinct payloads stay distinct. This is what makes the widening a
+    /// pure function of the bit pattern — the property the
+    /// [`decode lut`](crate::f16_decode_lut) and the exhaustive
+    /// 65536-pattern regression test rely on.
     pub fn to_f32(self) -> f32 {
         let bits = self.0 as u32;
         let sign = (bits >> 15) & 1;
@@ -103,13 +123,9 @@ impl F16 {
         let sign_f = if sign == 1 { -1.0f32 } else { 1.0 };
         match exp {
             0 => sign_f * (man as f32) * f32::powi(2.0, -24),
-            31 => {
-                if man == 0 {
-                    sign_f * f32::INFINITY
-                } else {
-                    f32::NAN
-                }
-            }
+            // Infinity (man == 0) or NaN: exponent widens to all-ones;
+            // sign and payload carry over unchanged.
+            31 => f32::from_bits((sign << 31) | 0x7f80_0000 | (man << 13)),
             _ => f32::from_bits((sign << 31) | ((exp + 112) << 23) | (man << 13)),
         }
     }
@@ -138,6 +154,43 @@ impl F16 {
 impl From<F16> for f32 {
     fn from(h: F16) -> f32 {
         h.to_f32()
+    }
+}
+
+/// The lazily-built decode table: `table[bits] == F16::from_bits(bits).to_f32()`
+/// for every one of the 65536 bit patterns (bit-exact, NaN payloads
+/// included).
+///
+/// The computed [`F16::to_f32`] path branches on the exponent class per
+/// element; at one branch per MAC that dominates the attention kernel's
+/// hot loops. A single 256 KiB table turns every decode into one indexed
+/// load. Built once per process on first use.
+static DECODE_LUT: std::sync::OnceLock<Box<[f32; 1 << 16]>> = std::sync::OnceLock::new();
+
+/// Returns the shared 65536-entry binary16 → `f32` decode table.
+///
+/// Hot loops should call this once and index the returned slice directly
+/// (`lut[h.to_bits() as usize]`) rather than going through
+/// [`F16::to_f32_lut`] per element, to keep the `OnceLock` check out of
+/// the inner loop.
+pub fn f16_decode_lut() -> &'static [f32; 1 << 16] {
+    DECODE_LUT.get_or_init(|| {
+        let mut table = vec![0.0f32; 1 << 16].into_boxed_slice();
+        for (bits, slot) in table.iter_mut().enumerate() {
+            *slot = F16::from_bits(bits as u16).to_f32();
+        }
+        match table.try_into() {
+            Ok(array) => array,
+            Err(_) => unreachable!("table has exactly 2^16 entries"),
+        }
+    })
+}
+
+impl F16 {
+    /// Table-driven widening — bit-identical to [`F16::to_f32`].
+    #[inline]
+    pub fn to_f32_lut(self) -> f32 {
+        f16_decode_lut()[self.0 as usize]
     }
 }
 
@@ -213,6 +266,42 @@ mod tests {
         assert!(!F16::ONE.is_infinite());
         assert!(F16::ONE.is_finite());
         assert!(!F16::NAN.is_finite());
+    }
+
+    #[test]
+    fn nan_widening_preserves_sign_and_payload() {
+        // A negative NaN stays negative through the widening.
+        let neg_nan = F16::from_bits(0xfe00);
+        assert!(neg_nan.is_nan());
+        let widened = neg_nan.to_f32();
+        assert!(widened.is_nan());
+        assert!(widened.is_sign_negative(), "sign bit lost: {:#010x}", widened.to_bits());
+        // A positive NaN stays positive.
+        assert!(!F16::NAN.to_f32().is_sign_negative());
+        // Distinct payloads widen to distinct f32 payloads.
+        let a = F16::from_bits(0x7e01).to_f32().to_bits();
+        let b = F16::from_bits(0x7e02).to_f32().to_bits();
+        assert_ne!(a, b);
+        // Payload sits in the top of the f32 mantissa (shifted by 13).
+        assert_eq!(F16::from_bits(0x7e00).to_f32().to_bits(), 0x7fc0_0000);
+    }
+
+    #[test]
+    fn bitwise_partial_eq_semantics() {
+        // Documented contract: equality is bit-pattern equality.
+        assert_eq!(F16::NAN, F16::NAN);
+        assert_ne!(F16::NAN, F16::from_bits(0xfe00));
+        assert_ne!(F16::from_bits(0x0000), F16::from_bits(0x8000)); // +0 vs -0
+    }
+
+    #[test]
+    fn lut_decode_is_bit_identical_sampled() {
+        // (The exhaustive 65536-pattern sweep lives in tests/bitexact.rs;
+        // this keeps a quick unit-level check.)
+        for bits in [0x0000u16, 0x8000, 0x3c00, 0x7bff, 0x7c00, 0xfc00, 0x7e00, 0xfe01, 0x0001] {
+            let h = F16::from_bits(bits);
+            assert_eq!(h.to_f32_lut().to_bits(), h.to_f32().to_bits(), "bits {bits:#06x}");
+        }
     }
 
     #[test]

@@ -21,9 +21,47 @@
 //!
 //! Numerics follow §5.4: storage is FP16, every accumulation and
 //! exponential is FP32, and padding tokens are masked to −10⁴.
+//!
+//! # The zero-allocation hot path (arena + LUT design)
+//!
+//! The functional kernel has to sweep million-token contexts fast enough
+//! to drive serving-scale campaign simulations, so the compute path is
+//! built around two ideas:
+//!
+//! * **Table-driven decode.** All FP16 → FP32 widening goes through the
+//!   lazily-built 65536-entry LUT ([`crate::f16_decode_lut`]) via the
+//!   batch row-decode helpers on [`MatrixF16`]
+//!   ([`decode_rows_into`](MatrixF16::decode_rows_into)), replacing a
+//!   branchy bit-twiddling conversion per multiply–accumulate with one
+//!   indexed load per stored element.
+//! * **A reusable flat scratch arena.** [`KernelScratch`] owns every
+//!   intermediate buffer (decoded queries, the decoded 128-token K/V
+//!   block, the score arena, softmax statistics, output accumulators) as
+//!   flat `Vec<f32>`s that grow once and are reused across calls — the
+//!   steady state allocates nothing but the `g × d` output matrix. The
+//!   plain [`attention_kernel`] entry point keeps one arena per thread in
+//!   a thread-local; [`attention_kernel_with_scratch`] gives callers
+//!   explicit control.
+//!
+//! Each 128-token K/V block is decoded **once per GQA group** and shared
+//! by all `g` queries (the baseline re-decoded V rows per query and Q
+//! elements per MAC — a `g`-fold and `block_len`-fold reduction in decode
+//! work respectively). Floating-point evaluation order is preserved
+//! exactly — tile-chunked `QKᵀ` partial sums, token-ascending score-value
+//! accumulation — so results are **bit-identical** to the original
+//! kernel, which is retained as [`attention_kernel_baseline`] and pinned
+//! by the golden suite in `tests/bitexact.rs`.
+//!
+//! For contexts where even the flat `g × s` score arena is unwelcome,
+//! [`attention_kernel_fused`] folds the softmax statistics into the block
+//! stream (sweep 1) and then re-streams the blocks, recomputing each
+//! score tile instead of materializing `all_scores` (sweep 2): memory
+//! drops to `O(block)` while results stay bit-identical, at the price of
+//! computing the `QKᵀ` products twice.
 
 use crate::softmax::{SoftmaxStats, MASK_VALUE};
 use crate::tensor::{MatrixF16, MatrixF32};
+use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
 
@@ -173,6 +211,363 @@ fn validate(inputs: &AttentionInputs<'_>) -> Result<(usize, usize, usize, usize)
     Ok((g, d, s, tail))
 }
 
+/// Reusable flat scratch arena for the optimized kernels.
+///
+/// Owns every intermediate buffer the attention compute path needs, as
+/// flat `f32` vectors that grow to the high-water mark and are reused
+/// across calls. With a long-lived `KernelScratch` (or through the
+/// thread-local arena inside [`attention_kernel`]) the hot path performs
+/// no heap allocation beyond the returned output matrix.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// Decoded queries, `g × d`.
+    q: Vec<f32>,
+    /// Decoded K or V rows of the current 128-token block, `block × d`.
+    block: Vec<f32>,
+    /// Score tile of the current block, `g × BLOCK_TOKENS` (fused path).
+    tile: Vec<f32>,
+    /// Flat score arena, `g × (s + tail)` (two-pass path).
+    scores: Vec<f32>,
+    /// Softmax statistics, one per query.
+    stats: Vec<SoftmaxStats>,
+    /// Output accumulators, `g × d`.
+    acc: Vec<f32>,
+}
+
+impl KernelScratch {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        KernelScratch::default()
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<KernelScratch> = RefCell::new(KernelScratch::new());
+}
+
+fn ensure(buf: &mut Vec<f32>, n: usize) {
+    if buf.len() < n {
+        buf.resize(n, 0.0);
+    }
+}
+
+/// Scores `g` decoded queries against one decoded K block, writing the
+/// masked/scaled tile to `out[qi * out_stride + out_offset + j]`.
+///
+/// The `QKᵀ` partial sums are chunked [`TILE_DIM`]-wide along the head
+/// dimension — the same floating-point evaluation order as the baseline's
+/// K-Buf/KT-Buf pipeline, so scores are bit-identical to
+/// [`attention_kernel_baseline`]. (The online transpose itself is a
+/// memory-layout device; arithmetic values are unaffected by it.)
+#[allow(clippy::too_many_arguments)]
+fn score_block(
+    q: &[f32],
+    g: usize,
+    d: usize,
+    k_block: &[f32],
+    block_len: usize,
+    valid: Option<&[bool]>,
+    block_start: usize,
+    scale: f32,
+    out: &mut [f32],
+    out_stride: usize,
+    out_offset: usize,
+) {
+    for qi in 0..g {
+        let qrow = &q[qi * d..(qi + 1) * d];
+        let orow = &mut out[qi * out_stride + out_offset..qi * out_stride + out_offset + block_len];
+        for (j, sj) in orow.iter_mut().enumerate() {
+            let krow = &k_block[j * d..(j + 1) * d];
+            let mut score = 0.0f32;
+            let mut dt = 0;
+            while dt < d {
+                let tile_w = TILE_DIM.min(d - dt);
+                let mut acc = 0.0f32;
+                for i in 0..tile_w {
+                    acc += qrow[dt + i] * krow[dt + i];
+                }
+                score += acc;
+                dt += tile_w;
+            }
+            let masked = valid.map(|v| !v[block_start + j]).unwrap_or(false);
+            *sj = if masked { MASK_VALUE } else { score * scale };
+        }
+    }
+}
+
+/// Accumulates the score-value product of one decoded V block into the
+/// per-query output accumulators. `scores(qi)` yields the normalized
+/// slice of this block's scores for query `qi`.
+fn accumulate_block<'a>(
+    stats: &[SoftmaxStats],
+    scores: impl Fn(usize) -> &'a [f32],
+    v_block: &[f32],
+    g: usize,
+    d: usize,
+    acc: &mut [f32],
+) {
+    for qi in 0..g {
+        let stat = stats[qi];
+        let srow = scores(qi);
+        let arow = &mut acc[qi * d..(qi + 1) * d];
+        for (j, &x) in srow.iter().enumerate() {
+            let w = stat.normalize(x);
+            let vrow = &v_block[j * d..(j + 1) * d];
+            for (a, &vv) in arow.iter_mut().zip(vrow) {
+                *a += w * vv;
+            }
+        }
+    }
+}
+
+fn emit_output(acc: &[f32], g: usize, d: usize) -> MatrixF32 {
+    let mut out = MatrixF32::zeros(g, d);
+    for qi in 0..g {
+        for c in 0..d {
+            out.set(qi, c, acc[qi * d + c]);
+        }
+    }
+    out
+}
+
+/// Runs the blocked two-pass attention kernel with the given scratch
+/// arena — the optimized hot path.
+///
+/// Each K/V block is LUT-decoded once and shared by all `g` queries of
+/// the GQA group; scores live in a flat arena instead of per-block
+/// vectors. Results are bit-identical to
+/// [`attention_kernel_baseline`].
+///
+/// # Errors
+///
+/// Returns [`KernelError`] on shape mismatches or an empty context.
+pub fn attention_kernel_with_scratch(
+    inputs: &AttentionInputs<'_>,
+    scratch: &mut KernelScratch,
+) -> Result<MatrixF32, KernelError> {
+    let (g, d, s, tail) = validate(inputs)?;
+    let total = s + tail;
+
+    ensure(&mut scratch.q, g * d);
+    inputs.queries.decode_rows_into(0, g, &mut scratch.q);
+    ensure(&mut scratch.block, BLOCK_TOKENS * d);
+    ensure(&mut scratch.scores, g * total);
+    scratch.stats.clear();
+    scratch.stats.resize(g, SoftmaxStats::new());
+
+    // ---- Pass 1: stream K blocks, building scores + softmax statistics.
+    let mut block_start = 0;
+    while block_start < s {
+        let block_len = BLOCK_TOKENS.min(s - block_start);
+        inputs.keys.decode_rows_into(block_start, block_len, &mut scratch.block);
+        score_block(
+            &scratch.q,
+            g,
+            d,
+            &scratch.block,
+            block_len,
+            inputs.valid,
+            block_start,
+            inputs.scale,
+            &mut scratch.scores,
+            total,
+            block_start,
+        );
+        for (qi, stat) in scratch.stats.iter_mut().enumerate() {
+            stat.update_block(&scratch.scores[qi * total + block_start..][..block_len]);
+        }
+        block_start += block_len;
+    }
+
+    // Host-tail scores (delayed writeback) join the statistics stream.
+    if let Some(t) = &inputs.host_tail {
+        for (qi, stat) in scratch.stats.iter_mut().enumerate() {
+            let row = t.scores.row(qi);
+            for chunk in row.chunks(BLOCK_TOKENS) {
+                stat.update_block(chunk);
+            }
+            scratch.scores[qi * total + s..qi * total + total].copy_from_slice(row);
+        }
+    }
+
+    // ---- Pass 2: normalize and accumulate the score-value product.
+    ensure(&mut scratch.acc, g * d);
+    scratch.acc[..g * d].fill(0.0);
+    let mut block_start = 0;
+    while block_start < s {
+        let block_len = BLOCK_TOKENS.min(s - block_start);
+        inputs.values.decode_rows_into(block_start, block_len, &mut scratch.block);
+        let scores = &scratch.scores;
+        accumulate_block(
+            &scratch.stats,
+            |qi| &scores[qi * total + block_start..][..block_len],
+            &scratch.block,
+            g,
+            d,
+            &mut scratch.acc,
+        );
+        block_start += block_len;
+    }
+    if let Some(t) = &inputs.host_tail {
+        let mut tail_start = 0;
+        while tail_start < tail {
+            let tail_len = BLOCK_TOKENS.min(tail - tail_start);
+            t.values.decode_rows_into(tail_start, tail_len, &mut scratch.block);
+            let scores = &scratch.scores;
+            accumulate_block(
+                &scratch.stats,
+                |qi| &scores[qi * total + s + tail_start..][..tail_len],
+                &scratch.block,
+                g,
+                d,
+                &mut scratch.acc,
+            );
+            tail_start += tail_len;
+        }
+    }
+    Ok(emit_output(&scratch.acc, g, d))
+}
+
+/// Runs the full blocked two-pass attention kernel.
+///
+/// Returns the `g × d` attention outputs in FP32 (the device sends them
+/// to the host as FP16; use [`MatrixF32::to_f16`] at that boundary).
+/// Uses a per-thread [`KernelScratch`], so repeated calls allocate
+/// nothing but the output; results are bit-identical to
+/// [`attention_kernel_baseline`].
+///
+/// # Errors
+///
+/// Returns [`KernelError`] on shape mismatches or an empty context.
+pub fn attention_kernel(inputs: &AttentionInputs<'_>) -> Result<MatrixF32, KernelError> {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => attention_kernel_with_scratch(inputs, &mut scratch),
+        // Re-entrant call (kernel invoked from inside a kernel): fall
+        // back to a fresh arena rather than panicking.
+        Err(_) => attention_kernel_with_scratch(inputs, &mut KernelScratch::new()),
+    })
+}
+
+/// Runs the fused streaming variant: softmax statistics are folded into
+/// the block stream, and the score-value pass re-streams the K blocks,
+/// recomputing each score tile instead of materializing `all_scores`.
+///
+/// Peak intermediate memory is `O(BLOCK_TOKENS · (g + d))` regardless of
+/// context length — the variant of choice for 100K-token-class sweeps —
+/// while results stay bit-identical to [`attention_kernel_baseline`]
+/// (score recomputation replays the exact same FP32 operations). The
+/// trade-off is computing the `QKᵀ` products twice.
+///
+/// # Errors
+///
+/// Returns [`KernelError`] on shape mismatches or an empty context.
+pub fn attention_kernel_fused(inputs: &AttentionInputs<'_>) -> Result<MatrixF32, KernelError> {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => attention_kernel_fused_with_scratch(inputs, &mut scratch),
+        Err(_) => attention_kernel_fused_with_scratch(inputs, &mut KernelScratch::new()),
+    })
+}
+
+/// [`attention_kernel_fused`] with an explicit scratch arena.
+///
+/// # Errors
+///
+/// Returns [`KernelError`] on shape mismatches or an empty context.
+pub fn attention_kernel_fused_with_scratch(
+    inputs: &AttentionInputs<'_>,
+    scratch: &mut KernelScratch,
+) -> Result<MatrixF32, KernelError> {
+    let (g, d, s, tail) = validate(inputs)?;
+
+    ensure(&mut scratch.q, g * d);
+    inputs.queries.decode_rows_into(0, g, &mut scratch.q);
+    ensure(&mut scratch.block, BLOCK_TOKENS * d);
+    ensure(&mut scratch.tile, g * BLOCK_TOKENS);
+    scratch.stats.clear();
+    scratch.stats.resize(g, SoftmaxStats::new());
+
+    // ---- Sweep 1: statistics only; score tiles are discarded.
+    let mut block_start = 0;
+    while block_start < s {
+        let block_len = BLOCK_TOKENS.min(s - block_start);
+        inputs.keys.decode_rows_into(block_start, block_len, &mut scratch.block);
+        score_block(
+            &scratch.q,
+            g,
+            d,
+            &scratch.block,
+            block_len,
+            inputs.valid,
+            block_start,
+            inputs.scale,
+            &mut scratch.tile,
+            block_len,
+            0,
+        );
+        for (qi, stat) in scratch.stats.iter_mut().enumerate() {
+            stat.update_block(&scratch.tile[qi * block_len..][..block_len]);
+        }
+        block_start += block_len;
+    }
+    if let Some(t) = &inputs.host_tail {
+        for (qi, stat) in scratch.stats.iter_mut().enumerate() {
+            for chunk in t.scores.row(qi).chunks(BLOCK_TOKENS) {
+                stat.update_block(chunk);
+            }
+        }
+    }
+
+    // ---- Sweep 2: recompute each score tile, normalize, accumulate.
+    ensure(&mut scratch.acc, g * d);
+    scratch.acc[..g * d].fill(0.0);
+    let mut block_start = 0;
+    while block_start < s {
+        let block_len = BLOCK_TOKENS.min(s - block_start);
+        inputs.keys.decode_rows_into(block_start, block_len, &mut scratch.block);
+        score_block(
+            &scratch.q,
+            g,
+            d,
+            &scratch.block,
+            block_len,
+            inputs.valid,
+            block_start,
+            inputs.scale,
+            &mut scratch.tile,
+            block_len,
+            0,
+        );
+        inputs.values.decode_rows_into(block_start, block_len, &mut scratch.block);
+        let tile = &scratch.tile;
+        accumulate_block(
+            &scratch.stats,
+            |qi| &tile[qi * block_len..][..block_len],
+            &scratch.block,
+            g,
+            d,
+            &mut scratch.acc,
+        );
+        block_start += block_len;
+    }
+    if let Some(t) = &inputs.host_tail {
+        let mut tail_start = 0;
+        while tail_start < tail {
+            let tail_len = BLOCK_TOKENS.min(tail - tail_start);
+            t.values.decode_rows_into(tail_start, tail_len, &mut scratch.block);
+            accumulate_block(
+                &scratch.stats,
+                |qi| &t.scores.row(qi)[tail_start..tail_start + tail_len],
+                &scratch.block,
+                g,
+                d,
+                &mut scratch.acc,
+            );
+            tail_start += tail_len;
+        }
+    }
+    Ok(emit_output(&scratch.acc, g, d))
+}
+
 /// Query-key product unit: scores of `g` queries against one K block,
 /// using the online tile transpose. Returns a `g × block_len` score tile
 /// (scaled, masked).
@@ -228,15 +623,19 @@ fn query_key_unit(
     scores
 }
 
-/// Runs the full blocked two-pass attention kernel.
+/// The original (pre-optimization) two-pass kernel, kept as the golden
+/// baseline: per-element `F16::to_f32` bit-twiddling, per-block
+/// `Vec<Vec<f32>>` score tiles, and per-query V decode.
 ///
-/// Returns the `g × d` attention outputs in FP32 (the device sends them to
-/// the host as FP16; use [`MatrixF32::to_f16`] at that boundary).
+/// [`attention_kernel`] / [`attention_kernel_fused`] are bit-identical to
+/// this function (asserted exhaustively by `tests/bitexact.rs`); the
+/// criterion benches and the `bench_kernels` smoke binary measure their
+/// speedup against it.
 ///
 /// # Errors
 ///
 /// Returns [`KernelError`] on shape mismatches or an empty context.
-pub fn attention_kernel(inputs: &AttentionInputs<'_>) -> Result<MatrixF32, KernelError> {
+pub fn attention_kernel_baseline(inputs: &AttentionInputs<'_>) -> Result<MatrixF32, KernelError> {
     let (g, d, s, tail) = validate(inputs)?;
 
     // ---- Pass 1: stream blocks, building scores + softmax statistics ----
@@ -322,10 +721,15 @@ pub fn host_partial_scores(
     let d = queries.cols();
     let t = buffered_keys.rows();
     assert_eq!(buffered_keys.cols(), d, "buffered key dim mismatch");
+    let lut = crate::f16::f16_decode_lut();
     MatrixF32::from_fn(g, t, |qi, j| {
         let q = queries.row(qi);
         let k = buffered_keys.row(j);
-        let dot: f32 = q.iter().zip(k).map(|(&a, &b)| a.to_f32() * b.to_f32()).sum();
+        let dot: f32 = q
+            .iter()
+            .zip(k)
+            .map(|(&a, &b)| lut[a.to_bits() as usize] * lut[b.to_bits() as usize])
+            .sum();
         dot * scale
     })
 }
@@ -335,12 +739,7 @@ mod tests {
     use super::*;
     use crate::reference::attention_reference;
 
-    fn toy(
-        g: usize,
-        s: usize,
-        d: usize,
-        seed: u64,
-    ) -> (MatrixF32, MatrixF32, MatrixF32) {
+    fn toy(g: usize, s: usize, d: usize, seed: u64) -> (MatrixF32, MatrixF32, MatrixF32) {
         let mut state = seed | 1;
         let mut next = move || {
             state ^= state << 13;
@@ -369,8 +768,7 @@ mod tests {
             host_tail: None,
         })
         .unwrap();
-        let reference =
-            attention_reference(&qh.to_f32(), &kh.to_f32(), &vh.to_f32(), None, scale);
+        let reference = attention_reference(&qh.to_f32(), &kh.to_f32(), &vh.to_f32(), None, scale);
         let diff = out.max_abs_diff(&reference);
         assert!(diff < tol, "g={g} s={s} d={d}: diff {diff}");
     }
@@ -400,6 +798,64 @@ mod tests {
     #[test]
     fn exact_block_boundary() {
         check_against_reference(2, 256, 16, 17, 1e-4);
+    }
+
+    fn bits(m: &MatrixF32) -> Vec<u32> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn optimized_and_fused_match_baseline_bitwise() {
+        let (q, k, v) = toy(3, 300, 48, 41);
+        let (qh, kh, vh) = (q.to_f16(), k.to_f16(), v.to_f16());
+        let inputs = AttentionInputs {
+            queries: &qh,
+            keys: &kh,
+            values: &vh,
+            valid: None,
+            scale: 1.0 / 48f32.sqrt(),
+            host_tail: None,
+        };
+        let base = attention_kernel_baseline(&inputs).unwrap();
+        let fast = attention_kernel(&inputs).unwrap();
+        let fused = attention_kernel_fused(&inputs).unwrap();
+        assert_eq!(bits(&base), bits(&fast), "optimized kernel diverged");
+        assert_eq!(bits(&base), bits(&fused), "fused kernel diverged");
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_clean() {
+        // A large call followed by a smaller one must not see stale arena
+        // contents.
+        let mut scratch = KernelScratch::new();
+        let (q1, k1, v1) = toy(4, 300, 64, 43);
+        let (qh1, kh1, vh1) = (q1.to_f16(), k1.to_f16(), v1.to_f16());
+        let big = AttentionInputs {
+            queries: &qh1,
+            keys: &kh1,
+            values: &vh1,
+            valid: None,
+            scale: 0.125,
+            host_tail: None,
+        };
+        attention_kernel_with_scratch(&big, &mut scratch).unwrap();
+
+        let (q2, k2, v2) = toy(2, 30, 16, 47);
+        let (qh2, kh2, vh2) = (q2.to_f16(), k2.to_f16(), v2.to_f16());
+        let small = AttentionInputs {
+            queries: &qh2,
+            keys: &kh2,
+            values: &vh2,
+            valid: None,
+            scale: 0.25,
+            host_tail: None,
+        };
+        let reused = attention_kernel_with_scratch(&small, &mut scratch).unwrap();
+        let fresh = attention_kernel_baseline(&small).unwrap();
+        assert_eq!(bits(&reused), bits(&fresh));
+
+        let reused_fused = attention_kernel_fused_with_scratch(&small, &mut scratch).unwrap();
+        assert_eq!(bits(&reused_fused), bits(&fresh));
     }
 
     #[test]
@@ -515,8 +971,7 @@ mod tests {
             host_tail: Some(HostTail { scores: &tail_scores, values: &vh }),
         })
         .unwrap();
-        let reference =
-            attention_reference(&qh.to_f32(), &kh.to_f32(), &vh.to_f32(), None, scale);
+        let reference = attention_reference(&qh.to_f32(), &kh.to_f32(), &vh.to_f32(), None, scale);
         assert!(out.max_abs_diff(&reference) < 1e-5);
     }
 

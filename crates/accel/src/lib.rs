@@ -4,10 +4,19 @@
 //! accelerator of HILOS §4.4:
 //!
 //! * [`F16`] — software IEEE 754 binary16, the device's storage format,
+//!   with a lazily-built 65536-entry decode LUT ([`f16_decode_lut`]) for
+//!   the hot paths,
 //! * [`attention_kernel`] — the bit-faithful functional model: blocked
 //!   two-pass softmax (Algorithm 1), online 128×128 K-tile transpose,
 //!   native GQA broadcast, −10⁴ padding masks, FP32 accumulation, and the
-//!   delayed-writeback host-tail path,
+//!   delayed-writeback host-tail path. The compute path is
+//!   zero-allocation in steady state (reusable [`KernelScratch`] arena,
+//!   shared per-group block decode); [`attention_kernel_fused`] streams
+//!   softmax statistics through the blocks without materializing the
+//!   score vector, and [`attention_kernel_baseline`] preserves the
+//!   original implementation as the golden reference,
+//! * [`attention_kernel_batch`] / [`parallel_map`] — deterministic
+//!   fan-out over query groups / KV shards,
 //! * [`attention_reference`] / [`attention_streaming`] — gold references
 //!   (three-pass softmax in `f64`; FlashAttention-style online softmax),
 //! * [`sparse_topk_attention`] — the lossy InstAttention-style retrieval
@@ -46,6 +55,7 @@
 mod estimator;
 mod f16;
 mod kernel;
+mod parallel;
 mod reference;
 mod resources;
 mod softmax;
@@ -55,14 +65,18 @@ mod timing;
 mod window;
 
 pub use estimator::{estimator_correlation, pearson, PerformanceEstimator};
-pub use f16::F16;
+pub use f16::{f16_decode_lut, F16};
 pub use kernel::{
-    attention_kernel, host_partial_scores, transpose_tile, AttentionInputs, HostTail,
-    KernelError, BLOCK_TOKENS, TILE_DIM,
+    attention_kernel, attention_kernel_baseline, attention_kernel_fused,
+    attention_kernel_fused_with_scratch, attention_kernel_with_scratch, host_partial_scores,
+    transpose_tile, AttentionInputs, HostTail, KernelError, KernelScratch, BLOCK_TOKENS, TILE_DIM,
 };
-pub use reference::{attention_reference, attention_streaming};
+pub use parallel::{attention_kernel_batch, parallel_map};
+pub use reference::{attention_reference, attention_streaming, attention_streaming_f16};
 pub use resources::{FpgaPart, ResourceError, ResourceModel, ResourceReport};
-pub use softmax::{softmax_three_pass, softmax_two_pass, SoftmaxStats, MASK_VALUE};
+pub use softmax::{
+    softmax_three_pass, softmax_two_pass, softmax_two_pass_into, SoftmaxStats, MASK_VALUE,
+};
 pub use sparse::{sparse_read_fraction, sparse_topk_attention, EstimationNoise};
 pub use tensor::{MatrixF16, MatrixF32};
 pub use timing::AccelTimingModel;

@@ -8,7 +8,7 @@
 //!   the "lossless" comparison point of Fig. 18c.
 
 use crate::softmax::MASK_VALUE;
-use crate::tensor::MatrixF32;
+use crate::tensor::{MatrixF16, MatrixF32};
 
 /// Computes masked scaled-dot-product attention for a group of queries that
 /// share one K/V cache (multi-head: group size 1; GQA: group size
@@ -49,8 +49,7 @@ pub fn attention_reference(
                 *sc = MASK_VALUE as f64;
             } else {
                 let k = keys.row(j);
-                let dot: f64 =
-                    q.iter().zip(k).map(|(&a, &b)| a as f64 * b as f64).sum();
+                let dot: f64 = q.iter().zip(k).map(|(&a, &b)| a as f64 * b as f64).sum();
                 *sc = dot * scale as f64;
             }
         }
@@ -140,6 +139,83 @@ pub fn attention_streaming(
     out
 }
 
+/// [`attention_streaming`] over FP16 storage: rows are LUT-decoded on the
+/// fly into small per-row buffers instead of widening whole matrices
+/// first.
+///
+/// Bit-identical to `attention_streaming(&q.to_f32(), &k.to_f32(),
+/// &v.to_f32(), ...)` (the decode LUT reproduces `F16::to_f32` exactly
+/// and the arithmetic order is unchanged) while allocating `O(g·d)`
+/// rather than `O(s·d)` — this is what the baselines use to model CPU
+/// attention over an FP16 KV cache without materializing an FP32 copy of
+/// the context.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `s == 0`.
+pub fn attention_streaming_f16(
+    queries: &MatrixF16,
+    keys: &MatrixF16,
+    values: &MatrixF16,
+    valid: Option<&[bool]>,
+    scale: f32,
+) -> MatrixF32 {
+    let (g, d) = (queries.rows(), queries.cols());
+    let s = keys.rows();
+    assert!(s > 0, "attention over an empty context");
+    assert_eq!(keys.cols(), d, "key dim mismatch");
+    assert_eq!(values.rows(), s, "value rows mismatch");
+    assert_eq!(values.cols(), d, "value dim mismatch");
+    if let Some(v) = valid {
+        assert_eq!(v.len(), s, "mask length mismatch");
+    }
+
+    let mut q_dec = vec![0.0f32; g * d];
+    queries.decode_rows_into(0, g, &mut q_dec);
+    let mut k_row = vec![0.0f32; d];
+    let mut v_row = vec![0.0f32; d];
+
+    let mut out = MatrixF32::zeros(g, d);
+    for qi in 0..g {
+        let q = &q_dec[qi * d..(qi + 1) * d];
+        let mut m = f32::NEG_INFINITY;
+        let mut z = 0.0f32;
+        let mut acc = vec![0.0f32; d];
+        for j in 0..s {
+            let masked = valid.map(|v| !v[j]).unwrap_or(false);
+            let x = if masked {
+                MASK_VALUE
+            } else {
+                keys.decode_row_into(j, &mut k_row);
+                let dot: f32 = q.iter().zip(&k_row).map(|(&a, &b)| a * b).sum();
+                dot * scale
+            };
+            values.decode_row_into(j, &mut v_row);
+            if x > m {
+                let r = (m - x).exp();
+                z = z * r + 1.0;
+                for a in acc.iter_mut() {
+                    *a *= r;
+                }
+                m = x;
+                for (a, &vv) in acc.iter_mut().zip(&v_row) {
+                    *a += vv;
+                }
+            } else {
+                let w = (x - m).exp();
+                z += w;
+                for (a, &vv) in acc.iter_mut().zip(&v_row) {
+                    *a += w * vv;
+                }
+            }
+        }
+        for (c, &a) in acc.iter().enumerate() {
+            out.set(qi, c, a / z);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,12 +268,25 @@ mod tests {
     }
 
     #[test]
+    fn streaming_f16_is_bit_identical_to_widened_f32_path() {
+        let (q, k, v) = toy(3, 260, 32, 51);
+        let (qh, kh, vh) = (q.to_f16(), k.to_f16(), v.to_f16());
+        let mut valid = vec![true; 260];
+        valid[200..].fill(false);
+        for mask in [None, Some(valid.as_slice())] {
+            let widened = attention_streaming(&qh.to_f32(), &kh.to_f32(), &vh.to_f32(), mask, 0.2);
+            let direct = attention_streaming_f16(&qh, &kh, &vh, mask, 0.2);
+            let a: Vec<u32> = widened.as_slice().iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = direct.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "mask={:?}", mask.is_some());
+        }
+    }
+
+    #[test]
     fn mask_excludes_padding() {
         let (q, k, v) = toy(1, 10, 8, 9);
         let mut valid = vec![true; 10];
-        for j in 5..10 {
-            valid[j] = false;
-        }
+        valid[5..10].fill(false);
         let masked = attention_reference(&q, &k, &v, Some(&valid), 0.3);
         // Same result as truncating the context to the valid prefix.
         let k5 = MatrixF32::from_fn(5, 8, |r, c| k.at(r, c));

@@ -60,10 +60,9 @@ pub enum ResourceError {
 impl fmt::Display for ResourceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ResourceError::OverBudget { resource, required, available } => write!(
-                f,
-                "design does not fit: needs {required} {resource}, part has {available}"
-            ),
+            ResourceError::OverBudget { resource, required, available } => {
+                write!(f, "design does not fit: needs {required} {resource}, part has {available}")
+            }
         }
     }
 }

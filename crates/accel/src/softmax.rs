@@ -76,12 +76,22 @@ pub fn softmax_three_pass(x: &[f32]) -> Vec<f32> {
 /// Two-pass blocked softmax (Algorithm 1): one streaming pass to build
 /// [`SoftmaxStats`] block by block, one pass to normalize.
 pub fn softmax_two_pass(x: &[f32], block_len: usize) -> Vec<f32> {
+    let mut out = Vec::new();
+    softmax_two_pass_into(x, block_len, &mut out);
+    out
+}
+
+/// [`softmax_two_pass`] writing into a caller-owned buffer — the
+/// zero-allocation variant for hot loops that normalize score vectors
+/// repeatedly. `out` is cleared and refilled; its capacity is reused.
+pub fn softmax_two_pass_into(x: &[f32], block_len: usize, out: &mut Vec<f32>) {
     assert!(block_len > 0, "block length must be positive");
     let mut stats = SoftmaxStats::new();
     for block in x.chunks(block_len) {
         stats.update_block(block);
     }
-    x.iter().map(|&v| stats.normalize(v)).collect()
+    out.clear();
+    out.extend(x.iter().map(|&v| stats.normalize(v)));
 }
 
 #[cfg(test)]
@@ -103,6 +113,22 @@ mod tests {
             let b = softmax_three_pass(&x);
             assert_close(&a, &b, 1e-6);
         }
+    }
+
+    #[test]
+    fn into_variant_reuses_buffer_and_matches() {
+        let x: Vec<f32> = (0..300).map(|i| (i as f32 * 0.31).sin() * 6.0).collect();
+        let direct = softmax_two_pass(&x, 128);
+        let mut buf = Vec::new();
+        softmax_two_pass_into(&x, 128, &mut buf);
+        assert_eq!(direct, buf);
+        // Second fill with a shorter input: buffer shrinks logically,
+        // capacity is reused.
+        let cap = buf.capacity();
+        softmax_two_pass_into(&x[..100], 64, &mut buf);
+        assert_eq!(buf.len(), 100);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf, softmax_two_pass(&x[..100], 64));
     }
 
     #[test]

@@ -53,6 +53,13 @@ pub fn sparse_topk_attention(
     }
 
     // --- Score estimation (the lossy part) ---
+    // Queries are LUT-decoded once and each key row once (shared across
+    // the whole GQA group), instead of re-widening both per element —
+    // same arithmetic order, so the estimated scores (and therefore the
+    // selection) are bit-identical to the per-element path.
+    let mut q_dec = vec![0.0f32; g * d];
+    inputs.queries.decode_rows_into(0, g, &mut q_dec);
+    let mut k_row = vec![0.0f32; d];
     let mut noise_state = noise.map(|n| (n.seed | 1, n.amplitude));
     let mut est = vec![f32::NEG_INFINITY; s];
     for j in 0..s {
@@ -60,12 +67,11 @@ pub fn sparse_topk_attention(
         if masked {
             continue;
         }
-        let krow = inputs.keys.row(j);
+        inputs.keys.decode_row_into(j, &mut k_row);
         let mut best = f32::NEG_INFINITY;
         for qi in 0..g {
-            let q = inputs.queries.row(qi);
-            let dot: f32 =
-                q.iter().zip(krow).map(|(&a, &b)| a.to_f32() * b.to_f32()).sum();
+            let q = &q_dec[qi * d..(qi + 1) * d];
+            let dot: f32 = q.iter().zip(&k_row).map(|(&a, &b)| a * b).sum();
             best = best.max(dot * inputs.scale);
         }
         if let Some((state, amp)) = noise_state.as_mut() {

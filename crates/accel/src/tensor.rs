@@ -4,7 +4,7 @@
 //! precision) and [`F16`](crate::F16) (the storage format of the KV cache on
 //! the device), plus conversions between the two.
 
-use crate::f16::F16;
+use crate::f16::{f16_decode_lut, F16};
 use std::fmt;
 
 /// A dense row-major `f32` matrix.
@@ -103,11 +103,7 @@ impl MatrixF32 {
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &MatrixF32) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 
@@ -171,13 +167,57 @@ impl MatrixF16 {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Widens every element to `f32`.
+    /// The raw row-major data.
+    pub fn as_slice(&self) -> &[F16] {
+        &self.data
+    }
+
+    /// Widens every element to `f32` (table-driven, bit-identical to
+    /// per-element [`F16::to_f32`]).
     pub fn to_f32(&self) -> MatrixF32 {
+        let lut = f16_decode_lut();
         MatrixF32 {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|v| v.to_f32()).collect(),
+            data: self.data.iter().map(|v| lut[v.to_bits() as usize]).collect(),
         }
+    }
+
+    /// Batch-decodes rows `[row_start, row_start + n_rows)` into `dst`
+    /// (row-major, `n_rows * cols` values) through the shared decode LUT.
+    ///
+    /// This is the kernels' scratch-arena fill: one pass, no per-element
+    /// branching, no allocation. Bit-identical to calling
+    /// [`F16::to_f32`] per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range is out of bounds or `dst` is shorter than
+    /// `n_rows * cols`.
+    pub fn decode_rows_into(&self, row_start: usize, n_rows: usize, dst: &mut [f32]) {
+        assert!(
+            row_start + n_rows <= self.rows,
+            "row range {row_start}..{} out of bounds ({} rows)",
+            row_start + n_rows,
+            self.rows
+        );
+        let n = n_rows * self.cols;
+        assert!(dst.len() >= n, "destination too small: {} < {n}", dst.len());
+        let lut = f16_decode_lut();
+        let src = &self.data[row_start * self.cols..row_start * self.cols + n];
+        for (d, s) in dst[..n].iter_mut().zip(src) {
+            *d = lut[s.to_bits() as usize];
+        }
+    }
+
+    /// Batch-decodes one row into `dst` (at least `cols` values) through
+    /// the shared decode LUT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds or `dst` is shorter than `cols`.
+    pub fn decode_row_into(&self, r: usize, dst: &mut [f32]) {
+        self.decode_rows_into(r, 1, dst);
     }
 
     /// Appends a row (KV-cache append of a newly decoded token).
@@ -229,6 +269,38 @@ mod tests {
         let m = MatrixF32::from_vec(1, 1, vec![1.0 + f32::powi(2.0, -12)]);
         let h = m.to_f16();
         assert_eq!(h.at(0, 0).to_f32(), 1.0);
+    }
+
+    #[test]
+    fn decode_rows_into_matches_to_f32() {
+        let m = MatrixF32::from_fn(5, 7, |r, c| (r as f32 - 2.0) * 0.3 + c as f32 * 1.7).to_f16();
+        let full = m.to_f32();
+        let mut buf = vec![0.0f32; 3 * 7];
+        m.decode_rows_into(1, 3, &mut buf);
+        for r in 0..3 {
+            for c in 0..7 {
+                assert_eq!(buf[r * 7 + c].to_bits(), full.at(1 + r, c).to_bits());
+            }
+        }
+        let mut row = vec![0.0f32; 7];
+        m.decode_row_into(4, &mut row);
+        assert_eq!(row, full.row(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn decode_rows_into_bounds_checked() {
+        let m = MatrixF16::zeros(2, 3);
+        let mut buf = vec![0.0f32; 6];
+        m.decode_rows_into(1, 2, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination too small")]
+    fn decode_rows_into_checks_dst() {
+        let m = MatrixF16::zeros(2, 3);
+        let mut buf = vec![0.0f32; 2];
+        m.decode_rows_into(0, 1, &mut buf);
     }
 
     #[test]

@@ -87,8 +87,7 @@ impl AccelTimingModel {
         let mem = self.bytes_per_block(head_dim) / (self.dram_bw * self.pipeline_efficiency);
         let mac_peak = 2.0 * self.macs_per_lane as f64 * self.d_group as f64 * self.freq_hz;
         let compute = self.flops_per_block(head_dim) / mac_peak;
-        let softmax_cycles = self.score_passes as f64
-            * (self.d_group as f64 * BLOCK_TOKENS as f64)
+        let softmax_cycles = self.score_passes as f64 * (self.d_group as f64 * BLOCK_TOKENS as f64)
             / self.exp_unroll as f64
             + 16.0;
         let softmax = softmax_cycles / self.freq_hz;
@@ -103,8 +102,7 @@ impl AccelTimingModel {
         }
         let padded = self.padded_tokens(s);
         let blocks = padded.div_ceil(BLOCK_TOKENS as u64);
-        self.launch_overhead_s
-            + blocks as f64 * n_groups as f64 * self.block_seconds(head_dim)
+        self.launch_overhead_s + blocks as f64 * n_groups as f64 * self.block_seconds(head_dim)
     }
 
     /// Sustained arithmetic throughput in GFLOPS for a long-context kernel

@@ -71,8 +71,7 @@ pub fn sliding_window_attention(
         v_win.push_row(values.row(j));
     }
     // Mask the partial leading block.
-    let valid: Vec<bool> =
-        (lo_block_start..s).map(|j| j >= lo_token).collect();
+    let valid: Vec<bool> = (lo_block_start..s).map(|j| j >= lo_token).collect();
     attention_kernel(&AttentionInputs {
         queries,
         keys: &k_win,

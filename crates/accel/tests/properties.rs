@@ -2,7 +2,7 @@
 
 use hilos_accel::{
     attention_kernel, attention_reference, host_partial_scores, softmax_three_pass,
-    softmax_two_pass, AttentionInputs, F16, HostTail, MatrixF32,
+    softmax_two_pass, AttentionInputs, HostTail, MatrixF32, F16,
 };
 use proptest::prelude::*;
 

@@ -81,9 +81,8 @@ mod tests {
     fn uvm_is_several_times_slower_than_flex_dram() {
         let spec = SystemSpec::a100_pm9a3(4);
         let model = presets::opt_30b();
-        let flex = FlexGenSystem::new(&spec, &model, KvLocation::HostDram)
-            .unwrap()
-            .with_sim_layers(4);
+        let flex =
+            FlexGenSystem::new(&spec, &model, KvLocation::HostDram).unwrap().with_sim_layers(4);
         let ds = DeepSpeedUvm::new(&spec, &model).unwrap().with_sim_layers(4);
         let f = flex.run_decode(4, 32 * 1024, 4).unwrap().tokens_per_second();
         let d = ds.run_decode(4, 32 * 1024, 4).unwrap().tokens_per_second();
@@ -96,9 +95,6 @@ mod tests {
     #[test]
     fn same_oom_envelope_as_flex_dram() {
         let ds = DeepSpeedUvm::new(&SystemSpec::a100_pm9a3(4), &presets::opt_66b()).unwrap();
-        assert!(matches!(
-            ds.check_capacity(16, 32 * 1024, 64),
-            Err(BaselineError::HostOom { .. })
-        ));
+        assert!(matches!(ds.check_capacity(16, 32 * 1024, 64), Err(BaselineError::HostOom { .. })));
     }
 }

@@ -10,6 +10,7 @@
 //! KV bytes flow.
 
 use crate::error::BaselineError;
+use hilos_accel::{attention_streaming_f16, MatrixF16, MatrixF32};
 use hilos_core::{load_weights, weight_source, RunReport};
 use hilos_llm::ModelConfig;
 use hilos_platform::{BuiltSystem, StorageConfig, SystemSpec};
@@ -45,6 +46,28 @@ pub const FABRIC_EFFICIENCY: f64 = 0.70;
 /// paper's Fig. 10 relation to HILOS(4) (which beats it by 1.10–1.36×)
 /// and near its absolute Fig. 11a numbers.
 pub const CPU_ATTENTION_BW: f64 = 18e9;
+
+/// The functional model of the baselines' CPU attention (§6.1: "all
+/// baselines offload attention computation to the CPU"): a
+/// FlashAttention-style online-softmax sweep over the FP16 KV cache,
+/// decoding rows through the shared LUT instead of widening the whole
+/// cache to FP32 first — the same access pattern the
+/// [`CPU_ATTENTION_BW`] throughput constant models at the simulation
+/// level.
+///
+/// `queries` is `g × d`; `keys`/`values` are `s × d`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or the context is empty.
+pub fn functional_cpu_attention(
+    queries: &MatrixF16,
+    keys: &MatrixF16,
+    values: &MatrixF16,
+    scale: f32,
+) -> MatrixF32 {
+    attention_streaming_f16(queries, keys, values, None, scale)
+}
 
 /// A FlexGen-style deployment.
 #[derive(Debug, Clone)]
@@ -117,7 +140,12 @@ impl FlexGenSystem {
     ///   KV + workspace exceed host DRAM,
     /// * [`BaselineError::StorageCapacity`] for FLEX(SSD) jobs beyond the
     ///   array.
-    pub fn check_capacity(&self, batch: u32, context: u64, output: u64) -> Result<(), BaselineError> {
+    pub fn check_capacity(
+        &self,
+        batch: u32,
+        context: u64,
+        output: u64,
+    ) -> Result<(), BaselineError> {
         let max_ctx = context + output;
         let kv = self.model.kv_bytes_per_token() * batch as u64 * max_ctx;
         let workspace = 32u64 << 30;
@@ -133,8 +161,7 @@ impl FlexGenSystem {
                 // the CPU attention — this is what caps 66B/32K at batch 2
                 // (Fig. 11a).
                 let kv = kv + kv / 4;
-                let scores =
-                    batch as u64 * self.model.heads() as u64 * max_ctx * 4;
+                let scores = batch as u64 * self.model.heads() as u64 * max_ctx * 4;
                 let needed = weights + kv + scores + workspace;
                 if needed > self.spec.host.dram_bytes {
                     return Err(BaselineError::HostOom {
@@ -201,12 +228,8 @@ impl FlexGenSystem {
             );
             let mut deps = vec![w_attn];
             deps.extend(prev_layer);
-            let qkv = g.compute(
-                format!("qkv:l{l}"),
-                bs * m.qkv_flops_per_token_layer(),
-                sys.gpu,
-                &deps,
-            );
+            let qkv =
+                g.compute(format!("qkv:l{l}"), bs * m.qkv_flops_per_token_layer(), sys.gpu, &deps);
             // Fresh activations hop to the host for the CPU attention.
             g.transfer(
                 format!("act:down{l}"),
@@ -224,8 +247,7 @@ impl FlexGenSystem {
                     for (d, dev) in sys.devices.iter().enumerate() {
                         let mut tail = sys.device_to_host_route(d);
                         tail.push(sys.host_dram);
-                        let bytes =
-                            kv_layer_bytes / n as f64 / (HOST_IO_EFFICIENCY * fabric);
+                        let bytes = kv_layer_bytes / n as f64 / (HOST_IO_EFFICIENCY * fabric);
                         parts.push(dev.ssd.read_task(
                             &mut g,
                             &format!("loadkv:l{l}.d{d}"),
@@ -334,11 +356,9 @@ impl FlexGenSystem {
         // Naive per-step writes: each 256 B KV entry programs a page
         // unless buffered; FlexGen buffers per-layer, so the per-step
         // write is one page per (layer × device) at minimum.
-        let nand_writes = hilos_core::spill_nand_bytes_per_token(
-            m,
-            1,
-            self.spec.storage.ssd_spec().page_bytes(),
-        ) * bs;
+        let nand_writes =
+            hilos_core::spill_nand_bytes_per_token(m, 1, self.spec.storage.ssd_spec().page_bytes())
+                * bs;
 
         Ok(RunReport {
             batch,
@@ -442,10 +462,7 @@ mod tests {
         // FLEX(DRAM) on 66B/32K is capped at batch 2 by the 512 GB host.
         let f = flex_dram();
         assert_eq!(f.max_batch(32 * 1024, 64, 16), Some(2));
-        assert!(matches!(
-            f.check_capacity(4, 32 * 1024, 64),
-            Err(BaselineError::HostOom { .. })
-        ));
+        assert!(matches!(f.check_capacity(4, 32 * 1024, 64), Err(BaselineError::HostOom { .. })));
     }
 
     #[test]
@@ -522,5 +539,35 @@ mod tests {
     fn prefill_runs() {
         let t = flex_ssd().run_prefill(4, 16 * 1024).unwrap();
         assert!(t > 0.0);
+    }
+
+    #[test]
+    fn cpu_attention_agrees_with_accelerator_kernel() {
+        // The baselines' CPU attention and the HILOS accelerator kernel
+        // compute the same mathematical function over the same FP16
+        // cache; they differ only in summation strategy (online vs
+        // two-pass softmax), so outputs agree to FP32 round-off.
+        let mut state = 91u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0
+        };
+        let q = hilos_accel::MatrixF32::from_fn(2, 32, |_, _| next()).to_f16();
+        let k = hilos_accel::MatrixF32::from_fn(300, 32, |_, _| next()).to_f16();
+        let v = hilos_accel::MatrixF32::from_fn(300, 32, |_, _| next()).to_f16();
+        let scale = 1.0 / 32f32.sqrt();
+        let cpu = functional_cpu_attention(&q, &k, &v, scale);
+        let accel = hilos_accel::attention_kernel(&hilos_accel::AttentionInputs {
+            queries: &q,
+            keys: &k,
+            values: &v,
+            valid: None,
+            scale,
+            host_tail: None,
+        })
+        .unwrap();
+        assert!(cpu.max_abs_diff(&accel) < 1e-4);
     }
 }

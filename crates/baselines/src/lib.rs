@@ -27,8 +27,12 @@ mod vllm;
 
 pub use deepspeed::{DeepSpeedUvm, UVM_EFFECTIVE_BW};
 pub use error::BaselineError;
-pub use flexgen::{FlexGenSystem, KvLocation, CPU_ATTENTION_BW, FABRIC_EFFICIENCY, HOST_IO_EFFICIENCY};
+pub use flexgen::{
+    functional_cpu_attention, FlexGenSystem, KvLocation, CPU_ATTENTION_BW, FABRIC_EFFICIENCY,
+    HOST_IO_EFFICIENCY,
+};
 pub use instattention::{
-    accuracy_comparison, AccuracyComparison, DEFAULT_ESTIMATION_NOISE, DEFAULT_KEEP_FRACTION,
+    accuracy_comparison, accuracy_comparison_with_threads, AccuracyComparison,
+    DEFAULT_ESTIMATION_NOISE, DEFAULT_KEEP_FRACTION,
 };
 pub use vllm::VllmMultiNode;

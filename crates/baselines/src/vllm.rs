@@ -61,8 +61,7 @@ impl VllmMultiNode {
     /// Bytes of KV per GPU for a job (sharded over TP heads and PP
     /// layers).
     fn kv_per_gpu(&self, model: &ModelConfig, batch: u32, context: u64) -> f64 {
-        model.kv_bytes_per_token() as f64 * batch as f64 * context as f64
-            / self.total_gpus() as f64
+        model.kv_bytes_per_token() as f64 * batch as f64 * context as f64 / self.total_gpus() as f64
     }
 
     /// Weight bytes per GPU.
@@ -85,10 +84,7 @@ impl VllmMultiNode {
         let w = self.weights_per_gpu(model);
         let usable = self.usable_per_gpu();
         if w > usable {
-            return Err(BaselineError::GpuOom {
-                needed: w as u64,
-                available: usable as u64,
-            });
+            return Err(BaselineError::GpuOom { needed: w as u64, available: usable as u64 });
         }
         let kv = self.kv_per_gpu(model, batch, context);
         Ok((kv - (usable - w)).max(0.0))
@@ -100,9 +96,8 @@ impl VllmMultiNode {
         let mut best = None;
         let mut bs = 1;
         while bs <= limit {
-            match self.kv_overflow_per_gpu(model, bs, context) {
-                Ok(overflow) if overflow == 0.0 => best = Some(bs),
-                _ => {}
+            if let Ok(0.0) = self.kv_overflow_per_gpu(model, bs, context) {
+                best = Some(bs);
             }
             bs *= 2;
         }
@@ -128,9 +123,8 @@ impl VllmMultiNode {
         let layers = model.layers() as f64;
 
         // Per-layer GEMM work, sharded over TP.
-        let flops_layer = bs
-            * (model.qkv_flops_per_token_layer()
-                + model.mlp_flops_per_token_layer(0));
+        let flops_layer =
+            bs * (model.qkv_flops_per_token_layer() + model.mlp_flops_per_token_layer(0));
         let compute = flops_layer / (tp * self.gpu.fp16_flops);
         // Attention: HBM sweep of the resident KV shard.
         let kv_layer = bs * 2.0 * s * model.kv_dim() as f64 * 2.0;

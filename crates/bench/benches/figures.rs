@@ -64,12 +64,8 @@ fn bench_fig10(c: &mut Criterion) {
     let f = flex_ssd();
     let mut group = c.benchmark_group("fig10_decode_step");
     group.sample_size(10);
-    group.bench_function("hilos_8dev", |b| {
-        b.iter(|| h.run_decode(16, 32 * 1024, 1).unwrap())
-    });
-    group.bench_function("flex_ssd", |b| {
-        b.iter(|| f.run_decode(16, 32 * 1024, 1).unwrap())
-    });
+    group.bench_function("hilos_8dev", |b| b.iter(|| h.run_decode(16, 32 * 1024, 1).unwrap()));
+    group.bench_function("flex_ssd", |b| b.iter(|| f.run_decode(16, 32 * 1024, 1).unwrap()));
     group.finish();
 }
 

@@ -1,10 +1,16 @@
 //! Criterion benches for the functional compute kernels (Table 3 /
 //! Fig. 12a counterparts at functional level).
+//!
+//! `attention_2k_d64` and `attention_32k_d64` compare the optimized
+//! kernel (`hilos_kernel`), the fused streaming variant, and the pre-PR
+//! baseline (`hilos_kernel_baseline`) — the speedup the `bench_kernels`
+//! smoke binary records in `BENCH_kernels.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hilos_accel::{
-    attention_kernel, attention_reference, attention_streaming, softmax_three_pass,
-    softmax_two_pass, sparse_topk_attention, AttentionInputs, F16, MatrixF32,
+    attention_kernel, attention_kernel_baseline, attention_kernel_fused, attention_reference,
+    attention_streaming, softmax_three_pass, softmax_two_pass, sparse_topk_attention,
+    AttentionInputs, MatrixF32, F16,
 };
 use std::hint::black_box;
 
@@ -39,6 +45,12 @@ fn bench_attention(c: &mut Criterion) {
     group.bench_function("hilos_kernel", |b| {
         b.iter(|| attention_kernel(black_box(&inputs)).unwrap())
     });
+    group.bench_function("hilos_kernel_fused", |b| {
+        b.iter(|| attention_kernel_fused(black_box(&inputs)).unwrap())
+    });
+    group.bench_function("hilos_kernel_baseline", |b| {
+        b.iter(|| attention_kernel_baseline(black_box(&inputs)).unwrap())
+    });
     group.bench_function("reference_f64", |b| {
         b.iter(|| attention_reference(black_box(&q), black_box(&k), black_box(&v), None, 0.125))
     });
@@ -51,12 +63,37 @@ fn bench_attention(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_attention_long_context(c: &mut Criterion) {
+    // GQA group of 4 over a 32K-token shard: the shape the near-storage
+    // kernel sweeps per decode step at serving scale.
+    let (q, k, v) = toy(4, 32 * 1024, 64);
+    let (qh, kh, vh) = (q.to_f16(), k.to_f16(), v.to_f16());
+    let inputs = AttentionInputs {
+        queries: &qh,
+        keys: &kh,
+        values: &vh,
+        valid: None,
+        scale: 0.125,
+        host_tail: None,
+    };
+    let mut group = c.benchmark_group("attention_32k_d64");
+    group.sample_size(10);
+    group.bench_function("hilos_kernel", |b| {
+        b.iter(|| attention_kernel(black_box(&inputs)).unwrap())
+    });
+    group.bench_function("hilos_kernel_fused", |b| {
+        b.iter(|| attention_kernel_fused(black_box(&inputs)).unwrap())
+    });
+    group.bench_function("hilos_kernel_baseline", |b| {
+        b.iter(|| attention_kernel_baseline(black_box(&inputs)).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_softmax(c: &mut Criterion) {
     let xs: Vec<f32> = (0..32 * 1024).map(|i| ((i * 37) % 1001) as f32 * 0.01 - 5.0).collect();
     let mut group = c.benchmark_group("softmax_32k");
-    group.bench_function("two_pass_block128", |b| {
-        b.iter(|| softmax_two_pass(black_box(&xs), 128))
-    });
+    group.bench_function("two_pass_block128", |b| b.iter(|| softmax_two_pass(black_box(&xs), 128)));
     group.bench_function("three_pass", |b| b.iter(|| softmax_three_pass(black_box(&xs))));
     group.finish();
 }
@@ -72,7 +109,18 @@ fn bench_f16(c: &mut Criterion) {
             acc
         })
     });
+    let halves: Vec<F16> = values.iter().map(|&v| F16::from_f32(v)).collect();
+    c.bench_function("f16_lut_decode_4k", |b| {
+        b.iter(|| {
+            let lut = hilos_accel::f16_decode_lut();
+            let mut acc = 0.0f32;
+            for &h in &halves {
+                acc += lut[black_box(h).to_bits() as usize];
+            }
+            acc
+        })
+    });
 }
 
-criterion_group!(benches, bench_attention, bench_softmax, bench_f16);
+criterion_group!(benches, bench_attention, bench_attention_long_context, bench_softmax, bench_f16);
 criterion_main!(benches);

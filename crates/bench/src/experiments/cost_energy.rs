@@ -23,10 +23,7 @@ pub fn fig16a() -> String {
             let base_eff = tokens_per_second_per_dollar(&flex_spec, base);
             let mut push = |gpu: &str, name: &str, tps: Option<f64>, spec: &SystemSpec| {
                 let cell = match tps {
-                    Some(v) => format!(
-                        "{:.2}x",
-                        tokens_per_second_per_dollar(spec, v) / base_eff
-                    ),
+                    Some(v) => format!("{:.2}x", tokens_per_second_per_dollar(spec, v) / base_eff),
                     None => "OOM".into(),
                 };
                 t.row(vec![
@@ -77,17 +74,14 @@ pub fn fig16a() -> String {
 /// Figure 16(b): endurance — total serviceable requests (millions).
 pub fn fig16b() -> String {
     let mut out = String::from("Figure 16(b) — serviceable requests (millions, 16 devices)\n");
-    let mut t = Table::new(vec![
-        "class", "model", "FLEX(16SSD)", "HILOS c=16", "HILOS c=32", "gain(c=16)",
-    ]);
+    let mut t =
+        Table::new(vec!["class", "model", "FLEX(16SSD)", "HILOS c=16", "HILOS c=32", "gain(c=16)"]);
     let e = EnduranceModel::smartssd_array(16);
     for class in RequestClass::all() {
         for model in [presets::opt_30b(), presets::opt_66b(), presets::opt_175b()] {
             let flex = e.serviceable_requests(e.flexgen_request_bytes(&model, class, 16));
-            let h16 =
-                e.serviceable_requests(e.hilos_request_bytes(&model, class, 0.5, 16));
-            let h32 =
-                e.serviceable_requests(e.hilos_request_bytes(&model, class, 0.5, 32));
+            let h16 = e.serviceable_requests(e.hilos_request_bytes(&model, class, 0.5, 16));
+            let h32 = e.serviceable_requests(e.hilos_request_bytes(&model, class, 0.5, 32));
             t.row(vec![
                 class.to_string(),
                 model.name().into(),
@@ -120,9 +114,8 @@ fn activity_of(report: &RunReport, spec: &SystemSpec) -> ActivitySnapshot {
 /// FLEX(SSD).
 pub fn fig17a() -> String {
     let mut out = String::from("Figure 17(a) — energy per token (J), breakdown\n");
-    let mut t = Table::new(vec![
-        "model", "system", "cpu", "dram", "gpu", "ssd", "total J/tok", "norm",
-    ]);
+    let mut t =
+        Table::new(vec!["model", "system", "cpu", "dram", "gpu", "ssd", "total J/tok", "norm"]);
     for model in [presets::opt_30b(), presets::opt_66b(), presets::opt_175b()] {
         let s = 32 * 1024u64;
         let mut rows: Vec<(String, f64, hilos_metrics::EnergyBreakdown)> = Vec::new();
@@ -143,10 +136,7 @@ pub fn fig17a() -> String {
                 rows.push((format!("HILOS({n})"), r.batch as f64, e));
             }
         }
-        let base = rows
-            .first()
-            .map(|(_, bs, e)| e.total() / bs)
-            .unwrap_or(1.0);
+        let base = rows.first().map(|(_, bs, e)| e.total() / bs).unwrap_or(1.0);
         for (name, bs, e) in rows {
             t.row(vec![
                 model.name().into(),
@@ -175,14 +165,9 @@ pub fn fig17b() -> String {
         let flex = run_flex_ssd(&model, 16, s).map(|r| r.tokens_per_second());
         let dram = run_flex_dram_autobatch(&model, 16, s).map(|(_, r)| r.tokens_per_second());
         let v = vllm.tokens_per_second(&model, 1, s);
-        let h = run_hilos_config(
-            &SystemSpec::a100_smartssd(16),
-            &model,
-            &HilosConfig::new(16),
-            16,
-            s,
-        )
-        .map(|r| r.tokens_per_second());
+        let h =
+            run_hilos_config(&SystemSpec::a100_smartssd(16), &model, &HilosConfig::new(16), 16, s)
+                .map(|r| r.tokens_per_second());
         t.row(vec![
             format!("{}K", s / 1024),
             crate::tps_cell(&flex),
@@ -221,8 +206,7 @@ mod tests {
         let model = presets::opt_66b();
         let flex_spec = SystemSpec::a100_pm9a3(4);
         let r = run_flex_ssd(&model, 16, 32 * 1024).unwrap();
-        let flex_jpt =
-            energy(&flex_spec, &activity_of(&r, &flex_spec)).total() / r.batch as f64;
+        let flex_jpt = energy(&flex_spec, &activity_of(&r, &flex_spec)).total() / r.batch as f64;
         let spec = SystemSpec::a100_smartssd(16);
         let h = run_hilos_config(&spec, &model, &HilosConfig::new(16), 16, 32 * 1024).unwrap();
         let hilos_jpt = energy(&spec, &activity_of(&h, &spec)).total() / h.batch as f64;
@@ -237,9 +221,7 @@ mod tests {
     fn fig17b_hilos_beats_multinode_vllm() {
         // Paper: 1.64x-1.81x over the 8-GPU vLLM deployment.
         let model = presets::opt_175b();
-        let v = VllmMultiNode::paper_testbed()
-            .tokens_per_second(&model, 1, 16 * 1024)
-            .unwrap();
+        let v = VllmMultiNode::paper_testbed().tokens_per_second(&model, 1, 16 * 1024).unwrap();
         let h = run_hilos_config(
             &SystemSpec::a100_smartssd(16),
             &model,

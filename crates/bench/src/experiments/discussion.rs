@@ -14,15 +14,10 @@ pub fn fig18ab() -> String {
     let mut t = Table::new(vec!["ctx", "4x SmartSSD tok/s", "1x ISP-CSD tok/s", "ratio"]);
     let model = presets::opt_66b();
     for s in [16 * 1024u64, 32 * 1024] {
-        let four = run_hilos_config(
-            &SystemSpec::a100_smartssd(4),
-            &model,
-            &HilosConfig::new(4),
-            16,
-            s,
-        )
-        .map(|r| r.tokens_per_second())
-        .unwrap_or(f64::NAN);
+        let four =
+            run_hilos_config(&SystemSpec::a100_smartssd(4), &model, &HilosConfig::new(4), 16, s)
+                .map(|r| r.tokens_per_second())
+                .unwrap_or(f64::NAN);
         let isp = HilosSystem::new(&SystemSpec::a100_isp(1), &model, &HilosConfig::new(1))
             .unwrap()
             .with_sim_layers(SIM_LAYERS)

@@ -28,9 +28,7 @@ pub fn ablations() -> String {
     }
     out.push_str(&t.to_string());
 
-    out.push_str(
-        "\nAblation B — online transpose vs stored-K^T (extra flash copy of K)\n",
-    );
+    out.push_str("\nAblation B — online transpose vs stored-K^T (extra flash copy of K)\n");
     let mut t = Table::new(vec!["model", "prefill KV writes", "with stored-K^T", "increase"]);
     for model in [presets::opt_66b(), presets::opt_175b()] {
         // Storing K^T alongside K adds one more K-sized copy per token.
@@ -52,8 +50,8 @@ pub fn ablations() -> String {
     for page in [4096u64, 16384] {
         let mut cells = vec![format!("{}KiB", page / 1024)];
         for c in [1u32, 4, 16, 32, 64] {
-            let waf = spill_nand_bytes_per_token(&model, c, page)
-                / model.kv_bytes_per_token() as f64;
+            let waf =
+                spill_nand_bytes_per_token(&model, c, page) / model.kv_bytes_per_token() as f64;
             cells.push(format!("{waf:.1}x"));
         }
         t.row(cells);
@@ -75,7 +73,11 @@ pub fn ablations() -> String {
             name.into(),
             format!("{:.1}", feed / 1e9),
             format!("{:.1}", drain / 1e9),
-            if drain >= feed { "storage (good)".into() } else { "accelerator (§7.2 problem)".into() },
+            if drain >= feed {
+                "storage (good)".into()
+            } else {
+                "accelerator (§7.2 problem)".into()
+            },
         ]);
     }
     out.push_str(&t.to_string());
@@ -90,19 +92,14 @@ pub fn straggler() -> String {
     );
     let model = presets::opt_66b();
     let mut t = Table::new(vec!["degradation", "tok/s", "vs healthy", "vs FLEX(SSD)"]);
-    let flex = run_flex_ssd(&model, 16, 32 * 1024)
-        .map(|r| r.tokens_per_second())
-        .unwrap_or(f64::NAN);
+    let flex =
+        run_flex_ssd(&model, 16, 32 * 1024).map(|r| r.tokens_per_second()).unwrap_or(f64::NAN);
     let mut healthy = 0.0;
     for factor in [1.0f64, 0.5, 0.25, 0.1] {
-        let sys = HilosSystem::new(
-            &SystemSpec::a100_smartssd(8),
-            &model,
-            &HilosConfig::new(8),
-        )
-        .unwrap()
-        .with_sim_layers(SIM_LAYERS)
-        .with_degraded_device(0, factor.max(1e-3));
+        let sys = HilosSystem::new(&SystemSpec::a100_smartssd(8), &model, &HilosConfig::new(8))
+            .unwrap()
+            .with_sim_layers(SIM_LAYERS)
+            .with_degraded_device(0, factor.max(1e-3));
         let tps = sys.run_decode(16, 32 * 1024, 8).map(|r| r.tokens_per_second()).unwrap_or(0.0);
         if factor == 1.0 {
             healthy = tps;
@@ -153,27 +150,20 @@ mod tests {
     #[test]
     fn degraded_device_reduces_throughput() {
         let model = presets::opt_66b();
-        let base = HilosSystem::new(
-            &SystemSpec::a100_smartssd(8),
-            &model,
-            &HilosConfig::new(8),
-        )
-        .unwrap()
-        .with_sim_layers(2)
-        .run_decode(16, 32 * 1024, 2)
-        .unwrap()
-        .tokens_per_second();
-        let degraded = HilosSystem::new(
-            &SystemSpec::a100_smartssd(8),
-            &model,
-            &HilosConfig::new(8),
-        )
-        .unwrap()
-        .with_sim_layers(2)
-        .with_degraded_device(0, 0.25)
-        .run_decode(16, 32 * 1024, 2)
-        .unwrap()
-        .tokens_per_second();
+        let base = HilosSystem::new(&SystemSpec::a100_smartssd(8), &model, &HilosConfig::new(8))
+            .unwrap()
+            .with_sim_layers(2)
+            .run_decode(16, 32 * 1024, 2)
+            .unwrap()
+            .tokens_per_second();
+        let degraded =
+            HilosSystem::new(&SystemSpec::a100_smartssd(8), &model, &HilosConfig::new(8))
+                .unwrap()
+                .with_sim_layers(2)
+                .with_degraded_device(0, 0.25)
+                .run_decode(16, 32 * 1024, 2)
+                .unwrap()
+                .tokens_per_second();
         assert!(degraded < base * 0.9, "straggler should hurt: {degraded} vs {base}");
     }
 }

@@ -61,11 +61,7 @@ pub fn fig12a() -> String {
     t.row(vec!["SSD P2P read".into(), format!("{:.2}", ssd / 1e9), "1.00x".into()]);
     for (name, d) in [("MHA (d_group=1)", 1u32), ("GQA (d_group=4)", 4), ("GQA (d_group=5)", 5)] {
         let bw = AccelTimingModel::smartssd(d).kv_bytes_per_sec(128);
-        t.row(vec![
-            name.into(),
-            format!("{:.2}", bw / 1e9),
-            format!("{:.2}x", bw / ssd),
-        ]);
+        t.row(vec![name.into(), format!("{:.2}", bw / 1e9), format!("{:.2}x", bw / ssd)]);
     }
     out.push_str(&t.to_string());
     out.push_str("(all kernels exceed the SSD feed: attention stays storage-bound)\n");

@@ -22,8 +22,22 @@ pub use throughput::{fig10, fig11, fig12b};
 
 /// All experiment ids, in paper order.
 pub const ALL: [&str; 16] = [
-    "fig2", "fig4", "table3", "estimator", "fig10", "fig11", "fig12a", "fig12b", "fig13",
-    "fig14", "fig15", "fig16a", "fig16b", "fig17a", "fig17b", "fig18c",
+    "fig2",
+    "fig4",
+    "table3",
+    "estimator",
+    "fig10",
+    "fig11",
+    "fig12a",
+    "fig12b",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16a",
+    "fig16b",
+    "fig17a",
+    "fig17b",
+    "fig18c",
 ];
 
 /// Runs one experiment by id (also accepts `fig12` and `fig18ab`).

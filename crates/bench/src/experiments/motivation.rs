@@ -27,7 +27,8 @@ pub fn fig2() -> String {
     out.push_str(&t.to_string());
 
     out.push_str("\nFigure 2(b) — execution-time breakdown, FLEX(SSD)-style (OPT-175B)\n");
-    let mut t = Table::new(vec!["ctx", "bs", "kv_io%", "weights%", "others%", "tok/s", "speedup_vs_bs1"]);
+    let mut t =
+        Table::new(vec!["ctx", "bs", "kv_io%", "weights%", "others%", "tok/s", "speedup_vs_bs1"]);
     for s in [8 * 1024u64, 32 * 1024] {
         let mut base_tps = None;
         for bs in [1u32, 4, 16] {

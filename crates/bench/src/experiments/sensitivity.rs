@@ -15,8 +15,7 @@ fn hilos_with(n: usize, model: &ModelConfig, cfg: HilosConfig) -> HilosSystem {
 /// Figure 13: spill-interval (c) × X-cache ratio (α) sensitivity on
 /// OPT-30B and OPT-66B (HILOS, 16 devices, bs=16, s=32K).
 pub fn fig13() -> String {
-    let mut out =
-        String::from("Figure 13 — throughput (token/s) vs spill interval c and alpha\n");
+    let mut out = String::from("Figure 13 — throughput (token/s) vs spill interval c and alpha\n");
     for model in [presets::opt_30b(), presets::opt_66b()] {
         out.push_str(&format!("\n{} (bs=16, s=32K, 16 SmartSSDs)\n", model.name()));
         let mut t = Table::new(vec!["c", "a=0%", "a=12.5%", "a=25%", "a=50%", "a=75%"]);
@@ -39,9 +38,8 @@ pub fn fig13() -> String {
         // Reference: no buffering at all (per-step sub-page write-through).
         let mut cells = vec!["naive".to_string()];
         for alpha in [0.0, 0.125, 0.25, 0.5, 0.75] {
-            let cfg = HilosConfig::new(16)
-                .with_writeback(false)
-                .with_alpha(AlphaPolicy::Fixed(alpha));
+            let cfg =
+                HilosConfig::new(16).with_writeback(false).with_alpha(AlphaPolicy::Fixed(alpha));
             let tps = hilos_with(16, &model, cfg)
                 .run_decode(16, 32 * 1024, 2)
                 .map(|r| r.tokens_per_second())
@@ -61,9 +59,16 @@ pub fn fig13() -> String {
 /// Figure 14: total execution time (prefill + decode) by output length —
 /// the amortization analysis.
 pub fn fig14() -> String {
-    let mut out = String::from("Figure 14 — total time (s) by output length: FLEX(SSD) vs HILOS(16)\n");
+    let mut out =
+        String::from("Figure 14 — total time (s) by output length: FLEX(SSD) vs HILOS(16)\n");
     let mut t = Table::new(vec![
-        "model", "ctx", "out", "FLEX prefill", "FLEX decode", "HILOS prefill", "HILOS decode",
+        "model",
+        "ctx",
+        "out",
+        "FLEX prefill",
+        "FLEX decode",
+        "HILOS prefill",
+        "HILOS decode",
         "speedup",
     ]);
     for model in [presets::opt_30b(), presets::opt_66b()] {
@@ -77,10 +82,8 @@ pub fn fig14() -> String {
                 .unwrap()
                 .with_sim_layers(SIM_LAYERS);
                 let f_pf = flex.run_prefill(16, s).unwrap_or(f64::NAN);
-                let f_dec = flex
-                    .run_decode(16, s, out_len)
-                    .map(|r| r.decode_seconds)
-                    .unwrap_or(f64::NAN);
+                let f_dec =
+                    flex.run_decode(16, s, out_len).map(|r| r.decode_seconds).unwrap_or(f64::NAN);
                 let hilos = hilos_with(16, &model, HilosConfig::new(16));
                 let job = hilos.run_job(&BatchSpec::new(16, s, out_len)).unwrap();
                 let speedup = (f_pf + f_dec) / job.total_seconds();
@@ -104,14 +107,12 @@ pub fn fig14() -> String {
 /// Figure 15: the ablation — FLEX(SSD) → ANS → ANS+WB → ANS+X → ANS+WB+X.
 pub fn fig15() -> String {
     let mut out = String::from("Figure 15 — ablation, normalized to FLEX(SSD)\n");
-    let mut t = Table::new(vec![
-        "model", "ctx", "bs", "ANS", "ANS+WB", "ANS+X", "ANS+WB+X", "FLEX tok/s",
-    ]);
+    let mut t =
+        Table::new(vec!["model", "ctx", "bs", "ANS", "ANS+WB", "ANS+X", "ANS+WB+X", "FLEX tok/s"]);
     for model in [presets::opt_30b(), presets::opt_66b(), presets::glam_143b()] {
         for s in [16 * 1024u64, 32 * 1024, 64 * 1024] {
             for bs in [16u32, 32] {
-                let Ok(base) = run_flex_ssd(&model, bs, s).map(|r| r.tokens_per_second())
-                else {
+                let Ok(base) = run_flex_ssd(&model, bs, s).map(|r| r.tokens_per_second()) else {
                     continue;
                 };
                 let variant = |wb: bool, x: bool| -> String {
@@ -149,10 +150,7 @@ mod tests {
         let run = |alpha: f64| {
             let cfg =
                 HilosConfig::new(16).with_spill_interval(16).with_alpha(AlphaPolicy::Fixed(alpha));
-            hilos_with(16, &model, cfg)
-                .run_decode(16, 32 * 1024, 8)
-                .unwrap()
-                .tokens_per_second()
+            hilos_with(16, &model, cfg).run_decode(16, 32 * 1024, 8).unwrap().tokens_per_second()
         };
         let a0 = run(0.0);
         let a50 = run(0.5);
@@ -190,10 +188,7 @@ mod tests {
         let base = run_flex_ssd(&model, 16, 32 * 1024).unwrap().tokens_per_second();
         let run = |wb: bool, x: bool| {
             let cfg = HilosConfig::ans_only(16).with_writeback(wb).with_xcache(x);
-            hilos_with(16, &model, cfg)
-                .run_decode(16, 32 * 1024, 8)
-                .unwrap()
-                .tokens_per_second()
+            hilos_with(16, &model, cfg).run_decode(16, 32 * 1024, 8).unwrap().tokens_per_second()
         };
         let ans = run(false, false);
         let ans_wb = run(true, false);

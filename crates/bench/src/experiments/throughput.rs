@@ -1,8 +1,8 @@
 //! Figures 10, 11 and 12(b) — the headline throughput comparisons.
 
 use crate::{
-    run_deepspeed_autobatch, run_flex_dram_autobatch, run_flex_jbof, run_flex_ssd, run_hilos,
-    norm_cell,
+    norm_cell, run_deepspeed_autobatch, run_flex_dram_autobatch, run_flex_jbof, run_flex_ssd,
+    run_hilos,
 };
 use hilos_llm::presets;
 use hilos_metrics::Table;
@@ -10,11 +10,18 @@ use hilos_metrics::Table;
 /// Figure 10: normalized decoding throughput of all seven systems across
 /// model sizes and context lengths (bs=16).
 pub fn fig10() -> String {
-    let mut out =
-        String::from("Figure 10 — decoding throughput normalized to FLEX(SSD), bs=16\n");
+    let mut out = String::from("Figure 10 — decoding throughput normalized to FLEX(SSD), bs=16\n");
     let mut t = Table::new(vec![
-        "model", "ctx", "FLEX(SSD)", "FLEX(16SSD)", "DS+UVM", "FLEX(DRAM)", "HILOS(4)",
-        "HILOS(8)", "HILOS(16)", "FLEX(SSD) tok/s",
+        "model",
+        "ctx",
+        "FLEX(SSD)",
+        "FLEX(16SSD)",
+        "DS+UVM",
+        "FLEX(DRAM)",
+        "HILOS(4)",
+        "HILOS(8)",
+        "HILOS(16)",
+        "FLEX(SSD) tok/s",
     ]);
     for model in [presets::opt_30b(), presets::opt_66b(), presets::opt_175b()] {
         for s in [32 * 1024u64, 64 * 1024, 128 * 1024] {
@@ -25,12 +32,10 @@ pub fn fig10() -> String {
             };
             let norm = |tps: Option<f64>| norm_cell(tps.map(|v| v / base_tps));
             let jbof = run_flex_jbof(&model, 16, s).ok().map(|r| r.tokens_per_second());
-            let ds = run_deepspeed_autobatch(&model, 16, s)
-                .ok()
-                .map(|(_, r)| r.tokens_per_second());
-            let dram = run_flex_dram_autobatch(&model, 16, s)
-                .ok()
-                .map(|(_, r)| r.tokens_per_second());
+            let ds =
+                run_deepspeed_autobatch(&model, 16, s).ok().map(|(_, r)| r.tokens_per_second());
+            let dram =
+                run_flex_dram_autobatch(&model, 16, s).ok().map(|(_, r)| r.tokens_per_second());
             let h = |n: usize| run_hilos(n, &model, 16, s).ok().map(|r| r.tokens_per_second());
             t.row(vec![
                 model.name().into(),
@@ -120,7 +125,10 @@ pub fn fig11() -> String {
                 format!("{:.1}", 0.0f64.max(pick(&["loadw"]))),
                 format!("{:.1}", 0.0f64.max(pick(&["loadkv", "loadx"]))),
                 format!("{:.1}", 0.0f64.max(pick(&["spill", "storekv"]))),
-                format!("{:.1}", 0.0f64.max(pick(&["qkv", "atn", "atnx", "regen", "mlp", "partial"]))),
+                format!(
+                    "{:.1}",
+                    0.0f64.max(pick(&["qkv", "atn", "atnx", "regen", "mlp", "partial"]))
+                ),
             ]);
         }
     }
@@ -141,9 +149,8 @@ pub fn fig12b() -> String {
             let Ok(base) = run_flex_ssd(&model, 16, s).map(|r| r.tokens_per_second()) else {
                 continue;
             };
-            let dram = run_flex_dram_autobatch(&model, 16, s)
-                .ok()
-                .map(|(_, r)| r.tokens_per_second());
+            let dram =
+                run_flex_dram_autobatch(&model, 16, s).ok().map(|(_, r)| r.tokens_per_second());
             let h16 = run_hilos(16, &model, 16, s).ok().map(|r| r.tokens_per_second());
             t.row(vec![
                 model.name().into(),

@@ -49,9 +49,11 @@ pub fn run_hilos_config(
     batch: u32,
     ctx: u64,
 ) -> Result<RunReport, CoreError> {
-    HilosSystem::new(spec, model, config)?
-        .with_sim_layers(SIM_LAYERS)
-        .run_decode(batch, ctx, SAMPLE_OUTPUT)
+    HilosSystem::new(spec, model, config)?.with_sim_layers(SIM_LAYERS).run_decode(
+        batch,
+        ctx,
+        SAMPLE_OUTPUT,
+    )
 }
 
 /// Runs FLEX(SSD): four PM9A3 drives on dedicated root ports.
@@ -59,11 +61,7 @@ pub fn run_hilos_config(
 /// # Errors
 ///
 /// Propagates capacity errors.
-pub fn run_flex_ssd(
-    model: &ModelConfig,
-    batch: u32,
-    ctx: u64,
-) -> Result<RunReport, BaselineError> {
+pub fn run_flex_ssd(model: &ModelConfig, batch: u32, ctx: u64) -> Result<RunReport, BaselineError> {
     FlexGenSystem::new(&SystemSpec::a100_pm9a3(4), model, KvLocation::SsdArray)?
         .with_sim_layers(SIM_LAYERS)
         .run_decode(batch, ctx, SAMPLE_OUTPUT)

@@ -88,9 +88,9 @@ impl WeightsPrefetcher {
         let bytes = self.bytes_per_step(model, batch) as f64;
         let bw = match self.placement(sys, model) {
             WeightSource::HostDram => sys.spec.gpu.link.bandwidth(),
-            WeightSource::Storage => sys
-                .aggregate_internal_read_bw()
-                .min(sys.spec.gpu.link.bandwidth()),
+            WeightSource::Storage => {
+                sys.aggregate_internal_read_bw().min(sys.spec.gpu.link.bandwidth())
+            }
         };
         bytes / bw
     }
@@ -104,12 +104,8 @@ mod tests {
     use hilos_platform::SystemSpec;
 
     fn sys(n: usize) -> BuiltSystem {
-        BuiltSystem::build(
-            &SystemSpec::a100_smartssd(n),
-            Some(&AccelTimingModel::smartssd(1)),
-            128,
-        )
-        .unwrap()
+        BuiltSystem::build(&SystemSpec::a100_smartssd(n), Some(&AccelTimingModel::smartssd(1)), 128)
+            .unwrap()
     }
 
     #[test]

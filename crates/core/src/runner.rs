@@ -293,21 +293,20 @@ impl HilosSystem {
             * spec.batch as u64
             * max_ctx;
         let sys = self.build_world()?;
-        let weights_on_dev =
-            match weight_source(&sys, m, 32 << 30) {
-                WeightSource::Storage => m.weight_bytes(),
-                WeightSource::HostDram => 0,
-            };
-        let available = self.spec.storage.ssd_spec().capacity_bytes()
-            * self.config.n_devices() as u64;
+        let weights_on_dev = match weight_source(&sys, m, 32 << 30) {
+            WeightSource::Storage => m.weight_bytes(),
+            WeightSource::HostDram => 0,
+        };
+        let available =
+            self.spec.storage.ssd_spec().capacity_bytes() * self.config.n_devices() as u64;
         if cache + weights_on_dev > available {
             return Err(CoreError::DeviceCapacityExceeded {
                 needed: cache + weights_on_dev,
                 available,
             });
         }
-        let buffer = WritebackManager::new(self.config.spill_interval())
-            .peak_buffer_bytes(m, spec.batch);
+        let buffer =
+            WritebackManager::new(self.config.spill_interval()).peak_buffer_bytes(m, spec.batch);
         if buffer > self.spec.host.dram_bytes {
             return Err(CoreError::HostOom {
                 needed: buffer,
@@ -387,8 +386,8 @@ impl HilosSystem {
             let s = mid_ctx as f64;
             let layers = m.layers() as f64;
             let weights = m.decode_weight_traffic_bytes(batch) as f64;
-            let scatter = (1.0 - alpha) * bs * (m.hidden() as f64
-                + 2.0 * m.kv_dim() as f64) * 2.0 * layers;
+            let scatter =
+                (1.0 - alpha) * bs * (m.hidden() as f64 + 2.0 * m.kv_dim() as f64) * 2.0 * layers;
             let gather = (1.0 - alpha) * bs * m.hidden() as f64 * 2.0 * layers;
             let x_reads = alpha * bs * s * m.hidden() as f64 * 2.0 * layers;
             let spill = if decision.spill_now {
@@ -451,8 +450,7 @@ impl HilosSystem {
         let alpha = self.select_alpha(batch, context)?;
         let mut sys = self.build_world()?;
         let layer_scale = self.model.layers() as f64 / self.sim_layers as f64;
-        let graph =
-            build_hilos_prefill(&sys, &self.model, batch, context, alpha, self.sim_layers);
+        let graph = build_hilos_prefill(&sys, &self.model, batch, context, alpha, self.sim_layers);
         let timeline = execute(&mut sys.engine, &graph)?;
         let cache_bytes = ((1.0 - alpha) * self.model.kv_bytes_per_token() as f64
             + alpha * self.model.x_bytes_per_token() as f64)
@@ -474,6 +472,26 @@ impl HilosSystem {
         let decode = self.run_decode(spec.batch, spec.context_len, spec.output_len)?;
         Ok(JobReport { prefill, decode })
     }
+
+    /// Runs a sweep of independent decode jobs, fanned out over up to
+    /// `threads` workers.
+    ///
+    /// Every job builds its own simulation world (runs are already
+    /// independent and deterministic), and results are reduced in job
+    /// order — element `i` of the output is exactly what
+    /// `run_decode(jobs[i])` returns, bit for bit, for any thread count.
+    /// This is the campaign-sweep fast path: context/batch sensitivity
+    /// sweeps parallelize across host cores without giving up the
+    /// reproducibility guarantee.
+    pub fn run_decode_sweep(
+        &self,
+        jobs: &[BatchSpec],
+        threads: usize,
+    ) -> Vec<Result<RunReport, CoreError>> {
+        hilos_accel::parallel_map(jobs, threads, |_, spec| {
+            self.run_decode(spec.batch, spec.context_len, spec.output_len)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -482,12 +500,8 @@ mod tests {
     use hilos_llm::presets;
 
     fn hilos(n: usize) -> HilosSystem {
-        HilosSystem::new(
-            &SystemSpec::a100_smartssd(n),
-            &presets::opt_66b(),
-            &HilosConfig::new(n),
-        )
-        .unwrap()
+        HilosSystem::new(&SystemSpec::a100_smartssd(n), &presets::opt_66b(), &HilosConfig::new(n))
+            .unwrap()
     }
 
     #[test]
@@ -515,12 +529,9 @@ mod tests {
     #[test]
     fn validation_errors() {
         // No accelerators in a conventional-SSD system.
-        let err = HilosSystem::new(
-            &SystemSpec::a100_pm9a3(4),
-            &presets::opt_66b(),
-            &HilosConfig::new(4),
-        )
-        .unwrap_err();
+        let err =
+            HilosSystem::new(&SystemSpec::a100_pm9a3(4), &presets::opt_66b(), &HilosConfig::new(4))
+                .unwrap_err();
         assert_eq!(err, CoreError::NoAccelerators);
 
         // More devices than the chassis holds.
@@ -543,9 +554,7 @@ mod tests {
             &HilosConfig::new(4),
         )
         .unwrap();
-        let err = sys175
-            .check_capacity(&BatchSpec::new(64, 256 * 1024, 64))
-            .unwrap_err();
+        let err = sys175.check_capacity(&BatchSpec::new(64, 256 * 1024, 64)).unwrap_err();
         assert!(matches!(err, CoreError::DeviceCapacityExceeded { .. }));
         // A sane job passes.
         sys.check_capacity(&BatchSpec::new(16, 32 * 1024, 64)).unwrap();
@@ -568,6 +577,24 @@ mod tests {
         let short = sys.run_decode(16, 16 * 1024, 4).unwrap();
         let long = sys.run_decode(16, 64 * 1024, 4).unwrap();
         assert!(long.avg_step_seconds > 2.0 * short.avg_step_seconds);
+    }
+
+    #[test]
+    fn decode_sweep_parallel_matches_serial_bitwise() {
+        let sys = hilos(8).with_sim_layers(2);
+        let jobs: Vec<BatchSpec> = [8u32, 16, 32]
+            .iter()
+            .flat_map(|&b| [16u64, 32].map(|kc| BatchSpec::new(b, kc * 1024, 4)))
+            .collect();
+        let serial = sys.run_decode_sweep(&jobs, 1);
+        let parallel = sys.run_decode_sweep(&jobs, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.avg_step_seconds.to_bits(), b.avg_step_seconds.to_bits());
+            assert_eq!(a.gpu_utilization.to_bits(), b.gpu_utilization.to_bits());
+            assert_eq!(a.category_seconds, b.category_seconds);
+        }
     }
 
     #[test]

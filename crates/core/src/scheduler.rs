@@ -180,8 +180,7 @@ pub fn build_hilos_decode_step(
                 // each entry paying a page read-modify-write in firmware.
                 let mut read_deps = vec![scatter];
                 if !wb {
-                    let entries =
-                        ((1.0 - alpha) * bs * model.kv_heads() as f64 / n as f64).ceil();
+                    let entries = ((1.0 - alpha) * bs * model.kv_heads() as f64 / n as f64).ceil();
                     let write = dev.ssd.write_task(
                         &mut g,
                         &format!("storekv:l{l}.d{d}"),
@@ -191,9 +190,7 @@ pub fn build_hilos_decode_step(
                     );
                     let rmw = g.delay(
                         format!("storekv:rmw{l}.d{d}"),
-                        hilos_sim::SimTime::from_secs_f64(
-                            entries * SUB_PAGE_WRITE_PENALTY_S,
-                        ),
+                        hilos_sim::SimTime::from_secs_f64(entries * SUB_PAGE_WRITE_PENALTY_S),
                         &[write],
                     );
                     read_deps.push(rmw);
@@ -232,12 +229,7 @@ pub fn build_hilos_decode_step(
         // -- 5: host partial QK^T for the buffered tail, plus the tail's
         // V rows and score scalars shipped to the devices --
         if wb && step.buffered_tokens > 0 {
-            let flops = 2.0
-                * bs
-                * heads
-                * d_head
-                * step.buffered_tokens as f64
-                * (1.0 - alpha);
+            let flops = 2.0 * bs * heads * d_head * step.buffered_tokens as f64 * (1.0 - alpha);
             let partial = g.compute(format!("partial:l{l}"), flops, sys.cpu, &[qkv]);
             let tail_bytes = step.buffered_tokens as f64
                 * bs
@@ -273,8 +265,7 @@ pub fn build_hilos_decode_step(
                 atn_parts.push(lx);
             }
             let regen = g.compute(format!("regen:l{l}"), regen_flops_layer, sys.gpu, &[qkv]);
-            let atnx =
-                g.compute(format!("atnx:l{l}"), alpha * atn_flops_layer, sys.gpu, &[qkv]);
+            let atnx = g.compute(format!("atnx:l{l}"), alpha * atn_flops_layer, sys.gpu, &[qkv]);
             let atnx_mem = g.transfer(
                 format!("atnxmem:l{l}"),
                 alpha * bs * 3.0 * s * h * 2.0,
@@ -435,20 +426,13 @@ mod tests {
         let cfg = HilosConfig::new(8);
         let run = |alpha: f64| {
             let mut sys = built(8, 1);
-            let g = build_hilos_decode_step(
-                &sys,
-                &model,
-                &cfg,
-                &default_step(16, 32 * 1024, alpha),
-            );
+            let g =
+                build_hilos_decode_step(&sys, &model, &cfg, &default_step(16, 32 * 1024, alpha));
             execute(&mut sys.engine, &g).unwrap().makespan().as_secs_f64()
         };
         let plain = run(0.0);
         let xcached = run(0.5);
-        assert!(
-            xcached < plain * 0.85,
-            "X-cache should cut the step: {xcached} vs {plain}"
-        );
+        assert!(xcached < plain * 0.85, "X-cache should cut the step: {xcached} vs {plain}");
     }
 
     #[test]
@@ -475,8 +459,7 @@ mod tests {
         let run = |n: usize| {
             let mut sys = built(n, 1);
             let cfg = HilosConfig::new(n);
-            let g =
-                build_hilos_decode_step(&sys, &model, &cfg, &default_step(16, 64 * 1024, 0.0));
+            let g = build_hilos_decode_step(&sys, &model, &cfg, &default_step(16, 64 * 1024, 0.0));
             execute(&mut sys.engine, &g).unwrap().makespan().as_secs_f64()
         };
         let t4 = run(4);

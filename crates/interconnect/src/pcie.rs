@@ -98,8 +98,12 @@ mod tests {
 
     #[test]
     fn per_lane_bandwidth_doubles_per_gen() {
-        assert!(PcieGen::Gen4.bytes_per_sec_per_lane() > 1.9 * PcieGen::Gen3.bytes_per_sec_per_lane());
-        assert!(PcieGen::Gen5.bytes_per_sec_per_lane() > 1.9 * PcieGen::Gen4.bytes_per_sec_per_lane());
+        assert!(
+            PcieGen::Gen4.bytes_per_sec_per_lane() > 1.9 * PcieGen::Gen3.bytes_per_sec_per_lane()
+        );
+        assert!(
+            PcieGen::Gen5.bytes_per_sec_per_lane() > 1.9 * PcieGen::Gen4.bytes_per_sec_per_lane()
+        );
     }
 
     #[test]

@@ -117,7 +117,12 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if `parent` does not belong to this topology.
-    pub fn add_switch(&mut self, name: impl Into<String>, parent: NodeId, link: LinkSpec) -> NodeId {
+    pub fn add_switch(
+        &mut self,
+        name: impl Into<String>,
+        parent: NodeId,
+        link: LinkSpec,
+    ) -> NodeId {
         self.add_node(name.into(), NodeKind::Switch, parent, link)
     }
 
@@ -126,7 +131,12 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if `parent` does not belong to this topology.
-    pub fn add_device(&mut self, name: impl Into<String>, parent: NodeId, link: LinkSpec) -> NodeId {
+    pub fn add_device(
+        &mut self,
+        name: impl Into<String>,
+        parent: NodeId,
+        link: LinkSpec,
+    ) -> NodeId {
         self.add_node(name.into(), NodeKind::Device, parent, link)
     }
 
@@ -326,14 +336,8 @@ mod tests {
         let t = Topology::new("host");
         let mut eng = FlowEngine::new();
         let inst = t.instantiate(&mut eng);
-        assert_eq!(
-            inst.route(t.root(), t.root()),
-            Err(TopologyError::SameEndpoint(0))
-        );
-        assert_eq!(
-            inst.route(t.root(), NodeId(7)),
-            Err(TopologyError::UnknownNode(7))
-        );
+        assert_eq!(inst.route(t.root(), t.root()), Err(TopologyError::SameEndpoint(0)));
+        assert_eq!(inst.route(t.root(), NodeId(7)), Err(TopologyError::UnknownNode(7)));
     }
 
     #[test]
@@ -360,8 +364,7 @@ mod tests {
         let build = |n: usize| {
             let mut t = Topology::new("host");
             let sw = t.add_switch("sw", t.root(), x16g4());
-            let devs: Vec<_> =
-                (0..n).map(|i| t.add_device(format!("d{i}"), sw, x4g3())).collect();
+            let devs: Vec<_> = (0..n).map(|i| t.add_device(format!("d{i}"), sw, x4g3())).collect();
             let mut eng = FlowEngine::new();
             let inst = t.instantiate(&mut eng);
             for d in &devs {

@@ -172,7 +172,7 @@ impl ModelConfig {
         let i = self.intermediate as u64;
         let dense = self.mlp_matrices() * h * i * FP16_BYTES;
         match self.moe {
-            Some(m) if layer % m.interval == 0 => {
+            Some(m) if layer.is_multiple_of(m.interval) => {
                 let router = h * m.experts as u64 * FP16_BYTES;
                 m.experts as u64 * dense + router
             }
@@ -262,7 +262,7 @@ impl ModelConfig {
         let proj_o = 2.0 * h * h;
         let dense = 2.0 * self.mlp_matrices() as f64 * h * i;
         match self.moe {
-            Some(m) if layer % m.interval == 0 => proj_o + m.active_experts as f64 * dense,
+            Some(m) if layer.is_multiple_of(m.interval) => proj_o + m.active_experts as f64 * dense,
             _ => proj_o + dense,
         }
     }

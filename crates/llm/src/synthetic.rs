@@ -145,8 +145,8 @@ impl RetrievalTask {
             let strength = cfg.needle_strength.0
                 + rng.random::<f32>() * (cfg.needle_strength.1 - cfg.needle_strength.0);
             let a = strength / q_norm_sq.max(1e-9);
-            for c in 0..d {
-                keys.set(pos, c, a * q[c] + gauss(&mut rng) * norm * 0.05);
+            for (c, &qc) in q.iter().enumerate() {
+                keys.set(pos, c, a * qc + gauss(&mut rng) * norm * 0.05);
                 values.set(pos, c, vocab.at(answer, c));
             }
         }

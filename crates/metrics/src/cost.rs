@@ -10,9 +10,7 @@ pub fn tokens_per_second_per_dollar(spec: &SystemSpec, tokens_per_second: f64) -
 
 /// Normalizes a set of `(label, tps, spec)` triples to the first entry's
 /// cost efficiency (the Fig. 16a presentation).
-pub fn normalized_cost_efficiency(
-    entries: &[(&str, f64, &SystemSpec)],
-) -> Vec<(String, f64)> {
+pub fn normalized_cost_efficiency(entries: &[(&str, f64, &SystemSpec)]) -> Vec<(String, f64)> {
     if entries.is_empty() {
         return Vec::new();
     }
@@ -45,8 +43,7 @@ mod tests {
     fn normalization_sets_base_to_one() {
         let flex = SystemSpec::a100_pm9a3(4);
         let hilos = SystemSpec::a100_smartssd(16);
-        let rows =
-            normalized_cost_efficiency(&[("flex", 0.2, &flex), ("hilos", 1.4, &hilos)]);
+        let rows = normalized_cost_efficiency(&[("flex", 0.2, &flex), ("hilos", 1.4, &hilos)]);
         assert_eq!(rows[0].1, 1.0);
         assert!(rows[1].1 > 2.0, "hilos at 7x throughput should win on cost: {}", rows[1].1);
     }

@@ -64,17 +64,16 @@ impl EnduranceModel {
 
         // Prefill: one bulk row-wise write per stream.
         let pf = class.input_tokens();
-        let prefill_kv = kv_streams
-            * ((pf * kv_entry).div_ceil(self.page_bytes) * self.page_bytes) as f64;
-        let prefill_x = x_streams
-            * ((pf * x_entry).div_ceil(self.page_bytes) * self.page_bytes) as f64;
+        let prefill_kv =
+            kv_streams * ((pf * kv_entry).div_ceil(self.page_bytes) * self.page_bytes) as f64;
+        let prefill_x =
+            x_streams * ((pf * x_entry).div_ceil(self.page_bytes) * self.page_bytes) as f64;
 
         // Decode: chunked spills of c tokens.
         let out = class.output_tokens();
-        let decode_kv = kv_streams
-            * self.chunked_stream_bytes(out, spill_interval as u64, kv_entry);
-        let decode_x =
-            x_streams * self.chunked_stream_bytes(out, spill_interval as u64, x_entry);
+        let decode_kv =
+            kv_streams * self.chunked_stream_bytes(out, spill_interval as u64, kv_entry);
+        let decode_x = x_streams * self.chunked_stream_bytes(out, spill_interval as u64, x_entry);
 
         (1.0 - alpha) * (prefill_kv + decode_kv) + alpha * (prefill_x + decode_x)
     }
@@ -82,19 +81,22 @@ impl EnduranceModel {
     /// NAND bytes one request writes under the FlexGen-style baseline:
     /// full KV, prefill bulk plus per-step layer-coalesced decode writes
     /// (the whole batch's new entries for a layer written contiguously).
-    pub fn flexgen_request_bytes(&self, model: &ModelConfig, class: RequestClass, batch: u32) -> f64 {
+    pub fn flexgen_request_bytes(
+        &self,
+        model: &ModelConfig,
+        class: RequestClass,
+        batch: u32,
+    ) -> f64 {
         let kv_entry = 2 * model.head_dim() as u64 * FP16_BYTES;
         let kv_streams = (model.kv_heads() * model.layers()) as f64;
         let pf = class.input_tokens();
-        let prefill = kv_streams
-            * ((pf * kv_entry).div_ceil(self.page_bytes) * self.page_bytes) as f64;
+        let prefill =
+            kv_streams * ((pf * kv_entry).div_ceil(self.page_bytes) * self.page_bytes) as f64;
         // Per step, per layer: batch x kv_dim entries written together,
         // rounded to pages and amortized per request.
         let layer_step_payload = batch as u64 * 2 * model.kv_dim() as u64 * FP16_BYTES;
-        let layer_step_nand =
-            layer_step_payload.div_ceil(self.page_bytes) * self.page_bytes;
-        let decode = class.output_tokens() as f64 * model.layers() as f64
-            * layer_step_nand as f64
+        let layer_step_nand = layer_step_payload.div_ceil(self.page_bytes) * self.page_bytes;
+        let decode = class.output_tokens() as f64 * model.layers() as f64 * layer_step_nand as f64
             / batch as f64;
         prefill + decode
     }
@@ -159,20 +161,16 @@ mod tests {
     fn shorter_requests_serve_more() {
         let e = EnduranceModel::smartssd_array(16);
         let m = presets::opt_66b();
-        let short =
-            e.serviceable_requests(e.hilos_request_bytes(&m, RequestClass::Short, 0.5, 16));
-        let long =
-            e.serviceable_requests(e.hilos_request_bytes(&m, RequestClass::Long, 0.5, 16));
+        let short = e.serviceable_requests(e.hilos_request_bytes(&m, RequestClass::Short, 0.5, 16));
+        let long = e.serviceable_requests(e.hilos_request_bytes(&m, RequestClass::Long, 0.5, 16));
         assert!(short > 5.0 * long);
     }
 
     #[test]
     fn bigger_models_wear_faster() {
         let e = EnduranceModel::smartssd_array(16);
-        let small =
-            e.hilos_request_bytes(&presets::opt_30b(), RequestClass::Medium, 0.5, 16);
-        let large =
-            e.hilos_request_bytes(&presets::opt_175b(), RequestClass::Medium, 0.5, 16);
+        let small = e.hilos_request_bytes(&presets::opt_30b(), RequestClass::Medium, 0.5, 16);
+        let large = e.hilos_request_bytes(&presets::opt_175b(), RequestClass::Medium, 0.5, 16);
         assert!(large > 2.0 * small);
     }
 }

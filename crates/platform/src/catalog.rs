@@ -146,18 +146,12 @@ pub struct StoragePricePower {
 
 /// PM9A3 PCIe 4.0 SSD: $400, 13 W active (datasheet, §6.6).
 pub fn pm9a3_price_power() -> StoragePricePower {
-    StoragePricePower {
-        price_usd: 400.0,
-        power: PowerSpec { idle_w: 5.0, active_w: 13.0 },
-    }
+    StoragePricePower { price_usd: 400.0, power: PowerSpec { idle_w: 5.0, active_w: 13.0 } }
 }
 
 /// SmartSSD: $2,400; SSD ~9 W plus the accelerator's 11–16 W (Table 3).
 pub fn smartssd_price_power() -> StoragePricePower {
-    StoragePricePower {
-        price_usd: 2_400.0,
-        power: PowerSpec { idle_w: 12.0, active_w: 25.0 },
-    }
+    StoragePricePower { price_usd: 2_400.0, power: PowerSpec { idle_w: 12.0, active_w: 25.0 } }
 }
 
 /// The H3 Falcon 4109 PCIe expansion chassis: $10,000 (Fig. 16a).

@@ -300,11 +300,8 @@ impl BuiltSystem {
             }
             StorageConfig::SmartSsdChassis { count, .. } => {
                 // One x16 uplink -> switch; x8 ports carry two devices each.
-                let chassis = topo.add_switch(
-                    "chassis",
-                    topo.root(),
-                    LinkSpec::new(PcieGen::Gen4, 16),
-                );
+                let chassis =
+                    topo.add_switch("chassis", topo.root(), LinkSpec::new(PcieGen::Gen4, 16));
                 let ports = count.div_ceil(2);
                 for p in 0..ports {
                     let port = topo.add_switch(
@@ -360,9 +357,7 @@ impl BuiltSystem {
                         _ => 19.2e9,                          // DDR4-2400
                     },
                 ));
-                let model = accel_model
-                    .copied()
-                    .unwrap_or_else(|| AccelTimingModel::smartssd(1));
+                let model = accel_model.copied().unwrap_or_else(|| AccelTimingModel::smartssd(1));
                 let flops = model.sustained_gflops(head_dim) * 1e9;
                 let comp = engine.add_resource(ResourceSpec::new(
                     format!("accel{i}:compute"),
@@ -448,10 +443,8 @@ impl BuiltSystem {
                 let uplink = LinkSpec::new(PcieGen::Gen4, 16).bandwidth();
                 per_dev.min(uplink).min(self.spec.gpu.link.bandwidth())
             }
-            StorageConfig::IspCsd { .. } => {
-                (LinkSpec::new(PcieGen::Gen4, 4).bandwidth() * n)
-                    .min(self.spec.gpu.link.bandwidth())
-            }
+            StorageConfig::IspCsd { .. } => (LinkSpec::new(PcieGen::Gen4, 4).bandwidth() * n)
+                .min(self.spec.gpu.link.bandwidth()),
         }
     }
 }
@@ -545,12 +538,9 @@ mod tests {
     #[test]
     fn isp_matches_four_smartssds_in_bandwidth() {
         // §7.1: one ISP-CSD ≈ four SmartSSDs in internal bandwidth.
-        let isp = BuiltSystem::build(
-            &SystemSpec::a100_isp(1),
-            Some(&AccelTimingModel::smartssd(1)),
-            128,
-        )
-        .unwrap();
+        let isp =
+            BuiltSystem::build(&SystemSpec::a100_isp(1), Some(&AccelTimingModel::smartssd(1)), 128)
+                .unwrap();
         let four = BuiltSystem::build(
             &SystemSpec::a100_smartssd(4),
             Some(&AccelTimingModel::smartssd(1)),

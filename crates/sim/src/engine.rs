@@ -536,10 +536,7 @@ mod tests {
         let l = link(&mut eng, 1e9);
         eng.submit(&[l], 1e9, None).unwrap();
         eng.run_to_idle().unwrap();
-        assert!(matches!(
-            eng.advance_to(SimTime::ZERO),
-            Err(SimError::TimeReversal { .. })
-        ));
+        assert!(matches!(eng.advance_to(SimTime::ZERO), Err(SimError::TimeReversal { .. })));
     }
 
     #[test]

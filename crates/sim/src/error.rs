@@ -57,10 +57,8 @@ mod tests {
     fn display_messages() {
         assert_eq!(SimError::EmptyRoute.to_string(), "job route is empty");
         assert_eq!(SimError::UnknownResource(4).to_string(), "unknown resource index 4");
-        let e = SimError::TimeReversal {
-            now: SimTime::from_secs(2),
-            requested: SimTime::from_secs(1),
-        };
+        let e =
+            SimError::TimeReversal { now: SimTime::from_secs(2), requested: SimTime::from_secs(1) };
         assert!(e.to_string().contains("before current time"));
     }
 

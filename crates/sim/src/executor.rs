@@ -83,8 +83,7 @@ impl Timeline {
                 *acc.entry(task.category()).or_insert(0.0) += span.seconds();
             }
         }
-        let mut v: Vec<(String, f64)> =
-            acc.into_iter().map(|(k, s)| (k.to_string(), s)).collect();
+        let mut v: Vec<(String, f64)> = acc.into_iter().map(|(k, s)| (k.to_string(), s)).collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }
@@ -213,8 +212,7 @@ pub fn execute(engine: &mut FlowEngine, graph: &TaskGraph) -> Result<Timeline, S
             (Some(a), None) => a,
             (None, Some(b)) => b,
             (None, None) => {
-                let stuck: Vec<usize> =
-                    (0..n).filter(|&i| spans[i].is_none()).collect();
+                let stuck: Vec<usize> = (0..n).filter(|&i| spans[i].is_none()).collect();
                 return Err(SimError::DependencyCycle(stuck));
             }
         };
@@ -237,11 +235,8 @@ pub fn execute(engine: &mut FlowEngine, graph: &TaskGraph) -> Result<Timeline, S
 
     // Resource deltas over the window.
     let stats_after = engine.stats_snapshot();
-    let resource_delta = stats_after
-        .iter()
-        .zip(stats_before.iter())
-        .map(|(a, b)| a.since(b))
-        .collect();
+    let resource_delta =
+        stats_after.iter().zip(stats_before.iter()).map(|(a, b)| a.since(b)).collect();
 
     Ok(Timeline { spans, started_at, foreground_end, finished_at, resource_delta })
 }

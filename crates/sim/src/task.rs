@@ -154,12 +154,7 @@ impl TaskGraph {
 
     fn push(&mut self, label: impl Into<String>, kind: TaskKind, deps: &[TaskId]) -> TaskId {
         let id = TaskId(self.tasks.len() as u32);
-        self.tasks.push(Task {
-            label: label.into(),
-            kind,
-            deps: deps.to_vec(),
-            background: false,
-        });
+        self.tasks.push(Task { label: label.into(), kind, deps: deps.to_vec(), background: false });
         id
     }
 

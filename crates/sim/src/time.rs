@@ -233,7 +233,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![SimTime::from_secs(2), SimTime::ZERO, SimTime::from_nanos(5)];
+        let mut v = [SimTime::from_secs(2), SimTime::ZERO, SimTime::from_nanos(5)];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_secs(2));

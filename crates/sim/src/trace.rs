@@ -71,7 +71,8 @@ pub fn gantt(graph: &TaskGraph, timeline: &Timeline, width: usize) -> String {
 
     let label_w = lanes.iter().map(|(_, l)| l.label.len()).max().unwrap_or(4).min(32);
     let mut out = String::new();
-    let _ = writeln!(out, "{:<label_w$}  0{}{}", "task", " ".repeat(width.saturating_sub(2)), t1 - t0);
+    let _ =
+        writeln!(out, "{:<label_w$}  0{}{}", "task", " ".repeat(width.saturating_sub(2)), t1 - t0);
     for (_, lane) in &lanes {
         let mut label = lane.label.clone();
         label.truncate(label_w);

@@ -111,9 +111,7 @@ impl SsdDevice {
         self.counters.bytes_written += bytes;
         self.counters.write_ops += 1;
         let programmed = match pattern {
-            WritePattern::PageAligned => {
-                self.spec.pages_for(bytes) * self.spec.page_bytes()
-            }
+            WritePattern::PageAligned => self.spec.pages_for(bytes) * self.spec.page_bytes(),
             WritePattern::Chunked { chunk } => {
                 assert!(chunk > 0, "chunk must be positive");
                 let chunks = bytes.div_ceil(chunk);

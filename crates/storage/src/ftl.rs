@@ -80,7 +80,10 @@ impl fmt::Display for FtlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FtlError::LpnOutOfRange { lpn, logical_pages } => {
-                write!(f, "logical page {lpn} out of range (logical space is {logical_pages} pages)")
+                write!(
+                    f,
+                    "logical page {lpn} out of range (logical space is {logical_pages} pages)"
+                )
             }
         }
     }
@@ -224,7 +227,10 @@ impl Ftl {
     /// space.
     pub fn write(&mut self, lpn: u32) -> Result<(), FtlError> {
         if lpn >= self.config.logical_pages() {
-            return Err(FtlError::LpnOutOfRange { lpn, logical_pages: self.config.logical_pages() });
+            return Err(FtlError::LpnOutOfRange {
+                lpn,
+                logical_pages: self.config.logical_pages(),
+            });
         }
         while (self.free_blocks.len() as u32) < self.config.gc_watermark {
             let before = self.free_blocks.len();
@@ -252,7 +258,10 @@ impl Ftl {
     /// space.
     pub fn trim(&mut self, lpn: u32) -> Result<(), FtlError> {
         if lpn >= self.config.logical_pages() {
-            return Err(FtlError::LpnOutOfRange { lpn, logical_pages: self.config.logical_pages() });
+            return Err(FtlError::LpnOutOfRange {
+                lpn,
+                logical_pages: self.config.logical_pages(),
+            });
         }
         self.invalidate(lpn);
         Ok(())

@@ -93,8 +93,7 @@ impl NandGeometry {
 
     /// Latency of one random page read: sense + one bus transfer.
     pub fn single_read_latency(&self) -> SimTime {
-        self.t_read
-            + SimTime::from_secs_f64(self.page_bytes as f64 / self.channel_bytes_per_sec)
+        self.t_read + SimTime::from_secs_f64(self.page_bytes as f64 / self.channel_bytes_per_sec)
     }
 
     /// Time to read `bytes` sequentially (steady-state bandwidth plus one

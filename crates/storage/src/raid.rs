@@ -150,10 +150,7 @@ mod tests {
         let plan = raid.plan(512, 1536);
         assert_eq!(
             plan,
-            vec![
-                StripeExtent { device: 0, bytes: 512 },
-                StripeExtent { device: 1, bytes: 1024 },
-            ]
+            vec![StripeExtent { device: 0, bytes: 512 }, StripeExtent { device: 1, bytes: 1024 },]
         );
     }
 

@@ -18,9 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Workload: {batch} documents x {}K tokens -> {out_len}-token summaries", ctx / 1024);
     println!("Model: {model}\n");
 
-    let mut table = Table::new(vec![
-        "system", "status", "decode tok/s", "batch job (h)", "tok/s/$", "J/token",
-    ]);
+    let mut table =
+        Table::new(vec!["system", "status", "decode tok/s", "batch job (h)", "tok/s/$", "J/token"]);
 
     // FLEX(SSD): four PM9A3 on an A100 server.
     let flex_spec = SystemSpec::a100_pm9a3(4);
@@ -52,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dram = FlexGenSystem::new(&flex_spec, &model, KvLocation::HostDram)?;
     match dram.run_decode(batch, ctx, out_len) {
         Ok(r) => {
-            table.row(vec!["FLEX(DRAM)".into(), "ok".into(), format!("{:.4}", r.tokens_per_second())]);
+            table.row(vec![
+                "FLEX(DRAM)".into(),
+                "ok".into(),
+                format!("{:.4}", r.tokens_per_second()),
+            ]);
         }
         Err(e) => {
             table.row(vec!["FLEX(DRAM)".into(), e.to_string()]);

@@ -13,16 +13,18 @@ use hilos::platform::SystemSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = presets::opt_66b();
-    let system = HilosSystem::new(
-        &SystemSpec::a100_smartssd(16),
-        &model,
-        &HilosConfig::new(16),
-    )?;
+    let system = HilosSystem::new(&SystemSpec::a100_smartssd(16), &model, &HilosConfig::new(16))?;
     let mut campaign = ServingCampaign::new(system);
 
     println!("Serving campaign: {} on 16 SmartSSDs\n", model.name());
     let mut table = Table::new(vec![
-        "class", "jobs", "tokens", "hours", "NAND written", "endurance used", "lifetime (jobs)",
+        "class",
+        "jobs",
+        "tokens",
+        "hours",
+        "NAND written",
+        "endurance used",
+        "lifetime (jobs)",
     ]);
 
     // A representative daily mix: mostly medium requests, some long.

@@ -10,15 +10,11 @@ use hilos_bench::experiments;
 #[test]
 fn decode_runs_are_bit_identical() {
     let run = || {
-        HilosSystem::new(
-            &SystemSpec::a100_smartssd(8),
-            &presets::opt_66b(),
-            &HilosConfig::new(8),
-        )
-        .unwrap()
-        .with_sim_layers(4)
-        .run_decode(16, 32 * 1024, 8)
-        .unwrap()
+        HilosSystem::new(&SystemSpec::a100_smartssd(8), &presets::opt_66b(), &HilosConfig::new(8))
+            .unwrap()
+            .with_sim_layers(4)
+            .run_decode(16, 32 * 1024, 8)
+            .unwrap()
     };
     let a = run();
     let b = run();

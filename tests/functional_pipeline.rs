@@ -1,9 +1,7 @@
 //! Cross-crate functional integration: the umbrella crate's numerics
 //! paths and schedule tooling working together.
 
-use hilos::accel::{
-    attention_kernel, sliding_window_attention, AttentionInputs, MatrixF32,
-};
+use hilos::accel::{attention_kernel, sliding_window_attention, AttentionInputs, MatrixF32};
 use hilos::core::FunctionalBlock;
 use hilos::llm::{RetrievalTask, RetrievalTaskConfig};
 use hilos_bench::experiments;

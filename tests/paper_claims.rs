@@ -149,7 +149,8 @@ fn cost_efficiency_band() {
 fn endurance_claims() {
     let e = EnduranceModel::smartssd_array(16);
     let m175 = presets::opt_175b();
-    let hilos_long = e.serviceable_requests(e.hilos_request_bytes(&m175, RequestClass::Long, 0.5, 16));
+    let hilos_long =
+        e.serviceable_requests(e.hilos_request_bytes(&m175, RequestClass::Long, 0.5, 16));
     assert!(hilos_long > 3.0e6, "long-request budget {hilos_long} (paper: >4.08M)");
     for class in RequestClass::all() {
         let gain = e.flexgen_request_bytes(&presets::opt_66b(), class, 16)
@@ -218,10 +219,6 @@ fn monotonicity_across_model_zoo() {
         // Device scaling shows once KV I/O dominates (64K); at short
         // contexts GQA models are weight-streaming-bound and flat.
         let more_dev = hilos(16, &model).run_decode(8, 64 * 1024, 4).unwrap().tokens_per_second();
-        assert!(
-            more_dev > long * 0.999,
-            "{}: 16 dev {more_dev} vs 8 dev {long}",
-            model.name()
-        );
+        assert!(more_dev > long * 0.999, "{}: 16 dev {more_dev} vs 8 dev {long}", model.name());
     }
 }
