@@ -66,9 +66,10 @@ where
 /// (e.g. the query groups of all heads, or one entry per KV shard) on up
 /// to `threads` workers.
 ///
-/// Each worker reuses its own thread-local [`KernelScratch`]
-/// (crate::KernelScratch), so the fan-out stays allocation-free in steady
-/// state, and results come back in input order — output `i` is exactly
+/// Each worker reuses its own thread-local
+/// [`KernelScratch`](crate::KernelScratch), so the fan-out stays
+/// allocation-free in steady state, and results come back in input order
+/// — output `i` is exactly
 /// what `attention_kernel(&batch[i])` returns, bit for bit, regardless of
 /// the thread count.
 pub fn attention_kernel_batch(

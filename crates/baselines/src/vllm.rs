@@ -10,7 +10,9 @@
 //! hop, plus swap traffic when KV overflows.
 
 use crate::error::BaselineError;
-use hilos_llm::ModelConfig;
+use hilos_core::RequestOutcome;
+use hilos_llm::{ModelConfig, Request};
+use hilos_metrics::LatencyStats;
 use hilos_platform::GpuSpec;
 
 /// A multi-node tensor+pipeline-parallel deployment.
@@ -163,6 +165,110 @@ impl VllmMultiNode {
     ) -> Result<f64, BaselineError> {
         Ok(batch as f64 / self.step_seconds(model, batch, context)?)
     }
+
+    /// Prefill seconds for a `batch × context` job: the prompt's GEMM
+    /// work sharded over every GPU, plus the per-layer all-reduces on the
+    /// prompt activations and the pipeline hop.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::GpuOom`] if the weights do not fit at all.
+    pub fn prefill_seconds(
+        &self,
+        model: &ModelConfig,
+        batch: u32,
+        context: u64,
+    ) -> Result<f64, BaselineError> {
+        // Surface the same OOM condition decode would hit.
+        self.kv_overflow_per_gpu(model, batch, context)?;
+        let tp = self.gpus_per_node as f64;
+        let bs = batch as f64;
+        let s = context as f64;
+        let h = model.hidden() as f64;
+        let layers = model.layers() as f64;
+        let compute =
+            bs * model.prefill_flops(context) / (self.total_gpus() as f64 * self.gpu.fp16_flops);
+        let ar_bytes = 2.0 * (tp - 1.0) / tp * bs * s * h * 2.0;
+        let allreduce = layers * 2.0 * ar_bytes / self.intra_bw;
+        let pp_hop = (self.nodes as f64 - 1.0) * (bs * s * h * 2.0 / self.inter_bw + 10e-6);
+        Ok(compute + allreduce + pp_hop)
+    }
+
+    /// Drives the same request trace the HILOS serving layer consumes,
+    /// with vLLM's serial recompute-from-prefill semantics: requests
+    /// drain in arrival order one at a time, each paying a full prefill
+    /// before decoding at batch 1 (KV is not retained across requests).
+    /// Arrival timing is ignored — the backlog is treated as offline —
+    /// so the report is an *upper* bound on this baseline's goodput.
+    ///
+    /// Decode time uses the midpoint-context approximation
+    /// (`prompt + output/2`), which the serving regression test pins to
+    /// within a fraction of a percent of the exact per-step sum.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::GpuOom`] if the weights do not fit at all.
+    pub fn run_trace(
+        &self,
+        model: &ModelConfig,
+        trace: &[Request],
+        deadline_s: f64,
+    ) -> Result<VllmTraceReport, BaselineError> {
+        let mut clock = 0.0f64;
+        let mut outcomes = Vec::with_capacity(trace.len());
+        let mut generated = 0u64;
+        for req in trace {
+            let admitted_s = clock;
+            let prefill = self.prefill_seconds(model, 1, req.prompt_len)?;
+            let mid_ctx = req.prompt_len + req.output_budget / 2;
+            let step = self.step_seconds(model, 1, mid_ctx)?;
+            let first_token_s = admitted_s + prefill + step;
+            let finished_s = admitted_s + prefill + step * req.output_budget as f64;
+            clock = finished_s;
+            generated += req.output_budget;
+            outcomes.push(RequestOutcome {
+                id: req.id,
+                class: req.class,
+                prompt_len: req.prompt_len,
+                output_len: req.output_budget,
+                arrival_s: 0.0,
+                admitted_s,
+                first_token_s,
+                finished_s,
+            });
+        }
+        Ok(VllmTraceReport { outcomes, elapsed_s: clock, generated_tokens: generated, deadline_s })
+    }
+}
+
+/// Result of serially draining a request trace on the vLLM baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VllmTraceReport {
+    /// Per-request lifecycles (arrival pinned at zero — offline backlog).
+    pub outcomes: Vec<RequestOutcome>,
+    /// Total seconds to drain the trace.
+    pub elapsed_s: f64,
+    /// Tokens generated.
+    pub generated_tokens: u64,
+    /// The deadline used for goodput accounting.
+    pub deadline_s: f64,
+}
+
+impl VllmTraceReport {
+    /// Generated-token throughput.
+    pub fn tokens_per_second(&self) -> f64 {
+        hilos_core::throughput_of(self.generated_tokens, self.elapsed_s)
+    }
+
+    /// Token goodput under the deadline.
+    pub fn token_goodput(&self) -> f64 {
+        hilos_core::token_goodput_of(&self.outcomes, self.deadline_s, self.elapsed_s)
+    }
+
+    /// TTFT order statistics (queue wait included).
+    pub fn ttft_stats(&self) -> LatencyStats {
+        hilos_core::ttft_stats_of(&self.outcomes)
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +310,36 @@ mod tests {
         let t16 = v.tokens_per_second(&m, 1, 16 * 1024).unwrap();
         let t32 = v.tokens_per_second(&m, 1, 32 * 1024).unwrap();
         assert!(t32 < t16);
+    }
+
+    #[test]
+    fn serial_trace_drains_in_arrival_order() {
+        use hilos_llm::TraceConfig;
+        let v = VllmMultiNode::paper_testbed();
+        let m = presets::opt_30b();
+        let trace = TraceConfig::azure_mix(24, 3).generate();
+        let report = v.run_trace(&m, &trace, 60.0).unwrap();
+        assert_eq!(report.outcomes.len(), 24);
+        assert!(report.elapsed_s > 0.0);
+        // Strictly serial: each request starts when the previous ends.
+        for w in report.outcomes.windows(2) {
+            assert!(w[1].admitted_s >= w[0].finished_s - 1e-9);
+        }
+        // Queue wait makes late requests' TTFT dwarf early ones'.
+        let stats = report.ttft_stats();
+        assert!(stats.p99 > 2.0 * stats.p50, "no queueing visible: {stats:?}");
+        assert!(report.token_goodput() <= report.tokens_per_second() + 1e-9);
+        // Determinism.
+        assert_eq!(report, v.run_trace(&m, &trace, 60.0).unwrap());
+    }
+
+    #[test]
+    fn prefill_grows_with_context() {
+        let v = VllmMultiNode::paper_testbed();
+        let m = presets::opt_30b();
+        let p16 = v.prefill_seconds(&m, 1, 16 * 1024).unwrap();
+        let p64 = v.prefill_seconds(&m, 1, 64 * 1024).unwrap();
+        assert!(p64 > 3.0 * p16, "{p64} vs {p16}");
     }
 
     #[test]

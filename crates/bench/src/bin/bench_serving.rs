@@ -1,0 +1,169 @@
+//! `bench_serving` — the request-level serving smoke bench.
+//!
+//! Two measurements, recorded into `BENCH_serving.json` (current
+//! directory, or the path given as the first argument):
+//!
+//! 1. **Engine indexing** — a serving-shaped event loop on the raw
+//!    [`FlowEngine`] at 256 concurrent jobs (shared uplink + per-device
+//!    links, churn replacing every completed job, partial-advance polls
+//!    between completions as the task executor's delay wakeups produce),
+//!    timed twice: once answering `next_completion_time` from the
+//!    heap index, once from the retained linear reference scan. CI fails
+//!    if the heap is slower than the scan.
+//! 2. **Trace throughput** — a 2k-request heterogeneous trace served by
+//!    the continuous-batching layer, recording wall-clock requests/s and
+//!    the step-cache hit behavior.
+//!
+//! ```text
+//! Usage: bench_serving [output.json]
+//! ```
+
+use hilos_core::{HilosConfig, HilosSystem, ServeConfig, ServeEngine};
+use hilos_llm::{presets, TraceConfig};
+use hilos_platform::SystemSpec;
+use hilos_sim::{FlowEngine, ResourceKind, ResourceSpec, SimTime};
+use std::time::Instant;
+
+/// Concurrent jobs sustained in the engine benchmark.
+const CONCURRENT: usize = 256;
+/// Total jobs pushed through the engine per run.
+const TOTAL_JOBS: usize = 2048;
+/// Device links fanned out behind the shared uplink.
+const DEVICES: usize = 64;
+/// Partial-advance polls between consecutive completions.
+const POLLS: u32 = 4;
+/// Timing repetitions (best-of, for noisy shared runners).
+const REPS: usize = 5;
+
+/// One serving-shaped engine run; `use_heap` selects the completion
+/// index. Returns (events, final time) so both variants can be checked
+/// for agreement.
+fn engine_run(use_heap: bool) -> (u64, SimTime) {
+    let mut eng = FlowEngine::new();
+    let uplink = eng.add_resource(ResourceSpec::new("uplink", ResourceKind::Link, 64e9));
+    let devs: Vec<_> = (0..DEVICES)
+        .map(|i| eng.add_resource(ResourceSpec::new(format!("dev{i}"), ResourceKind::Link, 3.2e9)))
+        .collect();
+    let amount = |i: usize| (1 + (i * 7) % 13) as f64 * 1e8;
+    let submit = |eng: &mut FlowEngine, i: usize| {
+        let d = devs[i % DEVICES];
+        if i.is_multiple_of(3) {
+            eng.submit(&[uplink, d], amount(i), None).unwrap();
+        } else {
+            eng.submit(&[d], amount(i), None).unwrap();
+        }
+    };
+    for i in 0..CONCURRENT {
+        submit(&mut eng, i);
+    }
+    let mut next_job = CONCURRENT;
+    let mut events = 0u64;
+    while eng.active_jobs() > 0 {
+        // Serving loops poll the engine between step boundaries (delay
+        // wakeups fire without completing any flow): partial advances
+        // that must not pay a full rescan.
+        for p in 1..=POLLS {
+            let t = if use_heap {
+                eng.next_completion_time().unwrap()
+            } else {
+                eng.next_completion_time_scan().unwrap()
+            };
+            let now = eng.now();
+            let gap = (t - now).as_picos();
+            let mid = now + SimTime::from_picos(gap * p as u64 / (POLLS as u64 + 1));
+            eng.advance_to(mid).unwrap();
+        }
+        let t = if use_heap {
+            eng.next_completion_time().unwrap()
+        } else {
+            eng.next_completion_time_scan().unwrap()
+        };
+        let done = eng.advance_to(t).unwrap();
+        events += 1;
+        for _ in done {
+            if next_job < TOTAL_JOBS {
+                submit(&mut eng, next_job);
+                next_job += 1;
+            }
+        }
+    }
+    (events, eng.now())
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serving.json".to_string());
+
+    // -- 1: engine completion-index benchmark --
+    let (ev_heap, end_heap) = engine_run(true);
+    let (ev_scan, end_scan) = engine_run(false);
+    assert_eq!(ev_heap, ev_scan, "variants must process identical workloads");
+    let drift = end_heap.as_picos().abs_diff(end_scan.as_picos());
+    assert!(
+        drift <= ev_heap * 2,
+        "variants drifted apart: {end_heap} vs {end_scan} over {ev_heap} events"
+    );
+    let heap_s = best_of(REPS, || {
+        engine_run(true);
+    });
+    let scan_s = best_of(REPS, || {
+        engine_run(false);
+    });
+    let speedup = scan_s / heap_s;
+    eprintln!(
+        "engine@{CONCURRENT}: heap {heap_s:.4}s, scan {scan_s:.4}s ({speedup:.2}x), \
+         {ev_heap} completion events"
+    );
+
+    // -- 2: continuous-batching trace throughput --
+    let trace = TraceConfig::azure_mix(2000, 42).generate();
+    let system =
+        HilosSystem::new(&SystemSpec::a100_smartssd(8), &presets::opt_30b(), &HilosConfig::new(8))
+            .unwrap()
+            .with_sim_layers(1);
+    let start = Instant::now();
+    let report = ServeEngine::new(system, ServeConfig::new(32)).unwrap().run_trace(&trace).unwrap();
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(report.outcomes.len(), trace.len(), "trace must complete");
+    let rps = trace.len() as f64 / wall;
+    eprintln!(
+        "trace: {} requests in {wall:.3}s wall ({rps:.0} req/s), {} steps, \
+         {} cached operating points, simulated {:.2} tok/s",
+        trace.len(),
+        report.steps,
+        report.step_cache_entries,
+        report.tokens_per_second()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"note\": \"heap-indexed vs linear-scan \
+         next_completion_time on a serving-shaped event loop ({CONCURRENT} concurrent jobs, \
+         {POLLS} partial-advance polls per completion), plus continuous-batching trace \
+         throughput\",\n  \"engine\": {{\"concurrent_jobs\": {CONCURRENT}, \
+         \"total_jobs\": {TOTAL_JOBS}, \"completion_events\": {ev_heap}, \
+         \"heap_seconds\": {heap_s:.6}, \"scan_seconds\": {scan_s:.6}, \
+         \"heap_vs_scan\": {speedup:.3}}},\n  \"trace\": {{\"requests\": {}, \
+         \"wall_seconds\": {wall:.4}, \"requests_per_second\": {rps:.1}, \
+         \"serving_steps\": {}, \"step_cache_entries\": {}, \"peak_batch\": {}, \
+         \"simulated_tokens_per_second\": {:.3}, \"ttft_p99_seconds\": {:.3}}}\n}}\n",
+        trace.len(),
+        report.steps,
+        report.step_cache_entries,
+        report.peak_batch,
+        report.tokens_per_second(),
+        report.ttft_stats().p99,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

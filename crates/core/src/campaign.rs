@@ -9,7 +9,9 @@
 //! burning down.
 
 use crate::runner::{CoreError, HilosSystem, JobReport};
-use hilos_llm::BatchSpec;
+use crate::serve::{ServeConfig, ServeEngine, TraceReport};
+use crate::writeback::spill_nand_bytes_per_token;
+use hilos_llm::{BatchSpec, Request};
 use hilos_storage::{SsdDevice, WritePattern};
 
 /// Aggregate statistics of a campaign.
@@ -125,6 +127,60 @@ impl ServingCampaign {
         Ok(report)
     }
 
+    /// Serves a heterogeneous request trace with continuous batching
+    /// (see [`crate::serve`]) and folds its device wear and throughput
+    /// into the campaign counters.
+    ///
+    /// Prefill payloads and spill-model decode writes are page-aligned,
+    /// apportioned by the shard ledger's actual per-device placement
+    /// (`TraceReport::kv_placed_bytes`) so degraded devices that held
+    /// less of every stripe also wear less; reads are the decode steps'
+    /// internal plus host traffic, swept in the same proportion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build/simulation errors; a failed run records nothing.
+    pub fn run_trace(
+        &mut self,
+        trace: &[Request],
+        config: &ServeConfig,
+    ) -> Result<TraceReport, CoreError> {
+        let report = ServeEngine::new(self.system.clone(), config.clone())?.run_trace(trace)?;
+        let n = self.devices.len() as f64;
+
+        let placed_total: f64 = report.kv_placed_bytes.iter().sum();
+        let share = |d: usize| {
+            if placed_total > 0.0 {
+                report.kv_placed_bytes[d] / placed_total
+            } else {
+                1.0 / n
+            }
+        };
+        let nand_per_token = spill_nand_bytes_per_token(
+            self.system.model(),
+            if self.system.config().delayed_writeback() {
+                self.system.config().spill_interval()
+            } else {
+                1
+            },
+            self.system.spec().storage.ssd_spec().page_bytes(),
+        );
+        let x_discount = 1.0 - report.mean_alpha * (1.0 - self.system.model().x_to_kv_ratio());
+        let decode_writes = nand_per_token * report.generated_tokens as f64 * x_discount;
+        let reads = report.internal_read_bytes + report.host_pcie_bytes;
+        for (d, dev) in self.devices.iter_mut().enumerate() {
+            let s = share(d);
+            dev.record_write((report.prefill_payload_bytes * s) as u64, WritePattern::PageAligned);
+            dev.record_write((decode_writes * s) as u64, WritePattern::PageAligned);
+            dev.record_read((reads * s) as u64);
+        }
+
+        self.jobs += report.outcomes.len() as u64;
+        self.tokens += report.generated_tokens;
+        self.seconds += report.elapsed_s;
+        Ok(report)
+    }
+
     /// Fraction of the endurance budget consumed (worst device).
     pub fn endurance_used(&self) -> f64 {
         self.devices.iter().map(|d| d.endurance_used()).fold(0.0, f64::max)
@@ -216,6 +272,21 @@ mod tests {
         assert!(err.is_err());
         assert_eq!(c.summary().jobs, 0);
         assert_eq!(c.endurance_used(), 0.0);
+    }
+
+    #[test]
+    fn trace_campaign_accumulates_wear_and_metrics() {
+        use hilos_llm::TraceConfig;
+        let mut c = campaign();
+        let trace = TraceConfig::azure_mix(32, 17).generate();
+        let report = c.run_trace(&trace, &ServeConfig::new(8)).unwrap();
+        assert_eq!(report.outcomes.len(), 32);
+        let s = c.summary();
+        assert_eq!(s.jobs, 32);
+        assert_eq!(s.tokens, report.generated_tokens);
+        assert!(s.seconds > 0.0);
+        assert!(c.endurance_used() > 0.0, "trace must burn endurance");
+        assert!(report.ttft_stats().p99 >= report.ttft_stats().p50);
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //!   model,
 //! * the **Inference Controller** ([`HilosSystem`]) that runs simulated
 //!   prefill/decode jobs and reports throughput, utilization and traffic,
+//!   with every decode step executed by the reusable
+//!   [`DecodeStepExecutor`],
+//! * **request-level serving** ([`serve`]) — continuous batching over
+//!   heterogeneous request traces with per-device KV shard admission and
+//!   TTFT/ITL/goodput reporting,
 //! * a **functional pipeline** ([`FunctionalBlock`]) proving bit-level
 //!   equivalence of the ANS / X-cache / writeback numerics against the
 //!   baseline.
@@ -47,6 +52,8 @@ mod functional;
 mod middleware;
 mod runner;
 mod scheduler;
+pub mod serve;
+mod step;
 pub mod traffic;
 mod writeback;
 mod xcache;
@@ -60,5 +67,10 @@ pub use scheduler::{
     build_hilos_decode_step, build_hilos_prefill, load_weights, weight_source, DecodeStepSpec,
     WeightSource, GDS_EFFICIENCY, SUB_PAGE_WRITE_PENALTY_S,
 };
+pub use serve::{
+    throughput_of, token_goodput_of, ttft_stats_of, RequestOutcome, ServeConfig, ServeEngine,
+    TraceReport,
+};
+pub use step::{AlphaSelector, DecodeStepExecutor, StepOutcome};
 pub use writeback::{spill_nand_bytes_per_token, SpillDecision, WritebackManager};
 pub use xcache::{paper_alpha_mha, AlphaModel, ALPHA_CANDIDATES};

@@ -2,16 +2,13 @@
 //! and aggregates reports.
 
 use crate::config::{AlphaPolicy, HilosConfig};
-use crate::scheduler::{
-    build_hilos_decode_step, build_hilos_prefill, weight_source, DecodeStepSpec, WeightSource,
-    GDS_EFFICIENCY,
-};
+use crate::scheduler::{weight_source, WeightSource};
+use crate::step::DecodeStepExecutor;
 use crate::writeback::{spill_nand_bytes_per_token, WritebackManager};
-use crate::xcache::AlphaModel;
 use hilos_accel::{AccelTimingModel, ResourceModel};
 use hilos_llm::{BatchSpec, ModelConfig};
 use hilos_platform::{BuiltSystem, SystemSpec};
-use hilos_sim::{execute, SimError};
+use hilos_sim::SimError;
 use std::error::Error;
 use std::fmt;
 
@@ -247,7 +244,11 @@ impl HilosSystem {
         self
     }
 
-    fn build_world(&self) -> Result<BuiltSystem, CoreError> {
+    pub(crate) fn sim_layers(&self) -> u32 {
+        self.sim_layers
+    }
+
+    pub(crate) fn build_world(&self) -> Result<BuiltSystem, CoreError> {
         let accel = AccelTimingModel::smartssd(self.model.d_group());
         BuiltSystem::build_with_degradations(
             &self.spec,
@@ -259,6 +260,10 @@ impl HilosSystem {
     }
 
     /// The α the cache scheduler (§4.2) selects for a given job shape.
+    ///
+    /// Delegates to [`crate::AlphaSelector`] — the single home of the
+    /// §4.2 formula, shared with the serving layer — at this system's
+    /// bandwidth operating point.
     pub fn select_alpha(&self, batch: u32, context: u64) -> Result<f64, CoreError> {
         if !self.config.cooperative_xcache() {
             return Ok(0.0);
@@ -267,42 +272,38 @@ impl HilosSystem {
             return Ok(a);
         }
         let sys = self.build_world()?;
-        let m = &self.model;
-        let bs = batch as f64;
-        let s = context as f64;
-        let layers = m.layers() as f64;
-        let model = AlphaModel {
-            x_bytes: bs * s * m.hidden() as f64 * 2.0 * layers,
-            kv_bytes: bs * 2.0 * s * m.kv_dim() as f64 * 2.0 * layers,
-            b_ssd: sys.aggregate_internal_read_bw(),
-            b_pci: sys.effective_pci_bw() * GDS_EFFICIENCY,
-            regen_flops: 4.0 * bs * s * m.hidden() as f64 * m.kv_dim() as f64 * layers,
-            c_gpu: sys.spec.gpu.fp16_flops,
-        };
-        Ok(model.select_alpha())
+        Ok(crate::step::AlphaSelector::new(&self.config, &sys).select(&self.model, batch, context))
     }
 
-    /// Validates capacity for a job: caches plus (storage-resident)
-    /// weights must fit the devices; the writeback buffer must fit DRAM.
+    /// Validates capacity for a job through the per-device KV shard
+    /// ledger: every sequence's cache stripe plus (storage-resident)
+    /// weights must place onto the actual devices — a full or degraded
+    /// device rejects placement even when the aggregate has room — and
+    /// the writeback buffer must fit host DRAM.
     pub fn check_capacity(&self, spec: &BatchSpec) -> Result<(), CoreError> {
         let max_ctx = spec.context_len + spec.output_len;
         let alpha = self.select_alpha(spec.batch, spec.context_len)?;
         let m = &self.model;
-        let cache = ((1.0 - alpha) * m.kv_bytes_per_token() as f64
+        let per_seq = ((1.0 - alpha) * m.kv_bytes_per_token() as f64
             + alpha * m.x_bytes_per_token() as f64) as u64
-            * spec.batch as u64
             * max_ctx;
+        let cache = per_seq * spec.batch as u64;
         let sys = self.build_world()?;
         let weights_on_dev = match weight_source(&sys, m, 32 << 30) {
             WeightSource::Storage => m.weight_bytes(),
             WeightSource::HostDram => 0,
         };
-        let available =
-            self.spec.storage.ssd_spec().capacity_bytes() * self.config.n_devices() as u64;
-        if cache + weights_on_dev > available {
+        let mut ledger = sys.kv_ledger();
+        let placed = ledger.reserve_evenly(weights_on_dev).is_ok()
+            && (0..spec.batch as u64).all(|seq| ledger.allocate(seq, per_seq).is_ok());
+        if !placed {
+            // `available` is the placeable free space at the point the
+            // ledger rejected placement (weights and earlier sequences
+            // already placed) — the constraint that actually fired, which
+            // with a full stripe member can be far below the aggregate.
             return Err(CoreError::DeviceCapacityExceeded {
                 needed: cache + weights_on_dev,
-                available,
+                available: ledger.placeable_free(),
             });
         }
         let buffer =
@@ -319,8 +320,14 @@ impl HilosSystem {
     /// Runs the decode phase of a job and reports aggregate throughput.
     ///
     /// Simulates one full writeback cycle (`c` steps, capped at
-    /// `output_len`) at mid-generation context and scales to the full
-    /// output length.
+    /// `output_len`) at the *true* per-step contexts of a window centered
+    /// on mid-generation ([`BatchSpec::context_at_step`]), and scales to
+    /// the full output length. (Earlier revisions froze every simulated
+    /// step at the midpoint context `context + output_len/2`; the centered
+    /// window agrees with that approximation to within a fraction of a
+    /// percent for the paper's shapes — see the `serving.rs` regression
+    /// test — while letting the step executor see each step's real
+    /// context.)
     ///
     /// # Errors
     ///
@@ -335,16 +342,18 @@ impl HilosSystem {
         let spec = BatchSpec::new(batch, context, output_len);
         self.check_capacity(&spec)?;
         let alpha = self.select_alpha(batch, context)?;
-        let mid_ctx = context + output_len / 2;
-        let layer_scale = self.model.layers() as f64 / self.sim_layers as f64;
 
         let steps = if self.config.delayed_writeback() {
             (self.config.spill_interval() as u64).min(output_len).max(1)
         } else {
             1
         };
+        // Center the simulated window on mid-generation so the sampled
+        // steps average to the same operating point the old midpoint
+        // approximation used. For output_len ≤ c the window is exact.
+        let window_start = (output_len - steps) / 2;
 
-        let mut sys = self.build_world()?;
+        let mut exec = DecodeStepExecutor::new(self)?;
         let mut wb = WritebackManager::new(self.config.spill_interval());
         let mut total = 0.0;
         let mut last_categories = Vec::new();
@@ -354,7 +363,7 @@ impl HilosSystem {
         let mut host_bytes = 0.0;
         let mut internal_bytes = 0.0;
 
-        for _ in 0..steps {
+        for i in 0..steps {
             let decision = if self.config.delayed_writeback() {
                 wb.on_step()
             } else {
@@ -364,50 +373,15 @@ impl HilosSystem {
                     spill_tokens: 0,
                 }
             };
-            let step = DecodeStepSpec {
-                batch,
-                context: mid_ctx,
-                alpha,
-                buffered_tokens: decision.buffered_tokens,
-                spill_now: decision.spill_now,
-                spill_tokens: decision.spill_tokens,
-                sim_layers: self.sim_layers,
-            };
-            let graph = build_hilos_decode_step(&sys, &self.model, &self.config, &step);
-            let timeline = execute(&mut sys.engine, &graph)?;
-            total += timeline.makespan().as_secs_f64() * layer_scale;
-            gpu_u += timeline.utilization(sys.gpu);
-            cpu_u += timeline.utilization(sys.cpu);
-            dram_u += timeline.utilization(sys.host_dram);
-            // Traffic accounting (whole model, analytic — every flow that
-            // crosses the system interconnect counted once).
-            let m = &self.model;
-            let bs = batch as f64;
-            let s = mid_ctx as f64;
-            let layers = m.layers() as f64;
-            let weights = m.decode_weight_traffic_bytes(batch) as f64;
-            let scatter =
-                (1.0 - alpha) * bs * (m.hidden() as f64 + 2.0 * m.kv_dim() as f64) * 2.0 * layers;
-            let gather = (1.0 - alpha) * bs * m.hidden() as f64 * 2.0 * layers;
-            let x_reads = alpha * bs * s * m.hidden() as f64 * 2.0 * layers;
-            let spill = if decision.spill_now {
-                decision.spill_tokens as f64
-                    * bs
-                    * ((1.0 - alpha) * 2.0 * m.kv_dim() as f64 + alpha * m.hidden() as f64)
-                    * 2.0
-                    * layers
-            } else {
-                0.0
-            };
-            host_bytes += weights + scatter + gather + x_reads + spill;
-            internal_bytes += (1.0 - alpha)
-                * bs
-                * 2.0
-                * (s - decision.buffered_tokens as f64).max(0.0)
-                * m.kv_dim() as f64
-                * 2.0
-                * layers;
-            last_categories = timeline.category_seconds(&graph);
+            let ctx = spec.context_at_step(window_start + i);
+            let o = exec.execute_step(batch, ctx, alpha, &decision)?;
+            total += o.seconds;
+            gpu_u += o.gpu_utilization;
+            cpu_u += o.cpu_utilization;
+            dram_u += o.dram_utilization;
+            host_bytes += o.host_pcie_bytes;
+            internal_bytes += o.internal_read_bytes;
+            last_categories = o.category_seconds;
         }
 
         let avg = total / steps as f64;
@@ -448,18 +422,13 @@ impl HilosSystem {
     /// Capacity/validation errors, or a wrapped simulation error.
     pub fn run_prefill(&self, batch: u32, context: u64) -> Result<PrefillReport, CoreError> {
         let alpha = self.select_alpha(batch, context)?;
-        let mut sys = self.build_world()?;
-        let layer_scale = self.model.layers() as f64 / self.sim_layers as f64;
-        let graph = build_hilos_prefill(&sys, &self.model, batch, context, alpha, self.sim_layers);
-        let timeline = execute(&mut sys.engine, &graph)?;
+        let mut exec = DecodeStepExecutor::new(self)?;
+        let seconds = exec.execute_prefill(batch, context, alpha)?;
         let cache_bytes = ((1.0 - alpha) * self.model.kv_bytes_per_token() as f64
             + alpha * self.model.x_bytes_per_token() as f64)
             * batch as f64
             * context as f64;
-        Ok(PrefillReport {
-            seconds: timeline.makespan().as_secs_f64() * layer_scale,
-            cache_bytes_written: cache_bytes,
-        })
+        Ok(PrefillReport { seconds, cache_bytes_written: cache_bytes })
     }
 
     /// Runs a full job: prefill followed by decode.

@@ -1,0 +1,733 @@
+//! Request-level serving: continuous batching over heterogeneous requests.
+//!
+//! The paper evaluates HILOS on uniform offline batches (every sequence
+//! shares one context length, Fig. 4a's prefill → decode pipeline runs
+//! once per job). This module generalizes that pipeline to the serving
+//! regime the ROADMAP's "heavy traffic" north-star implies: a stream of
+//! [`Request`]s with individual prompt lengths and output budgets, served
+//! by one continuously-running decode loop.
+//!
+//! # The step loop
+//!
+//! Each iteration of [`ServeEngine::run_trace`] is one decoding step of
+//! the *running batch* — the serving-layer analogue of one trip around the
+//! paper's Fig. 4a pipeline (weights stream in, fresh Q/K/V scatter to the
+//! devices, per-device KV shards are swept by the near-storage
+//! accelerators while the α-fraction X-cache re-projects on the GPU, the
+//! delayed-writeback buffer ticks):
+//!
+//! 1. **Arrivals** — requests whose `arrival_step` has passed enter the
+//!    FIFO admission queue.
+//! 2. **Admission** — the queue head is admitted iff the running batch is
+//!    below `max_batch` *and* the per-device KV shard ledger
+//!    ([`hilos_storage::KvShardLedger`]) can place the request's full KV
+//!    footprint across the striped devices. A full or weightless
+//!    (offline) device rejects placement; degraded devices take
+//!    proportionally less of every stripe. Admission starts the
+//!    request's prefill.
+//! 3. **Join** — requests whose prefill has finished join the running
+//!    batch at the next step boundary (continuous batching's
+//!    per-iteration join).
+//! 4. **Decode** — one step of the whole batch is simulated with the same
+//!    [`DecodeStepExecutor`] that powers `run_decode`, at the batch's
+//!    mean context (the step graph is linear in `batch × context`, so the
+//!    mean reproduces the heterogeneous batch's total KV traffic). The
+//!    α split and the writeback spill schedule are recomputed whenever
+//!    the batch composition changes.
+//! 5. **Eviction** — requests that exhausted their output budget leave
+//!    the batch and release their shard allocations, unblocking
+//!    admission.
+//!
+//! Step times are memoized on the quantized operating point
+//! `(batch, context, α, writeback phase)`, so a 10k-request trace costs a
+//! few hundred graph simulations instead of tens of thousands while
+//! remaining bit-deterministic for a fixed trace.
+
+use crate::runner::{CoreError, HilosSystem};
+use crate::scheduler::{weight_source, WeightSource};
+use crate::step::{AlphaSelector, DecodeStepExecutor};
+use crate::writeback::{SpillDecision, WritebackManager};
+use hilos_llm::{Request, RequestClass};
+use hilos_metrics::{goodput, LatencyStats};
+use hilos_storage::KvShardLedger;
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of the serving loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Maximum requests decoded together (admission cap).
+    pub max_batch: u32,
+    /// Per-request end-to-end deadline for goodput accounting, seconds.
+    pub deadline_s: f64,
+    /// Context quantum of the step-time cache: batches whose mean context
+    /// rounds to the same *nearest* multiple share one simulated step
+    /// (the quantum shrinks automatically for short contexts so relative
+    /// error stays bounded). Smaller is more faithful, larger is faster.
+    pub ctx_quantum: u64,
+}
+
+impl ServeConfig {
+    /// A serving configuration with the given admission cap, a 120 s
+    /// deadline and a 1024-token context quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(max_batch: u32) -> Self {
+        assert!(max_batch > 0, "need a positive batch cap");
+        ServeConfig { max_batch, deadline_s: 120.0, ctx_quantum: 1024 }
+    }
+
+    /// Sets the goodput deadline.
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "deadline must be positive");
+        self.deadline_s = seconds;
+        self
+    }
+
+    /// Sets the step-cache context quantum.
+    pub fn with_ctx_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        self.ctx_quantum = quantum;
+        self
+    }
+}
+
+/// Lifecycle record of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// Request id.
+    pub id: u64,
+    /// The request's class.
+    pub class: RequestClass,
+    /// Prompt length in tokens.
+    pub prompt_len: u64,
+    /// Tokens generated.
+    pub output_len: u64,
+    /// When the request became visible to admission (seconds).
+    pub arrival_s: f64,
+    /// When it was admitted (shard allocation + prefill start).
+    pub admitted_s: f64,
+    /// When its first output token was produced.
+    pub first_token_s: f64,
+    /// When its last token was produced (eviction).
+    pub finished_s: f64,
+}
+
+impl RequestOutcome {
+    /// Time to first token.
+    pub fn ttft(&self) -> f64 {
+        self.first_token_s - self.arrival_s
+    }
+
+    /// Mean inter-token latency (zero for single-token outputs).
+    pub fn itl(&self) -> f64 {
+        if self.output_len > 1 {
+            (self.finished_s - self.first_token_s) / (self.output_len - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// End-to-end latency (arrival to last token).
+    pub fn e2e(&self) -> f64 {
+        self.finished_s - self.arrival_s
+    }
+
+    /// Whether the request completed within `deadline_s` of arriving.
+    pub fn met_deadline(&self, deadline_s: f64) -> bool {
+        self.e2e() <= deadline_s
+    }
+}
+
+/// TTFT order statistics over completed outcomes — shared by
+/// [`TraceReport`] and the baselines' trace reports so the metric
+/// definition cannot drift between them.
+pub fn ttft_stats_of(outcomes: &[RequestOutcome]) -> LatencyStats {
+    LatencyStats::from_samples(&outcomes.iter().map(RequestOutcome::ttft).collect::<Vec<_>>())
+}
+
+/// Token goodput over completed outcomes under a deadline.
+pub fn token_goodput_of(outcomes: &[RequestOutcome], deadline_s: f64, elapsed_s: f64) -> f64 {
+    goodput(outcomes.iter().map(|o| (o.met_deadline(deadline_s), o.output_len as f64)), elapsed_s)
+}
+
+/// Generated-token throughput (zero for an empty run).
+pub fn throughput_of(generated_tokens: u64, elapsed_s: f64) -> f64 {
+    if elapsed_s > 0.0 {
+        generated_tokens as f64 / elapsed_s
+    } else {
+        0.0
+    }
+}
+
+/// Everything one trace run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Completed requests in completion order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Requests whose KV footprint can never be placed (larger than the
+    /// placeable array) — dropped at admission.
+    pub rejected: Vec<u64>,
+    /// Decode steps actually executed (idle gaps between arrivals are
+    /// skipped, not counted).
+    pub steps: u64,
+    /// Simulated wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Total tokens generated.
+    pub generated_tokens: u64,
+    /// Largest running batch observed.
+    pub peak_batch: u32,
+    /// Prefill-finished joins into the running batch.
+    pub joins: u64,
+    /// Completion evictions from the running batch.
+    pub evictions: u64,
+    /// How often α was re-selected (batch composition changes).
+    pub alpha_recomputes: u64,
+    /// Step-weighted mean α.
+    pub mean_alpha: f64,
+    /// Distinct simulated operating points (step-cache size).
+    pub step_cache_entries: usize,
+    /// Total bytes that crossed the host interconnect during decode.
+    pub host_pcie_bytes: f64,
+    /// Total bytes read over the devices' internal paths.
+    pub internal_read_bytes: f64,
+    /// Payload bytes prefills wrote to the devices (KV + X).
+    pub prefill_payload_bytes: f64,
+    /// KV/X bytes the shard ledger placed on each device over the whole
+    /// run (admitted requests' full footprints, in device index order) —
+    /// the placement skew wear accounting must follow.
+    pub kv_placed_bytes: Vec<f64>,
+    /// The deadline the run was configured with.
+    pub deadline_s: f64,
+}
+
+impl TraceReport {
+    /// TTFT order statistics.
+    pub fn ttft_stats(&self) -> LatencyStats {
+        ttft_stats_of(&self.outcomes)
+    }
+
+    /// Inter-token latency order statistics.
+    pub fn itl_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(
+            &self.outcomes.iter().map(RequestOutcome::itl).collect::<Vec<_>>(),
+        )
+    }
+
+    /// End-to-end latency order statistics.
+    pub fn e2e_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(
+            &self.outcomes.iter().map(RequestOutcome::e2e).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Generated-token throughput over the run.
+    pub fn tokens_per_second(&self) -> f64 {
+        throughput_of(self.generated_tokens, self.elapsed_s)
+    }
+
+    /// Token goodput: tokens of deadline-meeting requests per second.
+    pub fn token_goodput(&self) -> f64 {
+        token_goodput_of(&self.outcomes, self.deadline_s, self.elapsed_s)
+    }
+
+    /// Request goodput: deadline-meeting completions per second.
+    pub fn request_goodput(&self) -> f64 {
+        goodput(
+            self.outcomes.iter().map(|o| (o.met_deadline(self.deadline_s), 1.0)),
+            self.elapsed_s,
+        )
+    }
+
+    /// Fraction of completed requests that met the deadline.
+    pub fn deadline_hit_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.met_deadline(self.deadline_s)).count() as f64
+            / self.outcomes.len() as f64
+    }
+}
+
+/// A request in flight (admitted; prefilling or decoding).
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    req: Request,
+    arrival_s: f64,
+    admitted_s: f64,
+    /// When its prefill finishes and it may join the running batch.
+    join_s: f64,
+    first_token_s: Option<f64>,
+    emitted: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct StepKey {
+    batch: u32,
+    context: u64,
+    alpha_bits: u64,
+    buffered_tokens: u32,
+    spill_now: bool,
+    spill_tokens: u32,
+}
+
+/// The scalar slice of a [`StepOutcome`] the serving loop consumes every
+/// step — `Copy`, so cache hits stay allocation-free (the full outcome's
+/// per-category breakdown would clone a `Vec<String>` per step).
+#[derive(Debug, Clone, Copy)]
+struct CachedStep {
+    seconds: f64,
+    host_pcie_bytes: f64,
+    internal_read_bytes: f64,
+}
+
+/// The continuous-batching serving engine over one HILOS deployment.
+#[derive(Debug)]
+pub struct ServeEngine {
+    system: HilosSystem,
+    config: ServeConfig,
+    exec: DecodeStepExecutor,
+    alpha_sel: AlphaSelector,
+    ledger: KvShardLedger,
+    /// Placeable bytes of the empty array (after weight reservations) —
+    /// the bound beyond which a request can never be admitted.
+    max_placeable: u64,
+    step_cache: HashMap<StepKey, CachedStep>,
+    prefill_cache: HashMap<(u64, u64), f64>,
+}
+
+impl ServeEngine {
+    /// Builds the serving engine: one simulation world, the α selector at
+    /// its bandwidth operating point, and the shard ledger (with
+    /// storage-resident weights reserved evenly, as `weight_source`
+    /// dictates for >100B models).
+    ///
+    /// # Errors
+    ///
+    /// Platform/capacity errors from building the world or fitting the
+    /// weights.
+    pub fn new(system: HilosSystem, config: ServeConfig) -> Result<Self, CoreError> {
+        let exec = DecodeStepExecutor::new(&system)?;
+        let alpha_sel = AlphaSelector::new(system.config(), exec.system());
+        let mut ledger = exec.system().kv_ledger();
+        let model = system.model();
+        if weight_source(exec.system(), model, 32 << 30) == WeightSource::Storage {
+            ledger.reserve_evenly(model.weight_bytes()).map_err(|_| {
+                CoreError::DeviceCapacityExceeded {
+                    needed: model.weight_bytes(),
+                    available: ledger.placeable_free(),
+                }
+            })?;
+        }
+        let max_placeable = ledger.placeable_free();
+        Ok(ServeEngine {
+            system,
+            config,
+            exec,
+            alpha_sel,
+            ledger,
+            max_placeable,
+            step_cache: HashMap::new(),
+            prefill_cache: HashMap::new(),
+        })
+    }
+
+    /// The per-device shard ledger (admission state).
+    pub fn ledger(&self) -> &KvShardLedger {
+        &self.ledger
+    }
+
+    /// Rounds a context to the nearest step-cache bucket. The quantum
+    /// halves (down to 16 tokens) until it is at most a quarter of the
+    /// context, so the rounding error is centered on zero and bounded at
+    /// ~12.5% even for prompts far shorter than `ctx_quantum`.
+    fn quantize(&self, ctx: u64) -> u64 {
+        let ctx = ctx.max(1);
+        let mut q = self.config.ctx_quantum;
+        while q > 16 && q * 4 > ctx {
+            q /= 2;
+        }
+        ((ctx + q / 2) / q).max(1) * q
+    }
+
+    /// KV/X bytes a request owns at full generation length under `alpha`.
+    fn request_footprint(&self, req: &Request, alpha: f64) -> u64 {
+        let m = self.system.model();
+        let per_token =
+            (1.0 - alpha) * m.kv_bytes_per_token() as f64 + alpha * m.x_bytes_per_token() as f64;
+        (per_token * req.total_tokens() as f64) as u64
+    }
+
+    fn prefill_seconds(&mut self, prompt_len: u64, alpha: f64) -> Result<f64, CoreError> {
+        let key = (self.quantize(prompt_len), alpha.to_bits());
+        if let Some(&s) = self.prefill_cache.get(&key) {
+            return Ok(s);
+        }
+        let s = self.exec.execute_prefill(1, key.0, alpha)?;
+        self.prefill_cache.insert(key, s);
+        Ok(s)
+    }
+
+    fn decode_step(
+        &mut self,
+        batch: u32,
+        mean_ctx: u64,
+        alpha: f64,
+        decision: &SpillDecision,
+    ) -> Result<CachedStep, CoreError> {
+        let key = StepKey {
+            batch,
+            context: self.quantize(mean_ctx),
+            alpha_bits: alpha.to_bits(),
+            buffered_tokens: decision.buffered_tokens,
+            spill_now: decision.spill_now,
+            spill_tokens: decision.spill_tokens,
+        };
+        if let Some(&o) = self.step_cache.get(&key) {
+            return Ok(o);
+        }
+        let o = self.exec.execute_step(batch, key.context, alpha, decision)?;
+        let cached = CachedStep {
+            seconds: o.seconds,
+            host_pcie_bytes: o.host_pcie_bytes,
+            internal_read_bytes: o.internal_read_bytes,
+        };
+        self.step_cache.insert(key, cached);
+        Ok(cached)
+    }
+
+    /// Serves a trace of requests (sorted by `arrival_step`) to
+    /// completion and reports request-level latency and throughput.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival step.
+    pub fn run_trace(&mut self, trace: &[Request]) -> Result<TraceReport, CoreError> {
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival_step <= w[1].arrival_step),
+            "trace must be sorted by arrival step"
+        );
+        let model = self.system.model().clone();
+        let wb_enabled = self.system.config().delayed_writeback();
+        let mut wb = WritebackManager::new(self.system.config().spill_interval());
+
+        let mut queue: VecDeque<(Request, f64)> = VecDeque::new();
+        let mut prefilling: Vec<InFlight> = Vec::new();
+        let mut running: Vec<InFlight> = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut rejected = Vec::new();
+
+        let mut clock = 0.0f64;
+        // `step` is the arrival cursor (it jumps over idle gaps);
+        // `decode_steps` counts decode iterations actually executed.
+        let mut step = 0u64;
+        let mut decode_steps = 0u64;
+        let mut idx = 0usize;
+        let mut alpha = 0.0f64;
+        let mut composition_changed = true;
+        let mut joins = 0u64;
+        let mut evictions = 0u64;
+        let mut alpha_recomputes = 0u64;
+        let mut generated = 0u64;
+        let mut peak_batch = 0u32;
+        let mut alpha_steps_sum = 0.0f64;
+        let mut host_bytes = 0.0f64;
+        let mut internal_bytes = 0.0f64;
+        let mut prefill_payload = 0.0f64;
+        let mut kv_placed = vec![0.0f64; self.ledger.device_count()];
+
+        while idx < trace.len()
+            || !queue.is_empty()
+            || !prefilling.is_empty()
+            || !running.is_empty()
+        {
+            // 1: arrivals up to the current serving step.
+            while idx < trace.len() && trace[idx].arrival_step <= step {
+                queue.push_back((trace[idx], clock));
+                idx += 1;
+            }
+            // Fully idle with traffic still ahead: jump to the next
+            // arrival (simulated time does not advance while idle).
+            if running.is_empty() && prefilling.is_empty() && queue.is_empty() {
+                if idx >= trace.len() {
+                    break;
+                }
+                step = trace[idx].arrival_step;
+                continue;
+            }
+
+            // 2: FIFO admission, gated by the per-device shard ledger.
+            while running.len() + prefilling.len() < self.config.max_batch as usize {
+                let Some(&(req, arrival_s)) = queue.front() else { break };
+                // α for the composition this request would join.
+                let admit_alpha = self.alpha_sel.select(
+                    &model,
+                    (running.len() + prefilling.len() + 1) as u32,
+                    req.prompt_len.max(1),
+                );
+                let footprint = self.request_footprint(&req, admit_alpha);
+                if footprint > self.max_placeable {
+                    rejected.push(req.id);
+                    queue.pop_front();
+                    continue;
+                }
+                match self.ledger.allocate(req.id, footprint) {
+                    Ok(placed) => {
+                        for (acc, &b) in kv_placed.iter_mut().zip(&placed) {
+                            *acc += b as f64;
+                        }
+                    }
+                    Err(_) => {
+                        if self.ledger.live_requests() == 0 {
+                            // Nothing live and still unplaceable (e.g. a
+                            // stripe member filled by static reservations):
+                            // the request can never be admitted.
+                            rejected.push(req.id);
+                            queue.pop_front();
+                            continue;
+                        }
+                        // Head-of-line wait: evictions will free space.
+                        break;
+                    }
+                }
+                queue.pop_front();
+                let pf = match self.prefill_seconds(req.prompt_len, admit_alpha) {
+                    Ok(pf) => pf,
+                    Err(e) => {
+                        // Don't leak the shard allocation on a failed
+                        // prefill simulation — the engine stays reusable.
+                        let _ = self.ledger.release(req.id);
+                        return Err(e);
+                    }
+                };
+                prefill_payload +=
+                    footprint as f64 * req.prompt_len as f64 / req.total_tokens() as f64;
+                prefilling.push(InFlight {
+                    req,
+                    arrival_s,
+                    admitted_s: clock,
+                    join_s: clock + pf,
+                    first_token_s: None,
+                    emitted: 0,
+                });
+            }
+
+            // 3: join finished prefills at this step boundary. If nothing
+            // is decoding, fast-forward to the earliest join.
+            if running.is_empty() && !prefilling.is_empty() {
+                let earliest = prefilling.iter().map(|p| p.join_s).fold(f64::INFINITY, f64::min);
+                clock = clock.max(earliest);
+            }
+            if !prefilling.is_empty() {
+                let mut ready: Vec<InFlight> =
+                    prefilling.iter().copied().filter(|p| p.join_s <= clock).collect();
+                if !ready.is_empty() {
+                    prefilling.retain(|p| p.join_s > clock);
+                    // Deterministic join order: prefill completion, then id.
+                    ready.sort_by(|a, b| {
+                        a.join_s.total_cmp(&b.join_s).then(a.req.id.cmp(&b.req.id))
+                    });
+                    joins += ready.len() as u64;
+                    running.extend(ready);
+                    composition_changed = true;
+                }
+            }
+            if running.is_empty() {
+                // Prefills still in flight but none ready — can only
+                // happen before the clock advance above; defensive tick.
+                step += 1;
+                continue;
+            }
+
+            // 4: one decode step of the running batch at its mean context.
+            let batch = running.len() as u32;
+            peak_batch = peak_batch.max(batch);
+            let total_ctx: u64 = running.iter().map(|r| r.req.context_at(r.emitted)).sum();
+            let mean_ctx = (total_ctx / batch as u64).max(1);
+            if composition_changed {
+                alpha = self.alpha_sel.select(&model, batch, mean_ctx);
+                alpha_recomputes += 1;
+                composition_changed = false;
+            }
+            let decision = if wb_enabled {
+                wb.on_step()
+            } else {
+                SpillDecision { buffered_tokens: 0, spill_now: false, spill_tokens: 0 }
+            };
+            let outcome = self.decode_step(batch, mean_ctx, alpha, &decision)?;
+            clock += outcome.seconds;
+            step += 1;
+            decode_steps += 1;
+            generated += batch as u64;
+            alpha_steps_sum += alpha;
+            host_bytes += outcome.host_pcie_bytes;
+            internal_bytes += outcome.internal_read_bytes;
+
+            // Token emission + 5: eviction of completed requests.
+            let mut still_running = Vec::with_capacity(running.len());
+            for mut r in running {
+                r.emitted += 1;
+                if r.first_token_s.is_none() {
+                    r.first_token_s = Some(clock);
+                }
+                if r.emitted >= r.req.output_budget {
+                    self.ledger.release(r.req.id).expect("running request holds allocation");
+                    evictions += 1;
+                    outcomes.push(RequestOutcome {
+                        id: r.req.id,
+                        class: r.req.class,
+                        prompt_len: r.req.prompt_len,
+                        output_len: r.emitted,
+                        arrival_s: r.arrival_s,
+                        admitted_s: r.admitted_s,
+                        first_token_s: r.first_token_s.unwrap(),
+                        finished_s: clock,
+                    });
+                    composition_changed = true;
+                } else {
+                    still_running.push(r);
+                }
+            }
+            running = still_running;
+        }
+
+        Ok(TraceReport {
+            outcomes,
+            rejected,
+            steps: decode_steps,
+            elapsed_s: clock,
+            generated_tokens: generated,
+            peak_batch,
+            joins,
+            evictions,
+            alpha_recomputes,
+            mean_alpha: if decode_steps > 0 { alpha_steps_sum / decode_steps as f64 } else { 0.0 },
+            step_cache_entries: self.step_cache.len(),
+            host_pcie_bytes: host_bytes,
+            internal_read_bytes: internal_bytes,
+            prefill_payload_bytes: prefill_payload,
+            kv_placed_bytes: kv_placed,
+            deadline_s: self.config.deadline_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HilosConfig;
+    use hilos_llm::{presets, TraceConfig};
+    use hilos_platform::SystemSpec;
+
+    fn system(n: usize) -> HilosSystem {
+        HilosSystem::new(&SystemSpec::a100_smartssd(n), &presets::opt_30b(), &HilosConfig::new(n))
+            .unwrap()
+            .with_sim_layers(1)
+    }
+
+    #[test]
+    fn small_trace_completes_every_request() {
+        let trace = TraceConfig::azure_mix(64, 3).generate();
+        let mut eng = ServeEngine::new(system(8), ServeConfig::new(16)).unwrap();
+        let report = eng.run_trace(&trace).unwrap();
+        assert_eq!(report.outcomes.len(), 64);
+        assert!(report.rejected.is_empty());
+        assert!(report.peak_batch > 1, "continuous batching never batched");
+        assert!(report.elapsed_s > 0.0);
+        assert_eq!(
+            report.generated_tokens,
+            report.outcomes.iter().map(|o| o.output_len).sum::<u64>()
+        );
+        // Every request's lifecycle is ordered.
+        for o in &report.outcomes {
+            assert!(o.arrival_s <= o.admitted_s, "{o:?}");
+            assert!(o.admitted_s < o.first_token_s, "{o:?}");
+            assert!(o.first_token_s <= o.finished_s, "{o:?}");
+        }
+        // All shard space released at the end.
+        assert_eq!(eng.ledger().live_requests(), 0);
+    }
+
+    #[test]
+    fn trace_runs_are_deterministic() {
+        let trace = TraceConfig::azure_mix(48, 11).generate();
+        let run =
+            || ServeEngine::new(system(8), ServeConfig::new(8)).unwrap().run_trace(&trace).unwrap();
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same seed must reproduce bit-identically");
+        assert_eq!(a.elapsed_s.to_bits(), b.elapsed_s.to_bits());
+    }
+
+    #[test]
+    fn batch_cap_bounds_concurrency() {
+        let trace =
+            TraceConfig { mean_interarrival_steps: 0, ..TraceConfig::azure_mix(40, 5) }.generate();
+        let mut eng = ServeEngine::new(system(8), ServeConfig::new(4)).unwrap();
+        let report = eng.run_trace(&trace).unwrap();
+        assert!(report.peak_batch <= 4);
+        assert_eq!(report.outcomes.len(), 40);
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_not_wedged() {
+        let mut trace = TraceConfig::azure_mix(8, 2).generate();
+        // A request whose KV footprint exceeds the whole array.
+        trace[0].prompt_len = 40_000_000_000;
+        trace[0].output_budget = 1;
+        let mut eng = ServeEngine::new(system(4), ServeConfig::new(8)).unwrap();
+        let report = eng.run_trace(&trace).unwrap();
+        assert_eq!(report.rejected, vec![trace[0].id]);
+        assert_eq!(report.outcomes.len(), 7, "the rest of the trace still completes");
+    }
+
+    #[test]
+    fn alpha_tracks_composition_changes() {
+        let trace = TraceConfig::azure_mix(32, 9).generate();
+        let mut eng = ServeEngine::new(system(8), ServeConfig::new(8)).unwrap();
+        let report = eng.run_trace(&trace).unwrap();
+        assert!(report.alpha_recomputes >= report.joins.min(report.evictions));
+        assert!(report.mean_alpha > 0.0, "MHA model should engage the X-cache");
+        assert!(report.step_cache_entries > 0);
+        assert!(
+            (report.step_cache_entries as u64) < report.steps,
+            "step cache should be reused across steps"
+        );
+    }
+
+    #[test]
+    fn degraded_device_skews_serving_placement() {
+        let sys = system(4).with_degraded_device(0, 0.25);
+        let trace = TraceConfig::azure_mix(24, 7).generate();
+        let mut eng = ServeEngine::new(sys, ServeConfig::new(8)).unwrap();
+        // Snapshot occupancy mid-run is awkward; instead admit manually.
+        let m = eng.ledger().device_count();
+        assert_eq!(m, 4);
+        let report = eng.run_trace(&trace).unwrap();
+        assert_eq!(report.outcomes.len(), 24);
+        // Verify skew directly on a fresh allocation.
+        let placed = eng.ledger.allocate(999, 1 << 30).unwrap();
+        assert!(placed[0] * 2 < placed[1], "degraded device should hold less: {placed:?}");
+    }
+
+    #[test]
+    fn latency_metrics_are_sane() {
+        let trace = TraceConfig::azure_mix(64, 13).generate();
+        let mut eng = ServeEngine::new(system(8), ServeConfig::new(16)).unwrap();
+        let report = eng.run_trace(&trace).unwrap();
+        let ttft = report.ttft_stats();
+        let itl = report.itl_stats();
+        assert_eq!(ttft.count, 64);
+        assert!(ttft.p50 > 0.0 && ttft.p50 <= ttft.p95 && ttft.p95 <= ttft.p99);
+        assert!(itl.p50 > 0.0);
+        assert!(report.tokens_per_second() > 0.0);
+        assert!(report.token_goodput() <= report.tokens_per_second() + 1e-9);
+        let strict = TraceReport { deadline_s: 1e-9, ..report.clone() };
+        assert_eq!(strict.token_goodput(), 0.0, "nothing meets a 1ns deadline");
+        assert_eq!(strict.deadline_hit_rate(), 0.0);
+    }
+}

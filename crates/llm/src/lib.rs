@@ -9,6 +9,8 @@
 //! * [`footprint`] — the Fig. 2a memory-footprint breakdown,
 //! * [`BatchSpec`] / [`RequestClass`] — offline batch jobs and the
 //!   Azure-derived request classes of the endurance study (Fig. 16b),
+//! * [`Request`] / [`TraceConfig`] — request-level workloads: seeded
+//!   heterogeneous traces for the continuous-batching serving layer,
 //! * [`RetrievalTask`] — synthetic long-context retrieval tasks standing
 //!   in for LongBench in the Fig. 18c accuracy experiment.
 
@@ -17,10 +19,12 @@
 
 mod config;
 mod footprint;
+mod request;
 mod synthetic;
 mod workload;
 
 pub use config::{presets, MlpKind, ModelConfig, MoeConfig, FP16_BYTES};
 pub use footprint::{footprint, Footprint};
+pub use request::{Request, TraceConfig};
 pub use synthetic::{RetrievalTask, RetrievalTaskConfig};
 pub use workload::{BatchSpec, RequestClass};

@@ -1,0 +1,235 @@
+//! Request-level workloads: individual inference requests and seeded
+//! heterogeneous trace generation.
+//!
+//! [`BatchSpec`](crate::BatchSpec) describes the paper's uniform offline
+//! batches; a [`Request`] is one sequence with its own prompt length and
+//! output budget, drawn from the Azure-derived [`RequestClass`] mix. A
+//! [`TraceConfig`] generates deterministic request streams — the input of
+//! the continuous-batching serving layer (`hilos-core::serve`).
+
+use crate::workload::RequestClass;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// One inference request in a serving trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Unique id (position in the trace).
+    pub id: u64,
+    /// Serving step at which the request becomes visible to admission.
+    pub arrival_step: u64,
+    /// Prompt (context) length in tokens.
+    pub prompt_len: u64,
+    /// Number of tokens to generate.
+    pub output_budget: u64,
+    /// The class the request was drawn from.
+    pub class: RequestClass,
+}
+
+impl Request {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt_len` or `output_budget` is zero.
+    pub fn new(
+        id: u64,
+        arrival_step: u64,
+        prompt_len: u64,
+        output_budget: u64,
+        class: RequestClass,
+    ) -> Self {
+        assert!(prompt_len > 0, "prompt length must be positive");
+        assert!(output_budget > 0, "output budget must be positive");
+        Request { id, arrival_step, prompt_len, output_budget, class }
+    }
+
+    /// Context length after `emitted` generated tokens.
+    pub fn context_at(&self, emitted: u64) -> u64 {
+        self.prompt_len + emitted
+    }
+
+    /// Total tokens whose KV entries the request materializes at
+    /// completion (prompt plus full output budget).
+    pub fn total_tokens(&self) -> u64 {
+        self.prompt_len + self.output_budget
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "req#{} @{} in={} out={} ({})",
+            self.id, self.arrival_step, self.prompt_len, self.output_budget, self.class
+        )
+    }
+}
+
+/// Configuration of a seeded heterogeneous request trace.
+///
+/// # Examples
+///
+/// ```
+/// use hilos_llm::TraceConfig;
+///
+/// let trace = TraceConfig::azure_mix(100, 7).generate();
+/// assert_eq!(trace.len(), 100);
+/// // Same seed, same trace — bit for bit.
+/// assert_eq!(trace, TraceConfig::azure_mix(100, 7).generate());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Relative class weights in [`RequestClass::all`] order
+    /// (Short, Medium, Long). Zero-weight classes never occur.
+    pub class_weights: [u32; 3],
+    /// Mean inter-arrival gap in serving steps (arrivals are uniform in
+    /// `0..=2·mean`, so bursts of simultaneous arrivals occur). `0` makes
+    /// every request arrive at step zero (a closed-loop backlog).
+    pub mean_interarrival_steps: u64,
+    /// Multiplies every class's prompt length — the knob that stretches
+    /// the Azure mix into the paper's long-context regime.
+    pub prompt_scale: u64,
+    /// Relative jitter applied to prompt and output lengths, `[0, 1)`:
+    /// lengths are scaled by a uniform factor in `[1-j, 1+j]`.
+    pub length_jitter: f64,
+}
+
+impl TraceConfig {
+    /// The Azure-derived mix of the paper's Fig. 16b endurance study:
+    /// weights 6:3:1 over Short/Medium/Long, unscaled prompts, 25% length
+    /// jitter, one arrival every other step on average.
+    pub fn azure_mix(requests: usize, seed: u64) -> Self {
+        TraceConfig {
+            requests,
+            seed,
+            class_weights: [6, 3, 1],
+            mean_interarrival_steps: 2,
+            prompt_scale: 1,
+            length_jitter: 0.25,
+        }
+    }
+
+    /// Same mix with prompts stretched by `scale` — the long-context
+    /// serving scenario the ANS path is built for.
+    pub fn long_context(requests: usize, seed: u64, scale: u64) -> Self {
+        let mut c = TraceConfig::azure_mix(requests, seed);
+        c.prompt_scale = scale;
+        c
+    }
+
+    /// Generates the trace: `requests` requests in arrival order,
+    /// deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all class weights are zero or `length_jitter` is not in
+    /// `[0, 1)`.
+    pub fn generate(&self) -> Vec<Request> {
+        assert!(self.class_weights.iter().any(|&w| w > 0), "need a non-zero class weight");
+        assert!(
+            (0.0..1.0).contains(&self.length_jitter),
+            "length jitter must be in [0, 1), got {}",
+            self.length_jitter
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let total_weight: u32 = self.class_weights.iter().sum();
+        let mut step = 0u64;
+        let mut out = Vec::with_capacity(self.requests);
+        for id in 0..self.requests as u64 {
+            if self.mean_interarrival_steps > 0 {
+                step += rng.random_range(0..=2 * self.mean_interarrival_steps);
+            }
+            let mut pick = rng.random_range(0..total_weight);
+            let mut class = RequestClass::Short;
+            for (c, &w) in RequestClass::all().iter().zip(&self.class_weights) {
+                if pick < w {
+                    class = *c;
+                    break;
+                }
+                pick -= w;
+            }
+            let jitter = |rng: &mut StdRng, base: u64| -> u64 {
+                let f = 1.0 + self.length_jitter * (2.0 * rng.random::<f64>() - 1.0);
+                ((base as f64 * f) as u64).max(1)
+            };
+            let prompt = jitter(&mut rng, class.input_tokens() * self.prompt_scale.max(1));
+            let output = jitter(&mut rng, class.output_tokens());
+            out.push(Request::new(id, step, prompt, output, class));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_accessors() {
+        let r = Request::new(3, 10, 1024, 350, RequestClass::Medium);
+        assert_eq!(r.context_at(0), 1024);
+        assert_eq!(r.context_at(100), 1124);
+        assert_eq!(r.total_tokens(), 1374);
+        assert!(r.to_string().contains("req#3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "output budget must be positive")]
+    fn zero_output_rejected() {
+        let _ = Request::new(0, 0, 16, 0, RequestClass::Short);
+    }
+
+    #[test]
+    fn traces_are_seed_deterministic() {
+        let a = TraceConfig::azure_mix(500, 42).generate();
+        let b = TraceConfig::azure_mix(500, 42).generate();
+        assert_eq!(a, b);
+        let c = TraceConfig::azure_mix(500, 43).generate();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn arrival_steps_are_monotone_and_spread() {
+        let trace = TraceConfig::azure_mix(1000, 7).generate();
+        assert!(trace.windows(2).all(|w| w[0].arrival_step <= w[1].arrival_step));
+        let last = trace.last().unwrap().arrival_step;
+        // Mean gap 2 over 1000 requests: expect roughly 2000 steps.
+        assert!((1000..4000).contains(&last), "spread {last}");
+    }
+
+    #[test]
+    fn class_mix_roughly_matches_weights() {
+        let trace = TraceConfig::azure_mix(3000, 11).generate();
+        let short = trace.iter().filter(|r| r.class == RequestClass::Short).count();
+        let long = trace.iter().filter(|r| r.class == RequestClass::Long).count();
+        assert!(short > 1500, "short {short}");
+        assert!((100..700).contains(&long), "long {long}");
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let trace = TraceConfig::azure_mix(2000, 5).generate();
+        for r in &trace {
+            let base = r.class.input_tokens() as f64;
+            assert!((r.prompt_len as f64) >= base * 0.74, "{r}");
+            assert!((r.prompt_len as f64) <= base * 1.26, "{r}");
+        }
+    }
+
+    #[test]
+    fn long_context_scales_prompts() {
+        let trace = TraceConfig::long_context(200, 9, 16).generate();
+        let mean = trace.iter().map(|r| r.prompt_len).sum::<u64>() as f64 / trace.len() as f64;
+        // Base mix mean ≈ 6/10·256 + 3/10·1024 + 1/10·8192 ≈ 1280 ⇒ ×16.
+        assert!(mean > 8.0 * 1280.0, "mean {mean}");
+        let zero_gap =
+            TraceConfig { mean_interarrival_steps: 0, ..TraceConfig::azure_mix(50, 1) }.generate();
+        assert!(zero_gap.iter().all(|r| r.arrival_step == 0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Request-level latency statistics for the serving layer.
+//!
+//! Continuous batching is judged on tail latency, not just throughput:
+//! time-to-first-token (TTFT), inter-token latency (ITL) and end-to-end
+//! completion, summarized at p50/p95/p99, plus *goodput* — the throughput
+//! counting only requests that met a deadline (the way the request-level
+//! serving literature compares schedulers).
+
+use std::fmt;
+
+/// Order statistics over a set of latency samples (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Computes the statistics from raw samples. Empty input yields all
+    /// zeros. Percentiles use the nearest-rank method on a sorted copy,
+    /// so the result is deterministic in the multiset of samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats { count: 0, mean: 0.0, p50: 0.0, p95: 0.0, p99: 0.0, max: 0.0 };
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = |p: f64| -> f64 {
+            let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+            sorted[idx]
+        };
+        LatencyStats {
+            count: n,
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50 {} / p95 {} / p99 {} (mean {}, max {}, n={})",
+            fmt_seconds(self.p50),
+            fmt_seconds(self.p95),
+            fmt_seconds(self.p99),
+            fmt_seconds(self.mean),
+            fmt_seconds(self.max),
+            self.count
+        )
+    }
+}
+
+/// Formats a duration in seconds with an adaptive unit.
+pub fn fmt_seconds(s: f64) -> String {
+    let abs = s.abs();
+    if abs >= 60.0 {
+        format!("{:.1}min", s / 60.0)
+    } else if abs >= 1.0 {
+        format!("{s:.2}s")
+    } else if abs >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Goodput: units credited only to requests that met the deadline, over
+/// the elapsed wall-clock. `met` holds each completed request's
+/// `(met_deadline, units)` — units being 1.0 for request-goodput or the
+/// generated token count for token-goodput.
+pub fn goodput(met: impl IntoIterator<Item = (bool, f64)>, elapsed_s: f64) -> f64 {
+    if elapsed_s <= 0.0 {
+        return 0.0;
+    }
+    met.into_iter().filter(|(ok, _)| *ok).map(|(_, u)| u).sum::<f64>() / elapsed_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_samples() {
+        let empty = LatencyStats::from_samples(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99, 0.0);
+        let one = LatencyStats::from_samples(&[0.25]);
+        assert_eq!((one.p50, one.p95, one.p99, one.max), (0.25, 0.25, 0.25, 0.25));
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = LatencyStats::from_samples(&[3.0, 1.0, 2.0]);
+        let b = LatencyStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn goodput_counts_only_met_deadlines() {
+        let g = goodput([(true, 100.0), (false, 50.0), (true, 20.0)], 10.0);
+        assert_eq!(g, 12.0);
+        assert_eq!(goodput([(true, 1.0)], 0.0), 0.0);
+    }
+
+    #[test]
+    fn second_formatting() {
+        assert_eq!(fmt_seconds(90.0), "1.5min");
+        assert_eq!(fmt_seconds(2.5), "2.50s");
+        assert_eq!(fmt_seconds(0.0042), "4.2ms");
+        assert_eq!(fmt_seconds(3.3e-5), "33.0us");
+    }
+}

@@ -7,6 +7,9 @@
 //! * [`tokens_per_second_per_dollar`] — cost efficiency (Fig. 16a),
 //! * [`EnduranceModel`] — PBW-budget endurance and serviceable requests
 //!   (Fig. 16b),
+//! * [`LatencyStats`] / [`goodput`] — request-level latency order
+//!   statistics (TTFT, inter-token, end-to-end) and deadline goodput for
+//!   the serving layer,
 //! * [`Table`] — plain-text table rendering used by the `repro` harness.
 
 #![forbid(unsafe_code)]
@@ -15,9 +18,11 @@
 mod cost;
 mod endurance;
 mod energy;
+mod latency;
 mod report;
 
 pub use cost::{normalized_cost_efficiency, tokens_per_second_per_dollar};
 pub use endurance::EnduranceModel;
 pub use energy::{energy, joules_per_token, ActivitySnapshot, EnergyBreakdown};
+pub use latency::{fmt_seconds, goodput, LatencyStats};
 pub use report::{fmt_bytes, fmt_ratio, Table};

@@ -9,7 +9,7 @@ use crate::catalog::{GpuSpec, HostSpec, StoragePricePower};
 use hilos_accel::AccelTimingModel;
 use hilos_interconnect::{LinkSpec, NodeId, PcieGen, Topology, TopologyInstance};
 use hilos_sim::{FlowEngine, ResourceId, ResourceKind, ResourceSpec};
-use hilos_storage::{SsdDevice, SsdInstance, SsdSpec};
+use hilos_storage::{KvShardLedger, ShardSpec, SsdDevice, SsdInstance, SsdSpec};
 use std::error::Error;
 use std::fmt;
 
@@ -422,6 +422,24 @@ impl BuiltSystem {
         self.topo.route(self.gpu_node, self.devices[device].node).expect("route exists")
     }
 
+    /// A per-device KV shard ledger over this system's devices: capacity
+    /// from each device's spec, placement weight from its sustained
+    /// internal read bandwidth. Degraded (straggler) devices were built
+    /// with scaled-down bandwidth, so the ledger automatically skews
+    /// placement away from them — the stripe stays balanced in *time*
+    /// rather than in bytes.
+    pub fn kv_ledger(&self) -> KvShardLedger {
+        KvShardLedger::new(
+            self.ssd_states
+                .iter()
+                .map(|d| ShardSpec {
+                    capacity_bytes: d.spec().capacity_bytes(),
+                    weight: d.spec().seq_read_bw(),
+                })
+                .collect(),
+        )
+    }
+
     /// Aggregate *internal* storage read bandwidth available to the
     /// accelerators (B_SSD of the §4.2 α model).
     pub fn aggregate_internal_read_bw(&self) -> f64 {
@@ -494,6 +512,26 @@ mod tests {
             BuiltSystem::build(&spec, None, 128).unwrap_err(),
             SystemError::NoStorageDevices
         );
+    }
+
+    #[test]
+    fn kv_ledger_skews_away_from_degraded_devices() {
+        let spec = SystemSpec::a100_smartssd(4);
+        let sys = BuiltSystem::build_with_degradations(
+            &spec,
+            Some(&AccelTimingModel::smartssd(1)),
+            128,
+            &[(1, 0.25)],
+        )
+        .unwrap();
+        let mut ledger = sys.kv_ledger();
+        assert_eq!(ledger.device_count(), 4);
+        let placed = ledger.allocate(0, 1 << 30).unwrap();
+        assert!(
+            placed[1] * 3 < placed[0],
+            "degraded device 1 should hold ~1/4 the healthy share: {placed:?}"
+        );
+        assert_eq!(placed.iter().sum::<u64>(), 1 << 30);
     }
 
     #[test]

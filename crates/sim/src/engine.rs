@@ -13,6 +13,8 @@
 use crate::error::SimError;
 use crate::resource::{ResourceId, ResourceSpec, ResourceStats};
 use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Identifier of an in-flight job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,6 +38,11 @@ struct JobState {
     route: Vec<ResourceId>,
     rate_cap: Option<f64>,
     rate: f64,
+    /// Predicted absolute completion instant under the current rate, or
+    /// `None` if the job cannot progress (rate zero). Valid as long as the
+    /// rate is unchanged: progress is linear, so an absolute prediction
+    /// survives pure time advances without recomputation.
+    pred: Option<SimTime>,
 }
 
 #[derive(Debug, Clone)]
@@ -78,6 +85,12 @@ pub struct FlowEngine {
     now: SimTime,
     rates_dirty: bool,
     active_jobs: usize,
+    /// Min-heap of `(predicted completion, seq, slot)` — the completion
+    /// index behind [`FlowEngine::next_completion_time`]. Entries are
+    /// lazily invalidated: a rate change re-pushes a fresh entry and the
+    /// stale one is discarded when it surfaces (its time no longer matches
+    /// the job's stored prediction, or the job is gone).
+    pred_heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
 }
 
 impl FlowEngine {
@@ -175,6 +188,7 @@ impl FlowEngine {
             route: route.to_vec(),
             rate_cap,
             rate: 0.0,
+            pred: None,
         };
         let slot = match self.free_slots.pop() {
             Some(s) => {
@@ -191,12 +205,17 @@ impl FlowEngine {
         Ok(JobId { slot, seq })
     }
 
-    /// Recomputes max-min fair rates (progressive filling with caps).
+    /// Recomputes max-min fair rates (progressive filling with caps), then
+    /// refreshes the completion index for every job whose rate changed.
     fn recompute_rates(&mut self) {
         if !self.rates_dirty {
             return;
         }
         self.rates_dirty = false;
+
+        // Old rates, slot-aligned, to detect which predictions survive.
+        let old_rates: Vec<f64> =
+            self.jobs.iter().map(|j| j.as_ref().map_or(0.0, |job| job.rate)).collect();
 
         let n_res = self.resources.len();
         let mut residual: Vec<f64> = self.resources.iter().map(|r| r.spec.capacity()).collect();
@@ -303,19 +322,76 @@ impl FlowEngine {
                 unfrozen = next;
             }
         }
+
+        // Re-index completions for jobs whose rate changed (or that never
+        // had a prediction). Unchanged-rate jobs progress linearly, so
+        // their absolute predictions stay exact across time advances.
+        let now = self.now;
+        for (slot, (j, old)) in self.jobs.iter_mut().zip(&old_rates).enumerate() {
+            let Some(j) = j else { continue };
+            if j.rate.to_bits() == old.to_bits() && j.pred.is_some() {
+                continue;
+            }
+            let pred = if j.remaining <= Self::completion_eps(j.demand) {
+                Some(now)
+            } else if j.rate > 0.0 {
+                Some(now + SimTime::from_secs_f64_ceil(j.remaining / j.rate))
+            } else {
+                None
+            };
+            j.pred = pred;
+            if let Some(t) = pred {
+                self.pred_heap.push(Reverse((t, j.seq, slot as u32)));
+            }
+        }
+        // Bound stale-entry accumulation: compact when the heap holds far
+        // more entries than live jobs.
+        if self.pred_heap.len() > 2 * self.active_jobs + 64 {
+            self.pred_heap.clear();
+            for (slot, j) in self.jobs.iter().enumerate() {
+                if let Some(j) = j {
+                    if let Some(t) = j.pred {
+                        self.pred_heap.push(Reverse((t, j.seq, slot as u32)));
+                    }
+                }
+            }
+        }
     }
 
     /// The next instant at which some job completes, if any job is active.
     ///
-    /// Recomputes rates if the active set changed since the last call.
+    /// Recomputes rates if the active set changed since the last call, then
+    /// answers from the lazily-invalidated completion min-heap: amortized
+    /// `O(log n)` against the reference scan's `O(n)`, which is what keeps
+    /// request-level serving loops (hundreds of concurrent flows polled
+    /// every step) off the engine's critical path.
     pub fn next_completion_time(&mut self) -> Option<SimTime> {
+        if self.active_jobs == 0 {
+            return None;
+        }
+        self.recompute_rates();
+        while let Some(&Reverse((t, seq, slot))) = self.pred_heap.peek() {
+            match self.jobs.get(slot as usize).and_then(Option::as_ref) {
+                Some(j) if j.seq == seq && j.pred == Some(t) => return Some(t),
+                _ => {
+                    self.pred_heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Reference implementation of [`FlowEngine::next_completion_time`]:
+    /// the pre-heap linear scan over every active job. Kept for equivalence
+    /// tests and the `bench_serving` heap-vs-scan comparison.
+    pub fn next_completion_time_scan(&mut self) -> Option<SimTime> {
         if self.active_jobs == 0 {
             return None;
         }
         self.recompute_rates();
         let mut best: Option<SimTime> = None;
         for j in self.jobs.iter().flatten() {
-            let t = if j.remaining <= self.completion_eps(j.demand) {
+            let t = if j.remaining <= Self::completion_eps(j.demand) {
                 self.now
             } else if j.rate > 0.0 {
                 self.now + SimTime::from_secs_f64_ceil(j.remaining / j.rate)
@@ -330,7 +406,7 @@ impl FlowEngine {
         best
     }
 
-    fn completion_eps(&self, demand: f64) -> f64 {
+    fn completion_eps(demand: f64) -> f64 {
         1e-9 + 1e-12 * demand.abs()
     }
 
@@ -565,6 +641,85 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(eng.job_remaining(a), None);
         assert!(eng.job_remaining(b).is_some());
+    }
+
+    #[test]
+    fn simultaneous_completions_ordered_by_sequence() {
+        // Pin for the heap refactor: when several jobs finish at exactly
+        // the same SimTime, `advance_to` reports them in submission
+        // (sequence) order regardless of heap pop order.
+        let mut eng = FlowEngine::new();
+        // Four equal jobs on four independent links: all complete at 1 s.
+        let ids: Vec<JobId> = (0..4)
+            .map(|_| {
+                let l = link(&mut eng, 1e9);
+                eng.submit(&[l], 1e9, None).unwrap()
+            })
+            .collect();
+        let t = eng.next_completion_time().unwrap();
+        assert_eq!(t, SimTime::from_secs(1));
+        let done = eng.advance_to(t).unwrap();
+        assert_eq!(done.len(), 4);
+        let seqs: Vec<u64> = done.iter().map(|c| c.job.sequence()).collect();
+        let expect: Vec<u64> = ids.iter().map(|id| id.sequence()).collect();
+        assert_eq!(seqs, expect, "ties must resolve in submission order");
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn heap_matches_reference_scan() {
+        // The heap-indexed next_completion_time must agree with the
+        // retained linear scan through a full churn of submissions,
+        // completions and rate redistributions.
+        let mut eng = FlowEngine::new();
+        let shared = link(&mut eng, 4e9);
+        let private: Vec<ResourceId> = (0..8).map(|_| link(&mut eng, 1e9)).collect();
+        for i in 0..32u64 {
+            let amount = 1e8 * (1 + (i * 7) % 13) as f64;
+            if i % 3 == 0 {
+                eng.submit(&[shared, private[(i % 8) as usize]], amount, None).unwrap();
+            } else {
+                eng.submit(&[private[(i % 8) as usize]], amount, None).unwrap();
+            }
+        }
+        let mut guard = 0;
+        while eng.active_jobs() > 0 {
+            let scan = eng.next_completion_time_scan();
+            let heap = eng.next_completion_time();
+            // The heap's absolute prediction rounds `remaining/rate` once;
+            // the scan re-divides a drifted `remaining` and can land one
+            // picosecond away. Anything beyond that is a real divergence.
+            let (h, s) = (heap.unwrap().as_picos(), scan.unwrap().as_picos());
+            assert!(h.abs_diff(s) <= 1, "heap {h} ps diverged from reference scan {s} ps");
+            eng.advance_to(heap.unwrap()).unwrap();
+            guard += 1;
+            assert!(guard < 1000, "engine failed to drain");
+        }
+        assert_eq!(eng.next_completion_time(), None);
+        assert_eq!(eng.next_completion_time_scan(), None);
+    }
+
+    #[test]
+    fn heap_survives_partial_advances() {
+        // Advance to instants strictly before any completion (as the task
+        // executor does when a delay wakeup fires first): predictions must
+        // remain valid without a rate recompute.
+        let mut eng = FlowEngine::new();
+        let l1 = link(&mut eng, 1e9);
+        let l2 = link(&mut eng, 2e9);
+        eng.submit(&[l1], 3e9, None).unwrap(); // completes at 3 s
+        eng.submit(&[l2], 2e9, None).unwrap(); // completes at 1 s
+        let first = eng.next_completion_time().unwrap();
+        assert_eq!(first, SimTime::from_secs(1));
+        // Partial advance: no completions, rates unchanged.
+        eng.advance_to(SimTime::from_millis(250)).unwrap();
+        assert_eq!(eng.next_completion_time().unwrap(), SimTime::from_secs(1));
+        eng.advance_to(SimTime::from_millis(999)).unwrap();
+        assert_eq!(eng.next_completion_time().unwrap(), SimTime::from_secs(1));
+        let done = eng.advance_to(SimTime::from_secs(1)).unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(eng.next_completion_time().unwrap(), SimTime::from_secs(3));
+        assert_eq!(eng.run_to_idle().unwrap(), SimTime::from_secs(3));
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   used to validate the analytic write-amplification model,
 //! * [`Raid0`] — mdadm-style striping across devices (the baselines'
 //!   4-SSD array),
+//! * [`KvShardLedger`] — per-device KV shard accounting for request-level
+//!   admission: `allocate`/`release` per request across the striped
+//!   devices, with bandwidth-weighted placement that skews away from
+//!   degraded devices,
 //! * [`SsdInstance`] — the adapter that materializes a device's read/write
 //!   channels as [`hilos_sim`] resources and emits transfer tasks.
 
@@ -21,12 +25,14 @@
 
 mod device;
 mod ftl;
+mod ledger;
 mod nand;
 mod raid;
 mod spec;
 
 pub use device::{IoCounters, SsdDevice, SsdInstance, WritePattern};
-pub use ftl::{Ftl, FtlConfig, FtlStats};
+pub use ftl::{Ftl, FtlConfig, FtlError, FtlStats};
+pub use ledger::{KvShardLedger, LedgerError, ShardSpec};
 pub use nand::NandGeometry;
 pub use raid::{Raid0, RaidError, StripeExtent};
 pub use spec::SsdSpec;

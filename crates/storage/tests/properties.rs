@@ -1,7 +1,8 @@
-//! Property tests for the FTL and RAID invariants.
+//! Property tests for the FTL, RAID and KV shard ledger invariants.
 
-use hilos_storage::{Ftl, FtlConfig, Raid0};
+use hilos_storage::{Ftl, FtlConfig, KvShardLedger, Raid0, ShardSpec};
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -74,6 +75,68 @@ proptest! {
             let max = plan.iter().map(|e| e.bytes).max().unwrap();
             let min = plan.iter().map(|e| e.bytes).min().unwrap();
             prop_assert!(max - min <= 2 * (1 << chunk_pow));
+        }
+    }
+
+    /// Any interleaving of request admissions and completions leaves every
+    /// device's `occupied_bytes` equal to the sum of the live requests'
+    /// placements on it — including with a degraded (low-weight) device in
+    /// the stripe — and placement skew follows the weights.
+    #[test]
+    fn ledger_occupancy_matches_live_requests(
+        ops in prop::collection::vec((any::<bool>(), 0u64..40, 1u64..200_000), 1..300),
+        degraded_weight_pct in 0u32..100,
+    ) {
+        let n = 4;
+        let capacity = 1_u64 << 21; // 2 MiB per device
+        let weight = degraded_weight_pct as f64 / 100.0;
+        let mut shards = vec![ShardSpec { capacity_bytes: capacity, weight: 1.0 }; n];
+        shards[2].weight = weight; // device 2 is degraded (possibly offline)
+        let mut ledger = KvShardLedger::new(shards);
+
+        // Model: request id -> per-device placement of live requests.
+        let mut live: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (admit, id, bytes) in ops {
+            if admit {
+                match ledger.allocate(id, bytes) {
+                    Ok(p) => {
+                        prop_assert!(!live.contains_key(&id), "duplicate admitted");
+                        prop_assert_eq!(p.iter().sum::<u64>(), bytes);
+                        if weight == 0.0 {
+                            prop_assert_eq!(p[2], 0, "offline device took placement");
+                        }
+                        live.insert(id, p);
+                    }
+                    Err(_) => {
+                        // Rejections must leave the ledger untouched; the
+                        // invariant check below verifies that.
+                    }
+                }
+            } else if let Some(expected) = live.remove(&id) {
+                let freed = ledger.release(id).unwrap();
+                prop_assert_eq!(freed, expected);
+            } else {
+                prop_assert!(ledger.release(id).is_err());
+            }
+            // The invariant: per-device occupancy == sum of live placements.
+            for d in 0..n {
+                let sum: u64 = live.values().map(|p| p[d]).sum();
+                prop_assert_eq!(ledger.occupied_bytes(d), sum, "device {}", d);
+            }
+            prop_assert_eq!(ledger.live_requests(), live.len());
+        }
+        // Aggregate skew: the degraded device never holds more than its
+        // fair share would allow (weight 1.0 devices hold the bulk).
+        let healthy: u64 = [0, 1, 3].iter().map(|&d| ledger.occupied_bytes(d)).sum();
+        if weight == 0 as f64 {
+            prop_assert_eq!(ledger.occupied_bytes(2), 0);
+        } else if healthy > 0 && weight < 0.5 {
+            prop_assert!(
+                ledger.occupied_bytes(2) <= healthy,
+                "degraded device overloaded: {} vs {}",
+                ledger.occupied_bytes(2),
+                healthy
+            );
         }
     }
 }
