@@ -235,6 +235,8 @@ impl VllmMultiNode {
                 admitted_s,
                 first_token_s,
                 finished_s,
+                slo_deadline_s: req.slo.deadline_s(),
+                preemptions: 0,
             });
         }
         Ok(VllmTraceReport { outcomes, elapsed_s: clock, generated_tokens: generated, deadline_s })
@@ -317,7 +319,7 @@ mod tests {
         use hilos_llm::TraceConfig;
         let v = VllmMultiNode::paper_testbed();
         let m = presets::opt_30b();
-        let trace = TraceConfig::azure_mix(24, 3).generate();
+        let trace = TraceConfig::azure_mix(24, 3).generate().unwrap();
         let report = v.run_trace(&m, &trace, 60.0).unwrap();
         assert_eq!(report.outcomes.len(), 24);
         assert!(report.elapsed_s > 0.0);

@@ -1,6 +1,6 @@
 //! `bench_serving` — the request-level serving smoke bench.
 //!
-//! Two measurements, recorded into `BENCH_serving.json` (current
+//! Three measurements, recorded into `BENCH_serving.json` (current
 //! directory, or the path given as the first argument):
 //!
 //! 1. **Engine indexing** — a serving-shaped event loop on the raw
@@ -13,13 +13,21 @@
 //! 2. **Trace throughput** — a 2k-request heterogeneous trace served by
 //!    the continuous-batching layer, recording wall-clock requests/s and
 //!    the step-cache hit behavior.
+//! 3. **Policy comparison** — the contended 256-request Azure-mix trace
+//!    served under FIFO, deadline-EDF and priority-preemptive
+//!    scheduling. The simulation is bit-deterministic, so CI gates the
+//!    exact claims: EDF beats FIFO on SLO goodput, priority preemption
+//!    beats FIFO on high-class (Short) p95 TTFT.
 //!
 //! ```text
 //! Usage: bench_serving [output.json]
 //! ```
 
-use hilos_core::{HilosConfig, HilosSystem, ServeConfig, ServeEngine};
-use hilos_llm::{presets, TraceConfig};
+use hilos_core::{
+    DeadlineEdf, Fifo, HilosConfig, HilosSystem, PriorityPreempt, SchedulingPolicy, ServeConfig,
+    ServeEngine,
+};
+use hilos_llm::{presets, RequestClass, TraceConfig};
 use hilos_platform::SystemSpec;
 use hilos_sim::{FlowEngine, ResourceKind, ResourceSpec, SimTime};
 use std::time::Instant;
@@ -126,7 +134,7 @@ fn main() {
     );
 
     // -- 2: continuous-batching trace throughput --
-    let trace = TraceConfig::azure_mix(2000, 42).generate();
+    let trace = TraceConfig::azure_mix(2000, 42).generate().expect("valid trace config");
     let system =
         HilosSystem::new(&SystemSpec::a100_smartssd(8), &presets::opt_30b(), &HilosConfig::new(8))
             .unwrap()
@@ -145,23 +153,74 @@ fn main() {
         report.tokens_per_second()
     );
 
+    // -- 3: three-way scheduling-policy comparison --
+    let contended = TraceConfig { mean_interarrival_steps: 20, ..TraceConfig::azure_mix(256, 42) }
+        .generate()
+        .expect("valid trace config");
+    let policy_rows: Vec<String> = [
+        Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+        Box::new(DeadlineEdf),
+        Box::new(PriorityPreempt::new()),
+    ]
+    .into_iter()
+    .map(|policy| {
+        let sys = HilosSystem::new(
+            &SystemSpec::a100_smartssd(8),
+            &presets::opt_30b(),
+            &HilosConfig::new(8),
+        )
+        .unwrap()
+        .with_sim_layers(1);
+        let name = policy.name();
+        let r = ServeEngine::with_policy(sys, ServeConfig::new(8), policy)
+            .unwrap()
+            .run_trace(&contended)
+            .unwrap();
+        assert_eq!(r.outcomes.len(), contended.len(), "{name}: trace must complete");
+        let short = r.class_report(RequestClass::Short).expect("Short class completed");
+        eprintln!(
+            "policy {name}: slo_goodput {:.2} tok/s, hit {:.1}%, Short TTFT p95 {:.1}s, \
+             {} preemptions",
+            r.slo_token_goodput(),
+            r.slo_hit_rate() * 100.0,
+            short.ttft.p95,
+            r.preemptions,
+        );
+        format!(
+            "{{\"policy\": \"{name}\", \"slo_goodput_tokens_per_second\": {:.4}, \
+             \"slo_hit_rate\": {:.4}, \"short_ttft_p95_seconds\": {:.4}, \
+             \"short_e2e_p95_seconds\": {:.4}, \"preemptions\": {}, \
+             \"tokens_per_second\": {:.4}}}",
+            r.slo_token_goodput(),
+            r.slo_hit_rate(),
+            short.ttft.p95,
+            short.e2e.p95,
+            r.preemptions,
+            r.tokens_per_second(),
+        )
+    })
+    .collect();
+
     let json = format!(
         "{{\n  \"bench\": \"serving\",\n  \"note\": \"heap-indexed vs linear-scan \
          next_completion_time on a serving-shaped event loop ({CONCURRENT} concurrent jobs, \
-         {POLLS} partial-advance polls per completion), plus continuous-batching trace \
-         throughput\",\n  \"engine\": {{\"concurrent_jobs\": {CONCURRENT}, \
+         {POLLS} partial-advance polls per completion), continuous-batching trace throughput, \
+         and the three-way scheduling-policy comparison on the contended seeded \
+         trace\",\n  \"engine\": {{\"concurrent_jobs\": {CONCURRENT}, \
          \"total_jobs\": {TOTAL_JOBS}, \"completion_events\": {ev_heap}, \
          \"heap_seconds\": {heap_s:.6}, \"scan_seconds\": {scan_s:.6}, \
          \"heap_vs_scan\": {speedup:.3}}},\n  \"trace\": {{\"requests\": {}, \
          \"wall_seconds\": {wall:.4}, \"requests_per_second\": {rps:.1}, \
          \"serving_steps\": {}, \"step_cache_entries\": {}, \"peak_batch\": {}, \
-         \"simulated_tokens_per_second\": {:.3}, \"ttft_p99_seconds\": {:.3}}}\n}}\n",
+         \"simulated_tokens_per_second\": {:.3}, \"ttft_p99_seconds\": {:.3}}},\n  \
+         \"policies\": [\n    {}\n  ]\n}}\n",
         trace.len(),
         report.steps,
         report.step_cache_entries,
         report.peak_batch,
         report.tokens_per_second(),
         report.ttft_stats().p99,
+        policy_rows.join(",\n    "),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("{json}");

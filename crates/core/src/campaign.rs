@@ -9,7 +9,7 @@
 //! burning down.
 
 use crate::runner::{CoreError, HilosSystem, JobReport};
-use crate::serve::{ServeConfig, ServeEngine, TraceReport};
+use crate::serve::{SchedulingPolicy, ServeConfig, ServeEngine, TraceReport};
 use crate::writeback::spill_nand_bytes_per_token;
 use hilos_llm::{BatchSpec, Request};
 use hilos_storage::{SsdDevice, WritePattern};
@@ -145,7 +145,33 @@ impl ServingCampaign {
         trace: &[Request],
         config: &ServeConfig,
     ) -> Result<TraceReport, CoreError> {
-        let report = ServeEngine::new(self.system.clone(), config.clone())?.run_trace(trace)?;
+        let engine = ServeEngine::new(self.system.clone(), config.clone())?;
+        self.run_trace_on(engine, trace)
+    }
+
+    /// Like [`ServingCampaign::run_trace`] but scheduled by the given
+    /// policy instead of FIFO — the three-way policy comparisons run
+    /// through here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build/simulation errors; a failed run records nothing.
+    pub fn run_trace_with_policy(
+        &mut self,
+        trace: &[Request],
+        config: &ServeConfig,
+        policy: Box<dyn SchedulingPolicy>,
+    ) -> Result<TraceReport, CoreError> {
+        let engine = ServeEngine::with_policy(self.system.clone(), config.clone(), policy)?;
+        self.run_trace_on(engine, trace)
+    }
+
+    fn run_trace_on(
+        &mut self,
+        mut engine: ServeEngine,
+        trace: &[Request],
+    ) -> Result<TraceReport, CoreError> {
+        let report = engine.run_trace(trace)?;
         let n = self.devices.len() as f64;
 
         let placed_total: f64 = report.kv_placed_bytes.iter().sum();
@@ -278,7 +304,7 @@ mod tests {
     fn trace_campaign_accumulates_wear_and_metrics() {
         use hilos_llm::TraceConfig;
         let mut c = campaign();
-        let trace = TraceConfig::azure_mix(32, 17).generate();
+        let trace = TraceConfig::azure_mix(32, 17).generate().unwrap();
         let report = c.run_trace(&trace, &ServeConfig::new(8)).unwrap();
         assert_eq!(report.outcomes.len(), 32);
         let s = c.summary();

@@ -17,8 +17,10 @@
 //!   with every decode step executed by the reusable
 //!   [`DecodeStepExecutor`],
 //! * **request-level serving** ([`serve`]) — continuous batching over
-//!   heterogeneous request traces with per-device KV shard admission and
-//!   TTFT/ITL/goodput reporting,
+//!   heterogeneous request traces behind a pluggable [`SchedulingPolicy`]
+//!   API (FIFO, deadline-EDF, priority-preemptive), with per-device KV
+//!   shard admission, recompute-style preemption and TTFT/ITL/goodput
+//!   reporting,
 //! * a **functional pipeline** ([`FunctionalBlock`]) proving bit-level
 //!   equivalence of the ANS / X-cache / writeback numerics against the
 //!   baseline.
@@ -68,8 +70,9 @@ pub use scheduler::{
     WeightSource, GDS_EFFICIENCY, SUB_PAGE_WRITE_PENALTY_S,
 };
 pub use serve::{
-    throughput_of, token_goodput_of, ttft_stats_of, RequestOutcome, ServeConfig, ServeEngine,
-    TraceReport,
+    throughput_of, token_goodput_of, ttft_stats_of, DeadlineEdf, Fifo, InFlightView,
+    PriorityPreempt, QueuedView, RequestOutcome, SchedDecision, SchedSnapshot, SchedulingPolicy,
+    ServeConfig, ServeEngine, TraceReport,
 };
 pub use step::{AlphaSelector, DecodeStepExecutor, StepOutcome};
 pub use writeback::{spill_nand_bytes_per_token, SpillDecision, WritebackManager};

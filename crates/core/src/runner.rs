@@ -45,6 +45,12 @@ pub enum CoreError {
     Sim(SimError),
     /// A platform build error.
     Platform(String),
+    /// A scheduling policy held queued requests forever with nothing in
+    /// flight (the serving loop could never make progress).
+    SchedulerStalled {
+        /// Requests stuck in the admission queue.
+        queued: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -65,6 +71,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
             CoreError::Platform(e) => write!(f, "platform error: {e}"),
+            CoreError::SchedulerStalled { queued } => {
+                write!(f, "scheduling policy stalled with {queued} queued requests")
+            }
         }
     }
 }

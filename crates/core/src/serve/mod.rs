@@ -1,0 +1,399 @@
+//! Request-level serving: continuous batching over heterogeneous requests
+//! behind a pluggable scheduling-policy API.
+//!
+//! The paper evaluates HILOS on uniform offline batches (every sequence
+//! shares one context length, Fig. 4a's prefill → decode pipeline runs
+//! once per job). This module generalizes that pipeline to the serving
+//! regime the ROADMAP's "heavy traffic" north-star implies: a stream of
+//! [`hilos_llm::Request`]s with individual prompt lengths, output budgets
+//! and [SLOs](hilos_llm::Slo), served by one continuously-running decode
+//! loop.
+//!
+//! # Architecture
+//!
+//! Admission and preemption are *not* hard-wired into the engine. Each
+//! step, [`ServeEngine`] publishes a read-only [`SchedSnapshot`] (the
+//! admission queue, the in-flight batch, per-device KV shard headroom,
+//! the clock) to a [`SchedulingPolicy`], which answers with an ordered
+//! list of [`SchedDecision`]s — admit this request, preempt that victim.
+//! The engine *executes* the decisions: it owns the per-device
+//! [`hilos_storage::KvShardLedger`] gating, the α/spill re-selection on
+//! composition change, and the recompute-style preemption path (release
+//! the victim's shard allocation, re-queue it with its generated-token
+//! progress retained, re-materialize its KV via a prefill over
+//! `prompt + progress` on re-admission).
+//!
+//! Three policies ship in [`policy`]: [`Fifo`] (bit-identical to the
+//! pre-policy engine, pinned by a golden test), [`DeadlineEdf`]
+//! (earliest-deadline-first admission over per-request SLOs) and
+//! [`PriorityPreempt`] (strict priority classes; long-output low-priority
+//! victims are preempted for short high-priority arrivals). See the
+//! [`policy`] module docs for a worked "implement your own policy"
+//! example.
+//!
+//! # The step loop
+//!
+//! Each iteration of [`ServeEngine::run_trace`] is one decoding step of
+//! the *running batch* — the serving-layer analogue of one trip around the
+//! paper's Fig. 4a pipeline (weights stream in, fresh Q/K/V scatter to the
+//! devices, per-device KV shards are swept by the near-storage
+//! accelerators while the α-fraction X-cache re-projects on the GPU, the
+//! delayed-writeback buffer ticks):
+//!
+//! 1. **Arrivals** — requests whose `arrival_step` has passed enter the
+//!    admission queue.
+//! 2. **Scheduling** — the policy reads the [`SchedSnapshot`] and issues
+//!    [`SchedDecision`]s; the engine executes them. An admission is
+//!    gated by the per-device KV shard ledger
+//!    ([`hilos_storage::KvShardLedger`]): a full or weightless (offline)
+//!    device rejects placement, degraded devices take proportionally
+//!    less of every stripe, and a capacity miss with live requests
+//!    abandons the rest of the step's decisions (head-of-line wait).
+//!    Admission starts the request's prefill. A preemption releases the
+//!    victim's shard allocation and re-queues it with retained progress.
+//! 3. **Join** — requests whose prefill has finished join the running
+//!    batch at the next step boundary (continuous batching's
+//!    per-iteration join).
+//! 4. **Decode** — one step of the whole batch is simulated with the same
+//!    [`DecodeStepExecutor`](crate::DecodeStepExecutor) that powers
+//!    `run_decode`, at the batch's mean context (the step graph is linear
+//!    in `batch × context`, so the mean reproduces the heterogeneous
+//!    batch's total KV traffic). The α split and the writeback spill
+//!    schedule are recomputed whenever the batch composition changes.
+//! 5. **Eviction** — requests that exhausted their output budget leave
+//!    the batch and release their shard allocations, unblocking
+//!    admission.
+//!
+//! Step times are memoized on the quantized operating point
+//! `(batch, context, α, writeback phase)`, so a 10k-request trace costs a
+//! few hundred graph simulations instead of tens of thousands while
+//! remaining bit-deterministic for a fixed trace and policy.
+
+mod engine;
+pub mod policy;
+mod snapshot;
+
+pub use engine::{ServeConfig, ServeEngine};
+pub use policy::{DeadlineEdf, Fifo, PriorityPreempt, SchedDecision, SchedulingPolicy};
+pub use snapshot::{InFlightView, QueuedView, SchedSnapshot};
+
+use hilos_llm::RequestClass;
+use hilos_metrics::{class_breakdown, goodput, ClassReport, ClassSample, LatencyStats};
+
+/// Lifecycle record of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// Request id.
+    pub id: u64,
+    /// The request's class.
+    pub class: RequestClass,
+    /// Prompt length in tokens.
+    pub prompt_len: u64,
+    /// Tokens generated.
+    pub output_len: u64,
+    /// When the request became visible to admission (seconds).
+    pub arrival_s: f64,
+    /// When it was first admitted (shard allocation + prefill start).
+    pub admitted_s: f64,
+    /// When its first output token was produced.
+    pub first_token_s: f64,
+    /// When its last token was produced (eviction).
+    pub finished_s: f64,
+    /// The request's own SLO deadline (seconds from arrival).
+    pub slo_deadline_s: f64,
+    /// How many times the request was preempted and re-admitted.
+    pub preemptions: u32,
+}
+
+impl RequestOutcome {
+    /// Time to first token.
+    pub fn ttft(&self) -> f64 {
+        self.first_token_s - self.arrival_s
+    }
+
+    /// Mean inter-token latency (zero for single-token outputs).
+    pub fn itl(&self) -> f64 {
+        if self.output_len > 1 {
+            (self.finished_s - self.first_token_s) / (self.output_len - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// End-to-end latency (arrival to last token).
+    pub fn e2e(&self) -> f64 {
+        self.finished_s - self.arrival_s
+    }
+
+    /// Whether the request completed within `deadline_s` of arriving.
+    pub fn met_deadline(&self, deadline_s: f64) -> bool {
+        self.e2e() <= deadline_s
+    }
+
+    /// Whether the request met its *own* SLO deadline — what
+    /// deadline-aware policies optimize.
+    pub fn met_slo(&self) -> bool {
+        self.met_deadline(self.slo_deadline_s)
+    }
+}
+
+/// TTFT order statistics over completed outcomes — shared by
+/// [`TraceReport`] and the baselines' trace reports so the metric
+/// definition cannot drift between them.
+pub fn ttft_stats_of(outcomes: &[RequestOutcome]) -> LatencyStats {
+    LatencyStats::from_samples(&outcomes.iter().map(RequestOutcome::ttft).collect::<Vec<_>>())
+}
+
+/// Token goodput over completed outcomes under a deadline. Zero — not
+/// NaN — for an empty run: `elapsed_s <= 0.0` is guarded inside
+/// [`goodput`], mirroring [`throughput_of`] (pinned by the tests below).
+pub fn token_goodput_of(outcomes: &[RequestOutcome], deadline_s: f64, elapsed_s: f64) -> f64 {
+    goodput(outcomes.iter().map(|o| (o.met_deadline(deadline_s), o.output_len as f64)), elapsed_s)
+}
+
+/// Generated-token throughput (zero for an empty run).
+pub fn throughput_of(generated_tokens: u64, elapsed_s: f64) -> f64 {
+    if elapsed_s > 0.0 {
+        generated_tokens as f64 / elapsed_s
+    } else {
+        0.0
+    }
+}
+
+/// Everything one trace run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// The scheduling policy that produced the run.
+    pub policy: String,
+    /// Completed requests in completion order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Requests whose KV footprint can never be placed (larger than the
+    /// placeable array) — dropped at admission before generating
+    /// anything. (A preempted request that becomes unplaceable on
+    /// re-admission instead completes into `outcomes` with its retained
+    /// progress, so `generated_tokens` always sums over `outcomes`.)
+    pub rejected: Vec<u64>,
+    /// Decode steps actually executed (idle gaps between arrivals are
+    /// skipped, not counted).
+    pub steps: u64,
+    /// Simulated wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Total tokens generated.
+    pub generated_tokens: u64,
+    /// Largest running batch observed.
+    pub peak_batch: u32,
+    /// Prefill-finished joins into the running batch.
+    pub joins: u64,
+    /// Completion evictions from the running batch.
+    pub evictions: u64,
+    /// Preemptions executed (victim released and re-queued).
+    pub preemptions: u64,
+    /// How often α was re-selected (batch composition changes).
+    pub alpha_recomputes: u64,
+    /// Step-weighted mean α.
+    pub mean_alpha: f64,
+    /// Distinct simulated operating points (step-cache size).
+    pub step_cache_entries: usize,
+    /// Total bytes that crossed the host interconnect during decode.
+    pub host_pcie_bytes: f64,
+    /// Total bytes read over the devices' internal paths.
+    pub internal_read_bytes: f64,
+    /// Payload bytes prefills wrote to the devices (KV + X), including
+    /// re-materialization prefills after preemptions.
+    pub prefill_payload_bytes: f64,
+    /// KV/X bytes the shard ledger placed on each device over the whole
+    /// run (admitted requests' full footprints, in device index order) —
+    /// the placement skew wear accounting must follow.
+    pub kv_placed_bytes: Vec<f64>,
+    /// The deadline the run was configured with.
+    pub deadline_s: f64,
+}
+
+impl TraceReport {
+    /// TTFT order statistics.
+    pub fn ttft_stats(&self) -> LatencyStats {
+        ttft_stats_of(&self.outcomes)
+    }
+
+    /// Inter-token latency order statistics.
+    pub fn itl_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(
+            &self.outcomes.iter().map(RequestOutcome::itl).collect::<Vec<_>>(),
+        )
+    }
+
+    /// End-to-end latency order statistics.
+    pub fn e2e_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(
+            &self.outcomes.iter().map(RequestOutcome::e2e).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Generated-token throughput over the run.
+    pub fn tokens_per_second(&self) -> f64 {
+        throughput_of(self.generated_tokens, self.elapsed_s)
+    }
+
+    /// Token goodput: tokens of deadline-meeting requests per second
+    /// (under the run's single configured deadline).
+    pub fn token_goodput(&self) -> f64 {
+        token_goodput_of(&self.outcomes, self.deadline_s, self.elapsed_s)
+    }
+
+    /// Token goodput under each request's *own* SLO deadline — the
+    /// scheduler-comparison metric (zero for an empty run, guarded
+    /// inside [`goodput`]).
+    pub fn slo_token_goodput(&self) -> f64 {
+        goodput(self.outcomes.iter().map(|o| (o.met_slo(), o.output_len as f64)), self.elapsed_s)
+    }
+
+    /// Fraction of completed requests that met their own SLO deadline.
+    pub fn slo_hit_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.met_slo()).count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Request goodput: deadline-meeting completions per second.
+    pub fn request_goodput(&self) -> f64 {
+        goodput(
+            self.outcomes.iter().map(|o| (o.met_deadline(self.deadline_s), 1.0)),
+            self.elapsed_s,
+        )
+    }
+
+    /// Fraction of completed requests that met the deadline.
+    pub fn deadline_hit_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.met_deadline(self.deadline_s)).count() as f64
+            / self.outcomes.len() as f64
+    }
+
+    /// Per-class latency/goodput breakdown (SLO-based), in
+    /// [`RequestClass::all`] order for the classes that completed
+    /// requests — who pays the tails under a given policy.
+    pub fn class_breakdown(&self) -> Vec<ClassReport> {
+        let mut samples: Vec<(RequestClass, ClassSample)> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.class,
+                    ClassSample {
+                        label: o.class.label(),
+                        ttft_s: o.ttft(),
+                        e2e_s: o.e2e(),
+                        met_slo: o.met_slo(),
+                        tokens: o.output_len,
+                    },
+                )
+            })
+            .collect();
+        let class_rank = |c: RequestClass| RequestClass::all().iter().position(|&x| x == c);
+        samples.sort_by_key(|(c, _)| class_rank(*c));
+        class_breakdown(samples.into_iter().map(|(_, s)| s))
+    }
+
+    /// The [`ClassReport`] of one class, if it completed any requests.
+    pub fn class_report(&self, class: RequestClass) -> Option<ClassReport> {
+        self.class_breakdown().into_iter().find(|r| r.label == class.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(class: RequestClass, arrival_s: f64, finished_s: f64, slo: f64) -> RequestOutcome {
+        RequestOutcome {
+            id: 0,
+            class,
+            prompt_len: 64,
+            output_len: 10,
+            arrival_s,
+            admitted_s: arrival_s,
+            first_token_s: arrival_s + 0.5,
+            finished_s,
+            slo_deadline_s: slo,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn goodput_guards_empty_runs_with_zero_elapsed() {
+        // An empty trace has elapsed_s == 0.0; every goodput flavour must
+        // report 0.0, not NaN.
+        assert_eq!(token_goodput_of(&[], 10.0, 0.0), 0.0);
+        assert_eq!(throughput_of(0, 0.0), 0.0);
+        let empty = TraceReport {
+            policy: "fifo".into(),
+            outcomes: vec![],
+            rejected: vec![],
+            steps: 0,
+            elapsed_s: 0.0,
+            generated_tokens: 0,
+            peak_batch: 0,
+            joins: 0,
+            evictions: 0,
+            preemptions: 0,
+            alpha_recomputes: 0,
+            mean_alpha: 0.0,
+            step_cache_entries: 0,
+            host_pcie_bytes: 0.0,
+            internal_read_bytes: 0.0,
+            prefill_payload_bytes: 0.0,
+            kv_placed_bytes: vec![],
+            deadline_s: 120.0,
+        };
+        assert_eq!(empty.token_goodput(), 0.0);
+        assert!(!empty.token_goodput().is_nan());
+        assert_eq!(empty.slo_token_goodput(), 0.0);
+        assert_eq!(empty.request_goodput(), 0.0);
+        assert_eq!(empty.tokens_per_second(), 0.0);
+        assert_eq!(empty.slo_hit_rate(), 0.0);
+        assert!(empty.class_breakdown().is_empty());
+    }
+
+    #[test]
+    fn slo_metrics_use_per_request_deadlines() {
+        let fast = outcome(RequestClass::Short, 0.0, 5.0, 10.0);
+        let late = outcome(RequestClass::Long, 0.0, 50.0, 10.0);
+        assert!(fast.met_slo());
+        assert!(!late.met_slo());
+        let report = TraceReport {
+            policy: "test".into(),
+            outcomes: vec![fast, late],
+            rejected: vec![],
+            steps: 2,
+            elapsed_s: 50.0,
+            generated_tokens: 20,
+            peak_batch: 2,
+            joins: 2,
+            evictions: 2,
+            preemptions: 0,
+            alpha_recomputes: 1,
+            mean_alpha: 0.0,
+            step_cache_entries: 1,
+            host_pcie_bytes: 0.0,
+            internal_read_bytes: 0.0,
+            prefill_payload_bytes: 0.0,
+            kv_placed_bytes: vec![],
+            deadline_s: 1000.0,
+        };
+        assert_eq!(report.slo_hit_rate(), 0.5);
+        assert!((report.slo_token_goodput() - 10.0 / 50.0).abs() < 1e-12);
+        // Global-deadline goodput still counts both.
+        assert_eq!(report.deadline_hit_rate(), 1.0);
+        let classes = report.class_breakdown();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].label, "Short");
+        assert_eq!(classes[0].slo_met, 1);
+        assert_eq!(classes[1].label, "Long");
+        assert_eq!(classes[1].slo_met, 0);
+        assert!(report.class_report(RequestClass::Medium).is_none());
+        assert_eq!(report.class_report(RequestClass::Short).unwrap().count, 1);
+    }
+}

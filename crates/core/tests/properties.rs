@@ -1,9 +1,13 @@
-//! Property tests for the α model and writeback invariants.
+//! Property tests for the α model, writeback invariants and the serving
+//! layer's shard-ledger conservation.
 
 use hilos_core::{
-    paper_alpha_mha, spill_nand_bytes_per_token, AlphaModel, WritebackManager, ALPHA_CANDIDATES,
+    paper_alpha_mha, spill_nand_bytes_per_token, AlphaModel, DeadlineEdf, Fifo, HilosConfig,
+    HilosSystem, PriorityPreempt, SchedulingPolicy, ServeConfig, ServeEngine, WritebackManager,
+    ALPHA_CANDIDATES,
 };
-use hilos_llm::presets;
+use hilos_llm::{presets, TraceConfig};
+use hilos_platform::SystemSpec;
 use proptest::prelude::*;
 
 proptest! {
@@ -113,4 +117,66 @@ proptest! {
         let waf2 = spill_nand_bytes_per_token(&m, c * 2, page) / payload;
         prop_assert!(waf2 <= waf * (1.0 + 1e-9), "waf not monotone: {waf} -> {waf2}");
     }
+}
+
+fn serve_system() -> HilosSystem {
+    HilosSystem::new(&SystemSpec::a100_smartssd(8), &presets::opt_30b(), &HilosConfig::new(8))
+        .unwrap()
+        .with_sim_layers(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Shard-ledger conservation: after *any* `run_trace` — any policy,
+    /// any load, including runs that preempt and re-admit — every device
+    /// returns to its initial free capacity and no allocation leaks.
+    #[test]
+    fn ledger_conserved_across_any_run_trace(
+        n in 8usize..48,
+        seed in 0u64..1_000_000,
+        gap in 0u64..64,
+        max_batch in 2u32..8,
+        policy_idx in 0usize..3,
+    ) {
+        let trace = TraceConfig { mean_interarrival_steps: gap, ..TraceConfig::azure_mix(n, seed) }
+            .generate()
+            .unwrap();
+        let policy: Box<dyn SchedulingPolicy> = match policy_idx {
+            0 => Box::new(Fifo),
+            1 => Box::new(DeadlineEdf),
+            _ => Box::new(PriorityPreempt::new()),
+        };
+        let name = policy.name();
+        let mut eng =
+            ServeEngine::with_policy(serve_system(), ServeConfig::new(max_batch), policy).unwrap();
+        let free_before = eng.ledger().free_by_device();
+        let occupied_before = eng.ledger().total_occupied();
+        let report = eng.run_trace(&trace).unwrap();
+        prop_assert_eq!(report.outcomes.len() + report.rejected.len(), n, "{} lost requests", name);
+        prop_assert_eq!(eng.ledger().live_requests(), 0, "{} leaked allocations", name);
+        prop_assert_eq!(eng.ledger().total_occupied(), occupied_before, "{} occupancy", name);
+        prop_assert_eq!(eng.ledger().free_by_device(), free_before, "{} per-device free", name);
+    }
+}
+
+/// Directed conservation check on a run that *provably* preempts: the
+/// balanced-load priority trace fires dozens of preempt/re-admit cycles,
+/// and the ledger still returns to its initial state.
+#[test]
+fn ledger_conserved_under_forced_preemptions() {
+    let trace = TraceConfig { mean_interarrival_steps: 40, ..TraceConfig::azure_mix(96, 33) }
+        .generate()
+        .unwrap();
+    let mut eng = ServeEngine::with_policy(
+        serve_system(),
+        ServeConfig::new(4),
+        Box::new(PriorityPreempt::new()),
+    )
+    .unwrap();
+    let free_before = eng.ledger().free_by_device();
+    let report = eng.run_trace(&trace).unwrap();
+    assert!(report.preemptions > 0, "trace must exercise the preempt/re-admit path");
+    assert_eq!(eng.ledger().live_requests(), 0);
+    assert_eq!(eng.ledger().free_by_device(), free_before);
 }

@@ -2,15 +2,138 @@
 //! heterogeneous trace generation.
 //!
 //! [`BatchSpec`](crate::BatchSpec) describes the paper's uniform offline
-//! batches; a [`Request`] is one sequence with its own prompt length and
-//! output budget, drawn from the Azure-derived [`RequestClass`] mix. A
-//! [`TraceConfig`] generates deterministic request streams — the input of
-//! the continuous-batching serving layer (`hilos-core::serve`).
+//! batches; a [`Request`] is one sequence with its own prompt length,
+//! output budget and [`Slo`], drawn from the Azure-derived
+//! [`RequestClass`] mix. A [`TraceConfig`] generates deterministic
+//! request streams — the input of the continuous-batching serving layer
+//! (`hilos-core::serve`). Malformed inputs surface as typed
+//! [`TraceError`]s rather than panics, so trace ingestion from untrusted
+//! sources stays recoverable.
 
 use crate::workload::RequestClass;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::error::Error;
 use std::fmt;
+
+/// Why a request or trace configuration is malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A request's prompt length was zero.
+    ZeroPromptLen {
+        /// The offending request id.
+        id: u64,
+    },
+    /// A request's output budget was zero.
+    ZeroOutputBudget {
+        /// The offending request id.
+        id: u64,
+    },
+    /// A request's SLO deadline was zero.
+    ZeroDeadline {
+        /// The offending request id.
+        id: u64,
+    },
+    /// Every class weight in a [`TraceConfig`] was zero.
+    NoClassWeight,
+    /// `length_jitter` fell outside `[0, 1)`; the payload is the raw
+    /// `f64` bit pattern ([`f64::to_bits`]), so the error stays `Eq` and
+    /// NaN/infinite inputs survive into the message unmangled.
+    InvalidJitter(u64),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::ZeroPromptLen { id } => {
+                write!(f, "request {id}: prompt length must be positive")
+            }
+            TraceError::ZeroOutputBudget { id } => {
+                write!(f, "request {id}: output budget must be positive")
+            }
+            TraceError::ZeroDeadline { id } => {
+                write!(f, "request {id}: SLO deadline must be positive")
+            }
+            TraceError::NoClassWeight => write!(f, "trace needs a non-zero class weight"),
+            TraceError::InvalidJitter(bits) => {
+                write!(f, "length jitter must be in [0, 1), got {}", f64::from_bits(*bits))
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// Scheduling priority class, ordered `Low < Normal < High`.
+///
+/// Priority-aware policies (`hilos-core::serve::policy::PriorityPreempt`)
+/// admit strictly by class and may preempt lower classes for higher ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Best-effort background work (long analytical jobs).
+    Low,
+    /// Regular offline traffic.
+    Normal,
+    /// Latency-sensitive traffic that may preempt lower classes.
+    High,
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::Low => write!(f, "low"),
+            Priority::Normal => write!(f, "normal"),
+            Priority::High => write!(f, "high"),
+        }
+    }
+}
+
+/// A request's service-level objective: an end-to-end deadline (relative
+/// to arrival) and a scheduling priority.
+///
+/// The deadline is stored in integral milliseconds so [`Request`] stays
+/// `Eq`/`Hash` (traces are used as map keys in memoization layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slo {
+    /// End-to-end deadline in milliseconds from arrival.
+    pub deadline_ms: u64,
+    /// Scheduling class.
+    pub priority: Priority,
+}
+
+impl Slo {
+    /// An SLO with the given deadline (seconds) and priority. The
+    /// deadline is rounded to whole milliseconds; any *positive* input
+    /// is clamped to at least 1 ms so it cannot silently collapse into
+    /// the invalid zero-deadline state [`TraceError::ZeroDeadline`]
+    /// exists to reject.
+    pub fn new(deadline_s: f64, priority: Priority) -> Self {
+        let ms = (deadline_s.max(0.0) * 1e3).round() as u64;
+        Slo { deadline_ms: if ms == 0 && deadline_s > 0.0 { 1 } else { ms }, priority }
+    }
+
+    /// The deadline in seconds.
+    pub fn deadline_s(&self) -> f64 {
+        self.deadline_ms as f64 / 1e3
+    }
+
+    /// The default per-class SLO: Short requests are the most urgent
+    /// (tight deadline, high priority), Medium is regular traffic, Long
+    /// is best-effort batch work with a relaxed deadline.
+    ///
+    /// The absolute scales (15 min / 1 h / 6 h) are calibrated to the
+    /// near-storage serving regime, where one decode step of a large
+    /// batch costs seconds — an offline-inference deadline is minutes to
+    /// hours, not the sub-second TTFTs of GPU-resident chat serving.
+    pub fn for_class(class: RequestClass) -> Self {
+        match class {
+            RequestClass::Short => Slo { deadline_ms: 900_000, priority: Priority::High },
+            RequestClass::Medium => Slo { deadline_ms: 3_600_000, priority: Priority::Normal },
+            RequestClass::Long => Slo { deadline_ms: 21_600_000, priority: Priority::Low },
+        }
+    }
+}
 
 /// One inference request in a serving trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,24 +148,52 @@ pub struct Request {
     pub output_budget: u64,
     /// The class the request was drawn from.
     pub class: RequestClass,
+    /// The request's service-level objective (deadline + priority),
+    /// consumed by deadline/priority-aware scheduling policies.
+    pub slo: Slo,
 }
 
 impl Request {
-    /// Creates a request.
+    /// Creates a request with the class-default [`Slo`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `prompt_len` or `output_budget` is zero.
+    /// [`TraceError::ZeroPromptLen`] / [`TraceError::ZeroOutputBudget`]
+    /// if a length is zero.
     pub fn new(
         id: u64,
         arrival_step: u64,
         prompt_len: u64,
         output_budget: u64,
         class: RequestClass,
-    ) -> Self {
-        assert!(prompt_len > 0, "prompt length must be positive");
-        assert!(output_budget > 0, "output budget must be positive");
-        Request { id, arrival_step, prompt_len, output_budget, class }
+    ) -> Result<Self, TraceError> {
+        if prompt_len == 0 {
+            return Err(TraceError::ZeroPromptLen { id });
+        }
+        if output_budget == 0 {
+            return Err(TraceError::ZeroOutputBudget { id });
+        }
+        Ok(Request {
+            id,
+            arrival_step,
+            prompt_len,
+            output_budget,
+            class,
+            slo: Slo::for_class(class),
+        })
+    }
+
+    /// Replaces the SLO.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::ZeroDeadline`] if the deadline is zero.
+    pub fn with_slo(mut self, slo: Slo) -> Result<Self, TraceError> {
+        if slo.deadline_ms == 0 {
+            return Err(TraceError::ZeroDeadline { id: self.id });
+        }
+        self.slo = slo;
+        Ok(self)
     }
 
     /// Context length after `emitted` generated tokens.
@@ -74,10 +225,10 @@ impl fmt::Display for Request {
 /// ```
 /// use hilos_llm::TraceConfig;
 ///
-/// let trace = TraceConfig::azure_mix(100, 7).generate();
+/// let trace = TraceConfig::azure_mix(100, 7).generate().unwrap();
 /// assert_eq!(trace.len(), 100);
 /// // Same seed, same trace — bit for bit.
-/// assert_eq!(trace, TraceConfig::azure_mix(100, 7).generate());
+/// assert_eq!(trace, TraceConfig::azure_mix(100, 7).generate().unwrap());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceConfig {
@@ -98,6 +249,9 @@ pub struct TraceConfig {
     /// Relative jitter applied to prompt and output lengths, `[0, 1)`:
     /// lengths are scaled by a uniform factor in `[1-j, 1+j]`.
     pub length_jitter: f64,
+    /// Per-class SLOs stamped onto generated requests, in
+    /// [`RequestClass::all`] order. Defaults to [`Slo::for_class`].
+    pub class_slos: [Slo; 3],
 }
 
 impl TraceConfig {
@@ -112,6 +266,11 @@ impl TraceConfig {
             mean_interarrival_steps: 2,
             prompt_scale: 1,
             length_jitter: 0.25,
+            class_slos: [
+                Slo::for_class(RequestClass::Short),
+                Slo::for_class(RequestClass::Medium),
+                Slo::for_class(RequestClass::Long),
+            ],
         }
     }
 
@@ -123,20 +282,28 @@ impl TraceConfig {
         c
     }
 
+    /// Replaces the per-class SLOs (in [`RequestClass::all`] order).
+    pub fn with_class_slos(mut self, slos: [Slo; 3]) -> Self {
+        self.class_slos = slos;
+        self
+    }
+
     /// Generates the trace: `requests` requests in arrival order,
     /// deterministic in `seed`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if all class weights are zero or `length_jitter` is not in
-    /// `[0, 1)`.
-    pub fn generate(&self) -> Vec<Request> {
-        assert!(self.class_weights.iter().any(|&w| w > 0), "need a non-zero class weight");
-        assert!(
-            (0.0..1.0).contains(&self.length_jitter),
-            "length jitter must be in [0, 1), got {}",
-            self.length_jitter
-        );
+    /// [`TraceError::NoClassWeight`] if all class weights are zero,
+    /// [`TraceError::InvalidJitter`] if `length_jitter` is outside
+    /// `[0, 1)`, [`TraceError::ZeroDeadline`] if a class SLO has a zero
+    /// deadline.
+    pub fn generate(&self) -> Result<Vec<Request>, TraceError> {
+        if !self.class_weights.iter().any(|&w| w > 0) {
+            return Err(TraceError::NoClassWeight);
+        }
+        if !(0.0..1.0).contains(&self.length_jitter) {
+            return Err(TraceError::InvalidJitter(self.length_jitter.to_bits()));
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let total_weight: u32 = self.class_weights.iter().sum();
         let mut step = 0u64;
@@ -147,9 +314,11 @@ impl TraceConfig {
             }
             let mut pick = rng.random_range(0..total_weight);
             let mut class = RequestClass::Short;
-            for (c, &w) in RequestClass::all().iter().zip(&self.class_weights) {
+            let mut class_idx = 0usize;
+            for (i, (c, &w)) in RequestClass::all().iter().zip(&self.class_weights).enumerate() {
                 if pick < w {
                     class = *c;
+                    class_idx = i;
                     break;
                 }
                 pick -= w;
@@ -160,9 +329,12 @@ impl TraceConfig {
             };
             let prompt = jitter(&mut rng, class.input_tokens() * self.prompt_scale.max(1));
             let output = jitter(&mut rng, class.output_tokens());
-            out.push(Request::new(id, step, prompt, output, class));
+            out.push(
+                Request::new(id, step, prompt, output, class)?
+                    .with_slo(self.class_slos[class_idx])?,
+            );
         }
-        out
+        Ok(out)
     }
 }
 
@@ -172,31 +344,63 @@ mod tests {
 
     #[test]
     fn request_accessors() {
-        let r = Request::new(3, 10, 1024, 350, RequestClass::Medium);
+        let r = Request::new(3, 10, 1024, 350, RequestClass::Medium).unwrap();
         assert_eq!(r.context_at(0), 1024);
         assert_eq!(r.context_at(100), 1124);
         assert_eq!(r.total_tokens(), 1374);
         assert!(r.to_string().contains("req#3"));
+        assert_eq!(r.slo, Slo::for_class(RequestClass::Medium));
     }
 
     #[test]
-    #[should_panic(expected = "output budget must be positive")]
-    fn zero_output_rejected() {
-        let _ = Request::new(0, 0, 16, 0, RequestClass::Short);
+    fn zero_lengths_surface_as_errors() {
+        assert_eq!(
+            Request::new(0, 0, 16, 0, RequestClass::Short),
+            Err(TraceError::ZeroOutputBudget { id: 0 })
+        );
+        assert_eq!(
+            Request::new(7, 0, 0, 16, RequestClass::Short),
+            Err(TraceError::ZeroPromptLen { id: 7 })
+        );
+        let r = Request::new(1, 0, 16, 16, RequestClass::Short).unwrap();
+        assert_eq!(
+            r.with_slo(Slo { deadline_ms: 0, priority: Priority::High }),
+            Err(TraceError::ZeroDeadline { id: 1 })
+        );
+        assert!(TraceError::NoClassWeight.to_string().contains("class weight"));
+    }
+
+    #[test]
+    fn malformed_configs_surface_as_errors() {
+        let mut c = TraceConfig::azure_mix(10, 1);
+        c.class_weights = [0, 0, 0];
+        assert_eq!(c.generate(), Err(TraceError::NoClassWeight));
+        let mut c = TraceConfig::azure_mix(10, 1);
+        c.length_jitter = 1.5;
+        assert_eq!(c.generate(), Err(TraceError::InvalidJitter(1.5f64.to_bits())));
+        assert!(TraceError::InvalidJitter(1.5f64.to_bits()).to_string().contains("1.5"));
+        // NaN and infinite inputs report themselves, not a mangled 0.
+        assert!(TraceError::InvalidJitter(f64::NAN.to_bits()).to_string().contains("NaN"));
+        let mut c = TraceConfig::azure_mix(10, 1);
+        c.length_jitter = f64::INFINITY;
+        assert_eq!(c.generate(), Err(TraceError::InvalidJitter(f64::INFINITY.to_bits())));
+        let c = TraceConfig::azure_mix(10, 1)
+            .with_class_slos([Slo { deadline_ms: 0, priority: Priority::High }; 3]);
+        assert_eq!(c.generate(), Err(TraceError::ZeroDeadline { id: 0 }));
     }
 
     #[test]
     fn traces_are_seed_deterministic() {
-        let a = TraceConfig::azure_mix(500, 42).generate();
-        let b = TraceConfig::azure_mix(500, 42).generate();
+        let a = TraceConfig::azure_mix(500, 42).generate().unwrap();
+        let b = TraceConfig::azure_mix(500, 42).generate().unwrap();
         assert_eq!(a, b);
-        let c = TraceConfig::azure_mix(500, 43).generate();
+        let c = TraceConfig::azure_mix(500, 43).generate().unwrap();
         assert_ne!(a, c, "different seeds must differ");
     }
 
     #[test]
     fn arrival_steps_are_monotone_and_spread() {
-        let trace = TraceConfig::azure_mix(1000, 7).generate();
+        let trace = TraceConfig::azure_mix(1000, 7).generate().unwrap();
         assert!(trace.windows(2).all(|w| w[0].arrival_step <= w[1].arrival_step));
         let last = trace.last().unwrap().arrival_step;
         // Mean gap 2 over 1000 requests: expect roughly 2000 steps.
@@ -205,7 +409,7 @@ mod tests {
 
     #[test]
     fn class_mix_roughly_matches_weights() {
-        let trace = TraceConfig::azure_mix(3000, 11).generate();
+        let trace = TraceConfig::azure_mix(3000, 11).generate().unwrap();
         let short = trace.iter().filter(|r| r.class == RequestClass::Short).count();
         let long = trace.iter().filter(|r| r.class == RequestClass::Long).count();
         assert!(short > 1500, "short {short}");
@@ -214,7 +418,7 @@ mod tests {
 
     #[test]
     fn jitter_stays_within_band() {
-        let trace = TraceConfig::azure_mix(2000, 5).generate();
+        let trace = TraceConfig::azure_mix(2000, 5).generate().unwrap();
         for r in &trace {
             let base = r.class.input_tokens() as f64;
             assert!((r.prompt_len as f64) >= base * 0.74, "{r}");
@@ -224,12 +428,46 @@ mod tests {
 
     #[test]
     fn long_context_scales_prompts() {
-        let trace = TraceConfig::long_context(200, 9, 16).generate();
+        let trace = TraceConfig::long_context(200, 9, 16).generate().unwrap();
         let mean = trace.iter().map(|r| r.prompt_len).sum::<u64>() as f64 / trace.len() as f64;
         // Base mix mean ≈ 6/10·256 + 3/10·1024 + 1/10·8192 ≈ 1280 ⇒ ×16.
         assert!(mean > 8.0 * 1280.0, "mean {mean}");
-        let zero_gap =
-            TraceConfig { mean_interarrival_steps: 0, ..TraceConfig::azure_mix(50, 1) }.generate();
+        let zero_gap = TraceConfig { mean_interarrival_steps: 0, ..TraceConfig::azure_mix(50, 1) }
+            .generate()
+            .unwrap();
         assert!(zero_gap.iter().all(|r| r.arrival_step == 0));
+    }
+
+    #[test]
+    fn slos_follow_class_and_are_overridable() {
+        let trace = TraceConfig::azure_mix(200, 3).generate().unwrap();
+        for r in &trace {
+            assert_eq!(r.slo, Slo::for_class(r.class), "{r}");
+        }
+        assert!(Slo::for_class(RequestClass::Short).priority > Priority::Normal);
+        assert!(
+            Slo::for_class(RequestClass::Short).deadline_s()
+                < Slo::for_class(RequestClass::Long).deadline_s()
+        );
+        let tight = Slo::new(5.0, Priority::High);
+        assert_eq!(tight.deadline_ms, 5_000);
+        // Rounded, and positive inputs never collapse to the invalid
+        // zero-deadline state.
+        assert_eq!(Slo::new(0.0015, Priority::High).deadline_ms, 2);
+        assert_eq!(Slo::new(0.0004, Priority::High).deadline_ms, 1);
+        assert_eq!(Slo::new(0.0, Priority::High).deadline_ms, 0);
+        assert_eq!(Slo::new(-3.0, Priority::High).deadline_ms, 0);
+        let custom = TraceConfig::azure_mix(50, 3).with_class_slos([tight; 3]).generate().unwrap();
+        assert!(custom.iter().all(|r| r.slo == tight));
+        // SLO stamping must not perturb the RNG stream: lengths match the
+        // default-SLO trace bit for bit.
+        for (a, b) in trace.iter().zip(
+            TraceConfig::azure_mix(200, 3).with_class_slos([tight; 3]).generate().unwrap().iter(),
+        ) {
+            assert_eq!(
+                (a.prompt_len, a.output_budget, a.arrival_step),
+                (b.prompt_len, b.output_budget, b.arrival_step)
+            );
+        }
     }
 }

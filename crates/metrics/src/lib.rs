@@ -24,5 +24,5 @@ mod report;
 pub use cost::{normalized_cost_efficiency, tokens_per_second_per_dollar};
 pub use endurance::EnduranceModel;
 pub use energy::{energy, joules_per_token, ActivitySnapshot, EnergyBreakdown};
-pub use latency::{fmt_seconds, goodput, LatencyStats};
+pub use latency::{class_breakdown, fmt_seconds, goodput, ClassReport, ClassSample, LatencyStats};
 pub use report::{fmt_bytes, fmt_ratio, Table};

@@ -149,6 +149,18 @@ impl KvShardLedger {
         self.allocations.get(&request).map(Vec::as_slice)
     }
 
+    /// Total bytes a live request holds across the array (the sum of its
+    /// per-device placement), if any — what a preemption would free.
+    pub fn held_bytes(&self, request: u64) -> Option<u64> {
+        self.allocations.get(&request).map(|p| p.iter().sum())
+    }
+
+    /// Free bytes per device, in device index order — the scheduling
+    /// snapshot's view of admission headroom.
+    pub fn free_by_device(&self) -> Vec<u64> {
+        (0..self.shards.len()).map(|i| self.free_bytes(i)).collect()
+    }
+
     /// Whether `bytes` could currently be placed (without placing them):
     /// enough placeable free space *and* no full stripe member.
     pub fn can_allocate(&self, bytes: u64) -> bool {
@@ -352,6 +364,24 @@ mod tests {
             l.allocate(1, 1).and(l.allocate(1, 1)),
             Err(LedgerError::DuplicateRequest(1))
         ));
+    }
+
+    #[test]
+    fn held_bytes_and_free_by_device_track_allocations() {
+        let mut l = KvShardLedger::uniform(3, 1000);
+        assert_eq!(l.held_bytes(4), None);
+        assert_eq!(l.free_by_device(), vec![1000, 1000, 1000]);
+        let placed = l.allocate(4, 900).unwrap();
+        assert_eq!(l.held_bytes(4), Some(900));
+        let free = l.free_by_device();
+        for (i, &p) in placed.iter().enumerate() {
+            assert_eq!(free[i], 1000 - p);
+        }
+        // Release restores the exact per-device free space — the
+        // preempt/re-admit path depends on this round trip.
+        l.release(4).unwrap();
+        assert_eq!(l.held_bytes(4), None);
+        assert_eq!(l.free_by_device(), vec![1000, 1000, 1000]);
     }
 
     #[test]

@@ -1,15 +1,20 @@
 //! Request-level serving demo: a 10,000-request heterogeneous trace
 //! served with continuous batching on a HILOS deployment, in the paper's
 //! long-context >100B regime, with the serial vLLM baseline (Fig. 17b's
-//! configuration) driven from the same trace for a goodput comparison.
+//! configuration) driven from the same trace for a goodput comparison —
+//! then a three-way scheduling-policy shoot-out (FIFO vs deadline-EDF vs
+//! priority-preemptive) on a contended Azure-mix trace.
 //!
 //! ```sh
 //! cargo run --release --example serving_trace
 //! ```
 
 use hilos::baselines::VllmMultiNode;
-use hilos::core::{HilosConfig, HilosSystem, ServeConfig, ServingCampaign};
-use hilos::llm::{presets, TraceConfig};
+use hilos::core::{
+    DeadlineEdf, Fifo, HilosConfig, HilosSystem, PriorityPreempt, SchedulingPolicy, ServeConfig,
+    ServingCampaign,
+};
+use hilos::llm::{presets, RequestClass, TraceConfig};
 use hilos::metrics::{fmt_bytes, fmt_seconds, Table};
 use hilos::platform::SystemSpec;
 
@@ -20,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // service rate so queueing stays finite.
     let trace =
         TraceConfig { mean_interarrival_steps: 8, ..TraceConfig::long_context(10_000, 42, 4) }
-            .generate();
+            .generate()?;
 
     let system = HilosSystem::new(&SystemSpec::a100_smartssd(16), &model, &HilosConfig::new(16))?
         .with_sim_layers(1);
@@ -106,8 +111,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     println!("{cmp}");
     println!(
-        "HILOS serves {:.1}x the vLLM baseline's throughput on this trace",
+        "HILOS serves {:.1}x the vLLM baseline's throughput on this trace\n",
         report.tokens_per_second() / vllm.tokens_per_second().max(1e-12),
+    );
+
+    // -- Scheduling-policy comparison ------------------------------------
+    // A contended Azure-mix trace (arrivals ~2.3x the service rate) on a
+    // smaller deployment: admission order now decides who meets their
+    // SLO. FIFO lets tight-deadline shorts rot behind loose-deadline
+    // longs; EDF re-orders admission by absolute deadline; the priority
+    // policy additionally preempts decoding low-priority longs the moment
+    // a high-priority short arrives.
+    let contended = TraceConfig { mean_interarrival_steps: 20, ..TraceConfig::azure_mix(256, 42) }
+        .generate()?;
+    println!(
+        "Policy comparison: {} contended requests of {} on 8 SmartSSDs (max batch 8)\n",
+        contended.len(),
+        presets::opt_30b().name(),
+    );
+    let mut t = Table::new(vec![
+        "policy",
+        "SLO goodput tok/s",
+        "SLO hit rate",
+        "Short TTFT p95",
+        "Short e2e p95",
+        "preemptions",
+    ]);
+    for policy in [
+        Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+        Box::new(DeadlineEdf),
+        Box::new(PriorityPreempt::new()),
+    ] {
+        let sys = HilosSystem::new(
+            &SystemSpec::a100_smartssd(8),
+            &presets::opt_30b(),
+            &HilosConfig::new(8),
+        )?
+        .with_sim_layers(1);
+        let mut campaign = ServingCampaign::new(sys);
+        let r = campaign.run_trace_with_policy(&contended, &ServeConfig::new(8), policy)?;
+        let short = r.class_report(RequestClass::Short).expect("Short class completed");
+        t.row(vec![
+            r.policy.clone(),
+            format!("{:.2}", r.slo_token_goodput()),
+            format!("{:.1}%", r.slo_hit_rate() * 100.0),
+            fmt_seconds(short.ttft.p95),
+            fmt_seconds(short.e2e.p95),
+            r.preemptions.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "EDF admits by absolute deadline, so the same hardware meets far more SLOs; \
+         priority preemption additionally collapses the high-class TTFT tail."
     );
     Ok(())
 }

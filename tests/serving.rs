@@ -1,11 +1,14 @@
 //! Request-level serving integration tests: the continuous-batching layer
-//! end to end, the decode-step context fix, and baseline parity.
+//! end to end, the pluggable scheduling-policy API (FIFO golden parity,
+//! EDF/priority improvements), the decode-step context fix, and baseline
+//! parity.
 
 use hilos::baselines::VllmMultiNode;
 use hilos::core::{
-    DecodeStepExecutor, HilosConfig, HilosSystem, ServeConfig, ServingCampaign, SpillDecision,
+    DeadlineEdf, DecodeStepExecutor, Fifo, HilosConfig, HilosSystem, PriorityPreempt,
+    SchedulingPolicy, ServeConfig, ServeEngine, ServingCampaign, SpillDecision, TraceReport,
 };
-use hilos::llm::{presets, BatchSpec, TraceConfig};
+use hilos::llm::{presets, BatchSpec, RequestClass, TraceConfig};
 use hilos::platform::SystemSpec;
 
 fn hilos(n: usize, sim_layers: u32) -> HilosSystem {
@@ -72,7 +75,7 @@ fn run_decode_window_matches_full_sum() {
 /// with the same seed are bit-identical.
 #[test]
 fn ten_thousand_request_trace_is_deterministic() {
-    let trace = TraceConfig::azure_mix(10_000, 42).generate();
+    let trace = TraceConfig::azure_mix(10_000, 42).generate().unwrap();
     let run = || {
         let mut campaign = ServingCampaign::new(hilos(8, 1));
         campaign.run_trace(&trace, &ServeConfig::new(32)).unwrap()
@@ -92,6 +95,120 @@ fn ten_thousand_request_trace_is_deterministic() {
     assert_eq!(report, again, "same seed must serve bit-identically");
 }
 
+/// Golden pin of the FIFO policy against the pre-policy-API engine: the
+/// hard-wired admission loop of PR 2 produced exactly these numbers on
+/// the seeded Azure-mix trace, and the policy-generic engine driving
+/// [`Fifo`] must reproduce them bit for bit — every field below,
+/// including an FNV-1a hash over every outcome's id, lengths and
+/// f64-bit-exact lifecycle timestamps.
+#[test]
+fn fifo_is_bit_identical_to_pre_policy_engine() {
+    fn fnv1a(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    let trace = TraceConfig::azure_mix(512, 42).generate().unwrap();
+    let mut eng = ServeEngine::new(hilos(8, 1), ServeConfig::new(16)).unwrap();
+    let r = eng.run_trace(&trace).unwrap();
+
+    assert_eq!(r.policy, "fifo");
+    assert_eq!(r.outcomes.len(), 512);
+    assert_eq!(r.rejected.len(), 0);
+    assert_eq!(r.steps, 6562);
+    assert_eq!(r.elapsed_s.to_bits(), 0x40ce34c80da9f4da, "elapsed_s drifted: {}", r.elapsed_s);
+    assert_eq!(r.generated_tokens, 99_823);
+    assert_eq!(r.peak_batch, 16);
+    assert_eq!(r.joins, 512);
+    assert_eq!(r.evictions, 512);
+    assert_eq!(r.preemptions, 0);
+    assert_eq!(r.alpha_recomputes, 928);
+    assert_eq!(r.mean_alpha.to_bits(), 0x3fe8000000000000);
+    assert_eq!(r.host_pcie_bytes.to_bits(), 0x42fbac24b5b80000);
+    assert_eq!(r.internal_read_bytes.to_bits(), 0x42cdabf18c400000);
+
+    let mut h = 0xcbf29ce484222325u64;
+    for o in &r.outcomes {
+        fnv1a(&mut h, &o.id.to_le_bytes());
+        fnv1a(&mut h, &o.prompt_len.to_le_bytes());
+        fnv1a(&mut h, &o.output_len.to_le_bytes());
+        fnv1a(&mut h, &o.arrival_s.to_bits().to_le_bytes());
+        fnv1a(&mut h, &o.admitted_s.to_bits().to_le_bytes());
+        fnv1a(&mut h, &o.first_token_s.to_bits().to_le_bytes());
+        fnv1a(&mut h, &o.finished_s.to_bits().to_le_bytes());
+    }
+    assert_eq!(h, 0x988a698736a9c8fe, "per-outcome lifecycle timings drifted");
+}
+
+/// The contended seeded trace of the three-way policy comparison
+/// (`examples/serving_trace.rs`, `bench_serving`): arrivals at roughly
+/// 2.3x the service rate, so a deep queue forms and admission order
+/// decides who meets their SLO.
+fn contended_trace() -> Vec<hilos::llm::Request> {
+    TraceConfig { mean_interarrival_steps: 20, ..TraceConfig::azure_mix(256, 42) }
+        .generate()
+        .unwrap()
+}
+
+fn run_policy(policy: Box<dyn SchedulingPolicy>) -> TraceReport {
+    let mut eng = ServeEngine::with_policy(hilos(8, 1), ServeConfig::new(8), policy).unwrap();
+    eng.run_trace(&contended_trace()).unwrap()
+}
+
+/// Acceptance: on the contended seeded trace, deadline-EDF strictly
+/// improves SLO goodput over FIFO, and priority-preemptive scheduling
+/// strictly improves the high-class (Short) p95 TTFT over FIFO. All
+/// three policies complete the full workload and release every shard
+/// byte.
+#[test]
+fn edf_and_priority_beat_fifo_on_their_objectives() {
+    let fifo = run_policy(Box::new(Fifo));
+    let edf = run_policy(Box::new(DeadlineEdf));
+    let pp = run_policy(Box::new(PriorityPreempt::new()));
+
+    for r in [&fifo, &edf, &pp] {
+        assert_eq!(r.outcomes.len(), 256, "{}: incomplete", r.policy);
+        assert!(r.rejected.is_empty(), "{}: rejected requests", r.policy);
+    }
+
+    // DeadlineEdf: strictly better SLO goodput and hit rate than FIFO.
+    assert!(
+        edf.slo_token_goodput() > fifo.slo_token_goodput(),
+        "EDF goodput {} must beat FIFO {}",
+        edf.slo_token_goodput(),
+        fifo.slo_token_goodput()
+    );
+    assert!(
+        edf.slo_hit_rate() > fifo.slo_hit_rate(),
+        "EDF hit rate {} must beat FIFO {}",
+        edf.slo_hit_rate(),
+        fifo.slo_hit_rate()
+    );
+
+    // PriorityPreempt: strictly better high-class p95 TTFT than FIFO —
+    // by a wide margin, so the gate survives any future re-tuning noise.
+    let short_p95 = |r: &TraceReport| r.class_report(RequestClass::Short).unwrap().ttft.p95;
+    assert!(
+        short_p95(&pp) < short_p95(&fifo) / 10.0,
+        "priority-preempt Short p95 TTFT {} must be far below FIFO {}",
+        short_p95(&pp),
+        short_p95(&fifo)
+    );
+    assert!(pp.preemptions > 0, "the contended trace must actually preempt");
+    assert_eq!(fifo.preemptions, 0);
+    assert_eq!(edf.preemptions, 0, "EDF is admission-only");
+
+    // The preemption tax is visible but bounded: total throughput stays
+    // within a few percent of FIFO's.
+    assert!(pp.tokens_per_second() > 0.9 * fifo.tokens_per_second());
+
+    // Per-class breakdown is present for all three classes.
+    for r in [&fifo, &edf, &pp] {
+        assert_eq!(r.class_breakdown().len(), 3, "{}", r.policy);
+    }
+}
+
 /// Baseline parity: the same trace driven through the serial
 /// recompute-from-prefill vLLM baseline yields lower goodput than HILOS
 /// continuous batching in the paper's regime — a >100B model whose KV
@@ -101,7 +218,7 @@ fn ten_thousand_request_trace_is_deterministic() {
 #[test]
 fn continuous_batching_beats_serial_vllm_on_goodput() {
     let model = presets::opt_175b();
-    let trace = TraceConfig::long_context(100, 42, 8).generate();
+    let trace = TraceConfig::long_context(100, 42, 8).generate().unwrap();
     let deadline = 24.0 * 3600.0;
 
     let system = HilosSystem::new(&SystemSpec::a100_smartssd(16), &model, &HilosConfig::new(16))
