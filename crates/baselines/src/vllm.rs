@@ -229,6 +229,7 @@ impl VllmMultiNode {
             outcomes.push(RequestOutcome {
                 id: req.id,
                 class: req.class,
+                deployment: hilos_llm::DeploymentId::default(),
                 prompt_len: req.prompt_len,
                 output_len: req.output_budget,
                 arrival_s: 0.0,

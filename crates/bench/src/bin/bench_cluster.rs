@@ -1,0 +1,150 @@
+//! `bench_cluster` — the multi-deployment routing smoke bench.
+//!
+//! Two measurements, recorded into `BENCH_cluster.json` (current
+//! directory, or the path given as the first argument):
+//!
+//! 1. **Routing comparison** — the seeded contended trace (384 Azure-mix
+//!    requests, one arrival every ~10 steps) balanced across three
+//!    heterogeneous deployments (8 healthy devices / 6 with one device
+//!    at half bandwidth / 4 with one device at quarter bandwidth) under
+//!    round-robin, join-shortest-queue and ledger-pressure routing. The
+//!    simulation is bit-deterministic, so CI gates the exact ordering:
+//!    `ledger-pressure ≥ join-shortest-queue ≥ round-robin` on SLO
+//!    goodput, and records the ledger-pressure vs round-robin margin.
+//! 2. **Cross-deployment re-dispatch** — a 2-deployment priority-preempt
+//!    cluster under round-robin routing on a balanced-load trace:
+//!    preempted victims must actually migrate between deployments and
+//!    every request must still complete exactly once.
+//!
+//! ```text
+//! Usage: bench_cluster [output.json]
+//! ```
+
+use hilos_core::cluster::{
+    ClusterEngine, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
+};
+use hilos_core::{HilosConfig, HilosSystem, PriorityPreempt, ServeConfig, ServeEngine};
+use hilos_llm::{presets, TraceConfig};
+use hilos_platform::SystemSpec;
+use std::time::Instant;
+
+/// Requests in the routing-comparison trace.
+const REQUESTS: usize = 384;
+/// Mean arrival gap (serving steps) of the contended trace.
+const ARRIVAL_GAP: u64 = 10;
+/// Trace seed (shared with `tests/cluster.rs`).
+const SEED: u64 = 42;
+
+fn hilos(n: usize) -> HilosSystem {
+    HilosSystem::new(&SystemSpec::a100_smartssd(n), &presets::opt_30b(), &HilosConfig::new(n))
+        .unwrap()
+        .with_sim_layers(1)
+}
+
+/// The seeded heterogeneous cluster: distinct device counts *and*
+/// degradation profiles, so capacity-blind routing leaves goodput on the
+/// table.
+fn heterogeneous_deployments() -> Vec<ServeEngine> {
+    vec![
+        ServeEngine::new(hilos(8), ServeConfig::new(8)).unwrap(),
+        ServeEngine::new(hilos(6).with_degraded_device(1, 0.5), ServeConfig::new(8)).unwrap(),
+        ServeEngine::new(hilos(4).with_degraded_device(0, 0.25), ServeConfig::new(8)).unwrap(),
+    ]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_cluster.json".to_string());
+
+    // -- 1: three-way routing-policy comparison --
+    let trace = TraceConfig {
+        mean_interarrival_steps: ARRIVAL_GAP,
+        ..TraceConfig::azure_mix(REQUESTS, SEED)
+    }
+    .generate()
+    .expect("valid trace config");
+    let mut goodputs = Vec::new();
+    let policy_rows: Vec<String> = [
+        Box::new(RoundRobin::new()) as Box<dyn RoutingPolicy>,
+        Box::new(JoinShortestQueue),
+        Box::new(LedgerPressure::new()),
+    ]
+    .into_iter()
+    .map(|routing| {
+        let name = routing.name();
+        let mut cluster = ClusterEngine::new(heterogeneous_deployments(), routing);
+        let start = Instant::now();
+        let r = cluster.run_trace(&trace).unwrap();
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(r.completed(), trace.len(), "{name}: trace must complete");
+        goodputs.push(r.slo_token_goodput());
+        eprintln!(
+            "routing {name}: slo_goodput {:.2} tok/s, hit {:.1}%, makespan {:.0}s, \
+             dispatched {:?}, {} redispatches ({wall:.3}s wall)",
+            r.slo_token_goodput(),
+            r.slo_hit_rate() * 100.0,
+            r.elapsed_s(),
+            r.dispatched,
+            r.redispatches,
+        );
+        let dispatched = r.dispatched.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+        format!(
+            "{{\"routing\": \"{name}\", \"slo_goodput_tokens_per_second\": {:.4}, \
+             \"slo_hit_rate\": {:.4}, \"tokens_per_second\": {:.4}, \
+             \"ttft_p95_seconds\": {:.4}, \"makespan_seconds\": {:.4}, \
+             \"dispatched\": [{dispatched}], \"dispatch_imbalance\": {:.4}, \
+             \"redispatches\": {}}}",
+            r.slo_token_goodput(),
+            r.slo_hit_rate(),
+            r.tokens_per_second(),
+            r.ttft_stats().p95,
+            r.elapsed_s(),
+            r.dispatch_imbalance(),
+            r.redispatches,
+        )
+    })
+    .collect();
+    let margin_vs_rr = goodputs[2] / goodputs[0];
+    eprintln!("ledger-pressure vs round-robin margin: {margin_vs_rr:.3}x");
+
+    // -- 2: cross-deployment re-dispatch of preempted requests --
+    let balanced = TraceConfig { mean_interarrival_steps: 30, ..TraceConfig::azure_mix(128, 33) }
+        .generate()
+        .expect("valid trace config");
+    let preempting = |sys: HilosSystem| {
+        ServeEngine::with_policy(sys, ServeConfig::new(3), Box::new(PriorityPreempt::new()))
+            .unwrap()
+    };
+    let mut cluster = ClusterEngine::new(
+        vec![preempting(hilos(4)), preempting(hilos(4).with_degraded_device(0, 0.5))],
+        Box::new(RoundRobin::new()),
+    );
+    let rd = cluster.run_trace(&balanced).unwrap();
+    assert_eq!(rd.completed(), balanced.len(), "re-dispatch must lose nothing");
+    eprintln!(
+        "re-dispatch: {} preemptions, {} crossed deployments, {} completed",
+        rd.preemptions(),
+        rd.redispatches,
+        rd.completed(),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"note\": \"one contended seeded trace balanced \
+         across 3 heterogeneous deployments (8 healthy / 6 with a half-degraded device / 4 \
+         with a quarter-degraded device) under three routing policies, plus cross-deployment \
+         re-dispatch of preempted requests on a 2-deployment priority-preempt cluster\",\n  \
+         \"cluster\": {{\"deployments\": 3, \"requests\": {REQUESTS}, \
+         \"mean_interarrival_steps\": {ARRIVAL_GAP}, \"seed\": {SEED}}},\n  \
+         \"routing\": [\n    {}\n  ],\n  \
+         \"ledger_pressure_vs_round_robin_goodput\": {margin_vs_rr:.4},\n  \
+         \"redispatch\": {{\"requests\": {}, \"preemptions\": {}, \"cross_deployment\": {}, \
+         \"completed\": {}}}\n}}\n",
+        policy_rows.join(",\n    "),
+        balanced.len(),
+        rd.preemptions(),
+        rd.redispatches,
+        rd.completed(),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_cluster.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

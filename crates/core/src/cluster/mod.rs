@@ -1,0 +1,58 @@
+//! Cluster serving: one trace balanced across heterogeneous HILOS
+//! deployments by KV shard-ledger pressure.
+//!
+//! The paper's cost story is about serving long-context offline
+//! inference on *cheap, heterogeneous* near-storage deployments: arrays
+//! differ in device count, degradation state and therefore KV capacity
+//! and sweep bandwidth. Related cluster-serving work picks the
+//! deployment per request by cost and KV headroom, and the near-storage
+//! literature shows per-deployment storage bandwidth — not queue length —
+//! is the binding resource. This module turns that into a serving layer
+//! one level above [`crate::serve`]:
+//!
+//! * [`ClusterEngine`] owns N independent deployments (each a complete
+//!   [`ServeEngine`](crate::ServeEngine): its own
+//!   [`HilosSystem`](crate::HilosSystem), its own
+//!   [`SchedulingPolicy`](crate::SchedulingPolicy), its own per-device
+//!   [`KvShardLedger`](hilos_storage::KvShardLedger)) and advances them
+//!   in lockstep under one global arrival cursor.
+//! * Each arriving [`Request`](hilos_llm::Request) is dispatched through
+//!   a pluggable [`RoutingPolicy`] fed a read-only [`ClusterSnapshot`] —
+//!   per-deployment queue depth, in-flight batch composition, ledger
+//!   pressure
+//!   ([`KvShardLedger::pressure`](hilos_storage::KvShardLedger::pressure))
+//!   and the degradation profile (bandwidth-discounted placement
+//!   weights).
+//! * Requests a deployment's scheduling policy preempts are offered back
+//!   to the router, which may **re-dispatch them across deployments**
+//!   with their generated-token progress retained (their KV is
+//!   re-materialized by a prefill over `prompt + progress` wherever they
+//!   land, exactly as local re-admission does).
+//! * A run aggregates into a [`ClusterReport`]: the per-deployment
+//!   [`TraceReport`](crate::TraceReport)s plus global TTFT/ITL/goodput
+//!   built on [`hilos_metrics::LatencyStats`] /
+//!   [`hilos_metrics::ClassReport`].
+//!
+//! Three routing policies ship in [`policy`]: [`RoundRobin`] (the
+//! capacity-blind baseline), [`JoinShortestQueue`] (load-aware,
+//! drain-rate-blind) and [`LedgerPressure`] (power-of-two-choices scored
+//! by free KV bytes × aggregate device bandwidth per unit load). On the
+//! seeded contended heterogeneous trace the three order exactly that way
+//! on SLO goodput — recorded in `BENCH_cluster.json` and gated in CI.
+//!
+//! A cluster of **one** deployment is bit-identical to
+//! [`ServeEngine::run_trace`](crate::ServeEngine::run_trace) on the same
+//! system under any routing policy (golden-pinned down to the FNV hash
+//! of every outcome's lifecycle timestamps): the cluster layer adds no
+//! simulation drift, only dispatch.
+
+pub mod policy;
+mod report;
+mod router;
+
+pub use policy::{
+    ClusterSnapshot, DeploymentView, JoinShortestQueue, LedgerPressure, RoundRobin, RouteRequest,
+    RoutingPolicy,
+};
+pub use report::ClusterReport;
+pub use router::ClusterEngine;

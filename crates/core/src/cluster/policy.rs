@@ -1,0 +1,401 @@
+//! Pluggable routing policies: which deployment gets each request.
+//!
+//! Routing mirrors the scheduling-policy API one layer up: a
+//! [`RoutingPolicy`] is consulted once per dispatch with a read-only
+//! [`ClusterSnapshot`] (per-deployment queue depth, in-flight batch
+//! composition, KV shard-ledger pressure, degradation-discounted
+//! bandwidth) and answers with a deployment index. The
+//! [`ClusterEngine`](super::ClusterEngine) executes the choice — an
+//! out-of-range index is clamped to the last deployment, so a policy
+//! cannot address a deployment that does not exist.
+//!
+//! Three policies ship:
+//!
+//! * [`RoundRobin`] — the capacity-blind baseline: deployments take
+//!   turns regardless of size or health.
+//! * [`JoinShortestQueue`] — classic load balancing on queue depth plus
+//!   in-flight work; blind to *how fast* each deployment drains.
+//! * [`LedgerPressure`] — power-of-two-choices scored by free KV bytes ×
+//!   aggregate device bandwidth per unit of load: the near-storage
+//!   insight that per-deployment storage bandwidth (not queue length) is
+//!   the binding resource, turned into a router.
+//!
+//! # Implementing your own policy
+//!
+//! ```
+//! use hilos_core::cluster::{ClusterSnapshot, RouteRequest, RoutingPolicy};
+//!
+//! /// Send long prompts to the biggest deployment, the rest anywhere.
+//! #[derive(Debug, Default)]
+//! struct LongToBig;
+//!
+//! impl RoutingPolicy for LongToBig {
+//!     fn name(&self) -> &'static str {
+//!         "long-to-big"
+//!     }
+//!
+//!     fn route(&mut self, req: &RouteRequest, snap: &ClusterSnapshot<'_>) -> usize {
+//!         let biggest = snap
+//!             .deployments
+//!             .iter()
+//!             .max_by(|a, b| {
+//!                 a.placeable_free_bytes
+//!                     .cmp(&b.placeable_free_bytes)
+//!                     .then(b.id.cmp(&a.id)) // ties to the lower index
+//!             })
+//!             .expect("a cluster has at least one deployment")
+//!             .id as usize;
+//!         if req.prompt_len > 4096 {
+//!             biggest
+//!         } else {
+//!             (req.id as usize) % snap.deployments.len()
+//!         }
+//!     }
+//! }
+//! # let _ = LongToBig;
+//! ```
+//!
+//! Policies may keep state across dispatches (`route` takes `&mut
+//! self`); determinism of a cluster run requires the policy itself to be
+//! deterministic — [`LedgerPressure`]'s two "random" probes come from a
+//! seeded LCG for exactly this reason.
+
+use hilos_llm::{Priority, Request, RequestClass};
+use std::fmt;
+
+/// The request being dispatched, as the routing policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteRequest {
+    /// Request id.
+    pub id: u64,
+    /// Workload class.
+    pub class: RequestClass,
+    /// Scheduling priority from the request's SLO.
+    pub priority: Priority,
+    /// Prompt length in tokens.
+    pub prompt_len: u64,
+    /// Output budget in tokens.
+    pub output_budget: u64,
+    /// Tokens already generated (non-zero only when a preempted request
+    /// is re-dispatched with retained progress).
+    pub emitted: u64,
+    /// `true` when this is a cross-deployment re-dispatch of a preempted
+    /// request rather than a fresh arrival.
+    pub redispatch: bool,
+}
+
+impl RouteRequest {
+    /// The routing view of `req` — the single construction point for the
+    /// fresh-arrival (`emitted == 0`, `redispatch == false`) and
+    /// preemption re-dispatch paths, so a field added here reaches both.
+    pub fn of(req: &Request, emitted: u64, redispatch: bool) -> Self {
+        RouteRequest {
+            id: req.id,
+            class: req.class,
+            priority: req.slo.priority,
+            prompt_len: req.prompt_len,
+            output_budget: req.output_budget,
+            emitted,
+            redispatch,
+        }
+    }
+}
+
+/// One deployment's serving state, as the routing policy sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentView {
+    /// The deployment's cluster index.
+    pub id: u32,
+    /// Requests waiting in the admission queue.
+    pub queued: usize,
+    /// In-flight requests whose prefill is still running.
+    pub prefilling: usize,
+    /// In-flight requests currently decoding.
+    pub decoding: usize,
+    /// The deployment's admission cap.
+    pub max_batch: u32,
+    /// The deployment's simulated clock, seconds (idle deployments lag —
+    /// simulated time only advances under work).
+    pub clock_s: f64,
+    /// Aggregate KV shard-ledger pressure, `[0, 1]`
+    /// ([`KvShardLedger::pressure`](hilos_storage::KvShardLedger::pressure)).
+    pub pressure: f64,
+    /// Per-device ledger pressure in device index order — the degradation
+    /// profile shows up here as skewed occupancy.
+    pub device_pressure: Vec<f64>,
+    /// Free bytes across placement-eligible devices.
+    pub placeable_free_bytes: u64,
+    /// Sum of the ledger's placement weights: aggregate storage bandwidth
+    /// with degraded/offline devices discounted.
+    pub bandwidth_weight: f64,
+    /// Number of storage devices.
+    pub device_count: usize,
+    /// Requests dispatched to this deployment so far.
+    pub dispatched: u64,
+}
+
+impl DeploymentView {
+    /// In-flight requests (prefilling + decoding).
+    pub fn in_flight(&self) -> usize {
+        self.prefilling + self.decoding
+    }
+
+    /// Total load: queued plus in-flight requests.
+    pub fn load(&self) -> usize {
+        self.queued + self.in_flight()
+    }
+}
+
+/// Read-only snapshot of the whole cluster, handed to
+/// [`RoutingPolicy::route`] once per dispatch.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot<'a> {
+    /// The global arrival cursor (serving step).
+    pub step: u64,
+    /// Every deployment, in cluster index order (never empty).
+    pub deployments: &'a [DeploymentView],
+}
+
+/// A request-to-deployment dispatch policy consulted once per arrival
+/// (and once per cross-deployment re-dispatch of a preempted request).
+pub trait RoutingPolicy: fmt::Debug {
+    /// Stable policy name, recorded in
+    /// [`ClusterReport::routing`](super::ClusterReport::routing).
+    fn name(&self) -> &'static str;
+
+    /// Picks the deployment index for `request`. Indices past the last
+    /// deployment are clamped by the engine.
+    fn route(&mut self, request: &RouteRequest, snapshot: &ClusterSnapshot<'_>) -> usize;
+}
+
+/// Capacity-blind rotation: deployment `k`, then `k+1`, … — the baseline
+/// every balancing policy must beat on a heterogeneous cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin router starting at deployment 0.
+    pub fn new() -> Self {
+        RoundRobin { next: 0 }
+    }
+}
+
+impl RoutingPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _request: &RouteRequest, snapshot: &ClusterSnapshot<'_>) -> usize {
+        let d = self.next % snapshot.deployments.len();
+        self.next = (self.next + 1) % snapshot.deployments.len();
+        d
+    }
+}
+
+/// Join-the-shortest-queue: the deployment with the least total load
+/// (queued + in-flight), ties to the lower index. Better than rotation
+/// under skewed load, but blind to how fast each deployment drains — a
+/// half-degraded 4-device deployment looks as attractive as a healthy
+/// 8-device one whenever their queues match.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinShortestQueue;
+
+impl RoutingPolicy for JoinShortestQueue {
+    fn name(&self) -> &'static str {
+        "join-shortest-queue"
+    }
+
+    fn route(&mut self, _request: &RouteRequest, snapshot: &ClusterSnapshot<'_>) -> usize {
+        snapshot
+            .deployments
+            .iter()
+            .min_by(|a, b| a.load().cmp(&b.load()).then(a.id.cmp(&b.id)))
+            .expect("a cluster has at least one deployment")
+            .id as usize
+    }
+}
+
+/// Power-of-two-choices weighted by KV headroom and storage bandwidth.
+///
+/// Two deployments are probed per dispatch (deterministic seeded LCG);
+/// the request goes to the one with the higher score
+///
+/// ```text
+/// score(d) = free KV bytes(d) × bandwidth weight(d) / (1 + load(d))
+/// ```
+///
+/// — free bytes measure how much more KV the deployment can hold,
+/// the bandwidth weight (degradation-discounted aggregate device read
+/// bandwidth) measures how fast it sweeps what it holds, and the load
+/// divisor shares both among the requests already there. Probing two and
+/// taking the better is the classic exponential improvement over random
+/// placement, and keeps the policy O(1) per dispatch instead of scanning
+/// the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerPressure {
+    lcg: u64,
+}
+
+impl LedgerPressure {
+    /// The default deterministic probe sequence.
+    pub fn new() -> Self {
+        LedgerPressure::seeded(0x9e3779b97f4a7c15)
+    }
+
+    /// A probe sequence from an explicit seed (runs are deterministic in
+    /// the seed).
+    pub fn seeded(seed: u64) -> Self {
+        LedgerPressure { lcg: seed }
+    }
+
+    fn probe(&mut self, n: usize) -> usize {
+        // Knuth's MMIX LCG; the high bits are the usable ones.
+        self.lcg = self.lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((self.lcg >> 33) % n as u64) as usize
+    }
+
+    fn score(d: &DeploymentView) -> f64 {
+        d.placeable_free_bytes as f64 * d.bandwidth_weight / (1.0 + d.load() as f64)
+    }
+}
+
+impl Default for LedgerPressure {
+    fn default() -> Self {
+        LedgerPressure::new()
+    }
+}
+
+impl RoutingPolicy for LedgerPressure {
+    fn name(&self) -> &'static str {
+        "ledger-pressure"
+    }
+
+    fn route(&mut self, _request: &RouteRequest, snapshot: &ClusterSnapshot<'_>) -> usize {
+        let n = snapshot.deployments.len();
+        let (i, j) = (self.probe(n), self.probe(n));
+        let (a, b) = (&snapshot.deployments[i], &snapshot.deployments[j]);
+        let (sa, sb) = (LedgerPressure::score(a), LedgerPressure::score(b));
+        // Ties (including i == j) go to the lower index.
+        if sb > sa || (sb == sa && b.id < a.id) {
+            j
+        } else {
+            i
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: u32, queued: usize, decoding: usize, free: u64, bw: f64) -> DeploymentView {
+        DeploymentView {
+            id,
+            queued,
+            prefilling: 0,
+            decoding,
+            max_batch: 8,
+            clock_s: 0.0,
+            pressure: 0.0,
+            device_pressure: vec![],
+            placeable_free_bytes: free,
+            bandwidth_weight: bw,
+            device_count: 4,
+            dispatched: 0,
+        }
+    }
+
+    fn req(id: u64) -> RouteRequest {
+        RouteRequest {
+            id,
+            class: RequestClass::Medium,
+            priority: Priority::Normal,
+            prompt_len: 1024,
+            output_budget: 350,
+            emitted: 0,
+            redispatch: false,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let views = [view(0, 0, 0, 1, 1.0), view(1, 0, 0, 1, 1.0), view(2, 0, 0, 1, 1.0)];
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..7).map(|i| rr.route(&req(i), &snap)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(rr.name(), "round-robin");
+    }
+
+    #[test]
+    fn jsq_picks_least_loaded_with_index_ties() {
+        let views = [view(0, 3, 2, 1, 1.0), view(1, 1, 1, 1, 1.0), view(2, 0, 2, 1, 1.0)];
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        let mut jsq = JoinShortestQueue;
+        // Deployments 1 and 2 both have load 2 (vs 5): the lower index
+        // wins the tie.
+        assert_eq!(views[1].load(), 2);
+        assert_eq!(views[2].load(), 2);
+        assert_eq!(jsq.route(&req(0), &snap), 1);
+        assert_eq!(jsq.name(), "join-shortest-queue");
+    }
+
+    #[test]
+    fn ledger_pressure_prefers_headroom_times_bandwidth() {
+        // Deployment 1 has twice the free bytes *and* bandwidth of 0;
+        // whatever pair the probes draw, 1 must win every dispatch in a
+        // 2-deployment cluster (every pair contains it or is {0,0}).
+        let views = [view(0, 0, 0, 1 << 30, 10.0), view(1, 0, 0, 2 << 30, 20.0)];
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        let mut lp = LedgerPressure::new();
+        let picks: Vec<usize> = (0..32).map(|i| lp.route(&req(i), &snap)).collect();
+        assert!(picks.contains(&1), "the better deployment is never probed?");
+        // Whenever 1 is among the two probes it wins; 0 only appears when
+        // both probes landed on 0.
+        for (i, &p) in picks.iter().enumerate() {
+            if p == 0 {
+                // Re-derive the probe pair deterministically.
+                let mut replay = LedgerPressure::new();
+                let mut pair = (0, 0);
+                for _ in 0..=i {
+                    pair = (replay.probe(2), replay.probe(2));
+                }
+                assert_eq!(pair, (0, 0), "dispatch {i} picked 0 despite probing 1");
+            }
+        }
+        assert_eq!(lp.name(), "ledger-pressure");
+    }
+
+    #[test]
+    fn ledger_pressure_load_divisor_sheds_busy_deployments() {
+        // Same capacity, but deployment 0 is buried in queued work: the
+        // score divisor must route to 1 whenever both are probed.
+        let views = [view(0, 50, 8, 1 << 30, 10.0), view(1, 0, 0, 1 << 30, 10.0)];
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        assert!(LedgerPressure::score(&views[1]) > LedgerPressure::score(&views[0]));
+        let mut lp = LedgerPressure::new();
+        let picks: Vec<usize> = (0..32).map(|i| lp.route(&req(i), &snap)).collect();
+        let to_idle = picks.iter().filter(|&&p| p == 1).count();
+        assert!(to_idle > 16, "most dispatches should shed to the idle deployment: {picks:?}");
+    }
+
+    #[test]
+    fn ledger_pressure_is_deterministic_in_its_seed() {
+        let views = [view(0, 1, 0, 1 << 30, 1.0), view(1, 0, 1, 1 << 29, 2.0)];
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        let run = |seed| {
+            let mut lp = LedgerPressure::seeded(seed);
+            (0..64).map(|i| lp.route(&req(i), &snap)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same probe sequence");
+    }
+
+    #[test]
+    fn views_expose_load_arithmetic() {
+        let v = DeploymentView { prefilling: 2, ..view(0, 3, 4, 1, 1.0) };
+        assert_eq!(v.in_flight(), 6);
+        assert_eq!(v.load(), 9);
+    }
+}

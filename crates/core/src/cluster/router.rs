@@ -1,0 +1,255 @@
+//! The cluster engine: N independent deployments advanced in lockstep
+//! under one global arrival cursor, with dispatch through a
+//! [`RoutingPolicy`].
+
+use super::policy::{ClusterSnapshot, DeploymentView, RouteRequest, RoutingPolicy};
+use super::report::ClusterReport;
+use crate::runner::CoreError;
+use crate::serve::engine::{QueueEntry, RunState, StepProgress};
+use crate::serve::ServeEngine;
+use hilos_llm::{DeploymentId, Request};
+
+/// A multi-deployment cluster: one trace balanced across heterogeneous
+/// HILOS deployments.
+///
+/// Each deployment is a complete [`ServeEngine`] — its own
+/// [`HilosSystem`](crate::HilosSystem) (device count, degradations), its
+/// own [`SchedulingPolicy`](crate::SchedulingPolicy) and its own
+/// per-device KV shard ledgers. The cluster engine owns the *global*
+/// concerns: the arrival cursor every deployment shares, dispatch of each
+/// arriving request through the [`RoutingPolicy`], cross-deployment
+/// re-dispatch of preempted requests, and stall detection across the
+/// whole cluster.
+///
+/// # Time
+///
+/// Deployments advance in lockstep — one serving iteration each per
+/// global step — but keep their own simulated clocks, which only move
+/// under work (the single-deployment engine's semantics: idle time is
+/// skipped, not simulated). A cluster of one deployment is therefore
+/// *bit-identical* to [`ServeEngine::run_trace`] on the same system,
+/// whatever the routing policy — pinned by a golden test. Because the
+/// clocks are independent busy-time axes, a request migrated between
+/// deployments has its timestamps re-based by the clock delta: its
+/// latencies sum the busy time it spent on each deployment, and stay
+/// non-negative however far the clocks have diverged.
+///
+/// # Examples
+///
+/// ```
+/// use hilos_core::cluster::{ClusterEngine, LedgerPressure};
+/// use hilos_core::{HilosConfig, HilosSystem, ServeConfig, ServeEngine};
+/// use hilos_llm::{presets, TraceConfig};
+/// use hilos_platform::SystemSpec;
+///
+/// # fn main() -> Result<(), hilos_core::CoreError> {
+/// let deployment = |n: usize| -> Result<ServeEngine, hilos_core::CoreError> {
+///     let sys = HilosSystem::new(
+///         &SystemSpec::a100_smartssd(n),
+///         &presets::opt_30b(),
+///         &HilosConfig::new(n),
+///     )?
+///     .with_sim_layers(1);
+///     ServeEngine::new(sys, ServeConfig::new(8))
+/// };
+/// let mut cluster = ClusterEngine::new(
+///     vec![deployment(8)?, deployment(4)?],
+///     Box::new(LedgerPressure::new()),
+/// );
+/// let trace = TraceConfig::azure_mix(32, 7).generate().unwrap();
+/// let report = cluster.run_trace(&trace)?;
+/// assert_eq!(report.completed() + report.rejected_len(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ClusterEngine {
+    engines: Vec<ServeEngine>,
+    routing: Box<dyn RoutingPolicy>,
+}
+
+impl ClusterEngine {
+    /// Assembles a cluster from fully-built deployments (each keeps the
+    /// scheduling policy it was built with) and a routing policy.
+    /// Deployments are assigned [`DeploymentId`]s in vector order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deployments` is empty.
+    pub fn new(mut deployments: Vec<ServeEngine>, routing: Box<dyn RoutingPolicy>) -> Self {
+        assert!(!deployments.is_empty(), "a cluster needs at least one deployment");
+        for (i, d) in deployments.iter_mut().enumerate() {
+            d.set_deployment(DeploymentId(i as u32));
+        }
+        ClusterEngine { engines: deployments, routing }
+    }
+
+    /// Number of deployments.
+    pub fn deployment_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The active routing policy's name.
+    pub fn routing_name(&self) -> &'static str {
+        self.routing.name()
+    }
+
+    /// The deployments, in [`DeploymentId`] order.
+    pub fn deployments(&self) -> &[ServeEngine] {
+        &self.engines
+    }
+
+    /// Builds the read-only per-deployment views and asks the routing
+    /// policy for a target, clamping out-of-range answers.
+    fn route(
+        &mut self,
+        states: &[RunState],
+        dispatched: &[u64],
+        step: u64,
+        request: RouteRequest,
+    ) -> usize {
+        let views: Vec<DeploymentView> = self
+            .engines
+            .iter()
+            .zip(states)
+            .zip(dispatched)
+            .map(|((eng, st), &d)| {
+                let ledger = eng.ledger();
+                DeploymentView {
+                    id: eng.deployment().0,
+                    queued: st.queued_len(),
+                    prefilling: st.prefilling_len(),
+                    decoding: st.decoding_len(),
+                    max_batch: eng.config().max_batch,
+                    clock_s: st.clock,
+                    pressure: ledger.pressure(),
+                    device_pressure: ledger.pressure_by_device(),
+                    placeable_free_bytes: ledger.placeable_free(),
+                    bandwidth_weight: ledger.total_weight(),
+                    device_count: ledger.device_count(),
+                    dispatched: d,
+                }
+            })
+            .collect();
+        let snapshot = ClusterSnapshot { step, deployments: &views };
+        self.routing.route(&request, &snapshot).min(self.engines.len() - 1)
+    }
+
+    /// Serves a trace of requests (sorted by `arrival_step`) across the
+    /// cluster to completion.
+    ///
+    /// Each global step: (1) arrivals whose step has come are dispatched
+    /// through the routing policy to a deployment's admission queue, at
+    /// that deployment's clock; (2) every deployment with work runs one
+    /// serving iteration ([scheduling → join → decode →
+    /// eviction](crate::serve)); (3) requests its scheduling policy
+    /// preempted this step are offered back to the *router*, which may
+    /// re-dispatch them — progress retained — onto a less-pressured
+    /// deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors, or [`CoreError::SchedulerStalled`]
+    /// if every deployment with queued work holds it forever with nothing
+    /// in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival step.
+    pub fn run_trace(&mut self, trace: &[Request]) -> Result<ClusterReport, CoreError> {
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival_step <= w[1].arrival_step),
+            "trace must be sorted by arrival step"
+        );
+        let n = self.engines.len();
+        let mut states: Vec<RunState> = self.engines.iter().map(|e| e.new_run_state()).collect();
+        let mut dispatched = vec![0u64; n];
+        let mut redispatches = 0u64;
+        let mut idx = 0usize;
+        let mut gstep = 0u64;
+
+        loop {
+            // 1: dispatch arrivals up to the global serving step.
+            while idx < trace.len() && trace[idx].arrival_step <= gstep {
+                let req = trace[idx];
+                let view = RouteRequest::of(&req, 0, false);
+                let d = self.route(&states, &dispatched, gstep, view);
+                dispatched[d] += 1;
+                self.engines[d].enqueue_arrival(&mut states[d], req);
+                idx += 1;
+            }
+            // Fully idle everywhere with traffic still ahead: jump the
+            // global cursor to the next arrival.
+            if !states.iter().any(RunState::has_work) {
+                if idx >= trace.len() {
+                    break;
+                }
+                gstep = trace[idx].arrival_step;
+                continue;
+            }
+
+            // 2: one lockstep iteration of every deployment with work,
+            // with cross-deployment re-dispatch of fresh preemptions.
+            let mut all_stalled = true;
+            for d in 0..n {
+                if !states[d].has_work() {
+                    continue;
+                }
+                states[d].step = gstep;
+                let progress = self.engines[d].advance_once(&mut states[d])?;
+                if progress != StepProgress::Stalled {
+                    all_stalled = false;
+                }
+                // 3: freshly preempted victims go back through the
+                // router (their engine re-queued them locally; draining
+                // and re-queuing on the same deployment is a no-op, so a
+                // router that keeps them local preserves single-engine
+                // behavior exactly).
+                let moved: Vec<QueueEntry> = states[d].drain_just_preempted();
+                for mut entry in moved {
+                    let view = RouteRequest::of(&entry.req, entry.emitted, true);
+                    let target = self.route(&states, &dispatched, gstep, view);
+                    if target != d {
+                        redispatches += 1;
+                        // Deployment clocks are independent busy-time
+                        // axes (idle gaps are skipped, so they diverge
+                        // freely); an absolute timestamp from one domain
+                        // is meaningless in another. Re-base the entry's
+                        // timestamps by the clock delta so the *durations*
+                        // accrued so far survive the move — TTFT/e2e then
+                        // sum busy time spent on each deployment, stay
+                        // non-negative, and keep
+                        // `first_token_s <= finished_s`.
+                        let shift = states[target].clock - states[d].clock;
+                        entry.arrival_s += shift;
+                        entry.first_token_s = entry.first_token_s.map(|t| t + shift);
+                        entry.first_admitted_s = entry.first_admitted_s.map(|t| t + shift);
+                    }
+                    self.engines[target].requeue(&mut states[target], entry);
+                }
+            }
+            // Every working deployment stalled (policies holding queues
+            // with nothing in flight): feed the cluster the next arrival,
+            // or fail loudly once the trace is exhausted.
+            if all_stalled {
+                if idx >= trace.len() {
+                    return Err(CoreError::SchedulerStalled {
+                        queued: states.iter().map(RunState::queued_len).sum(),
+                    });
+                }
+                gstep = trace[idx].arrival_step;
+                continue;
+            }
+            gstep += 1;
+        }
+
+        let deployments: Vec<_> =
+            self.engines.iter().zip(states).map(|(eng, st)| eng.finish(st)).collect();
+        Ok(ClusterReport::new(
+            self.routing.name().to_string(),
+            deployments,
+            dispatched,
+            redispatches,
+        ))
+    }
+}

@@ -21,6 +21,11 @@
 //!   API (FIFO, deadline-EDF, priority-preemptive), with per-device KV
 //!   shard admission, recompute-style preemption and TTFT/ITL/goodput
 //!   reporting,
+//! * **cluster serving** ([`cluster`]) — one trace balanced across
+//!   heterogeneous deployments by a pluggable [`RoutingPolicy`]
+//!   (round-robin, join-shortest-queue, ledger-pressure), with
+//!   cross-deployment re-dispatch of preempted requests and aggregated
+//!   [`ClusterReport`]s,
 //! * a **functional pipeline** ([`FunctionalBlock`]) proving bit-level
 //!   equivalence of the ANS / X-cache / writeback numerics against the
 //!   baseline.
@@ -49,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+pub mod cluster;
 mod config;
 mod functional;
 mod middleware;
@@ -61,6 +67,10 @@ mod writeback;
 mod xcache;
 
 pub use campaign::{CampaignSummary, ServingCampaign};
+pub use cluster::{
+    ClusterEngine, ClusterReport, ClusterSnapshot, DeploymentView, JoinShortestQueue,
+    LedgerPressure, RoundRobin, RouteRequest, RoutingPolicy,
+};
 pub use config::{AlphaPolicy, HilosConfig};
 pub use functional::FunctionalBlock;
 pub use middleware::{CacheScheduler, WeightsPrefetcher};
@@ -70,9 +80,9 @@ pub use scheduler::{
     WeightSource, GDS_EFFICIENCY, SUB_PAGE_WRITE_PENALTY_S,
 };
 pub use serve::{
-    throughput_of, token_goodput_of, ttft_stats_of, DeadlineEdf, Fifo, InFlightView,
-    PriorityPreempt, QueuedView, RequestOutcome, SchedDecision, SchedSnapshot, SchedulingPolicy,
-    ServeConfig, ServeEngine, TraceReport,
+    class_breakdown_of, throughput_of, token_goodput_of, ttft_stats_of, DeadlineEdf, Fifo,
+    InFlightView, PriorityPreempt, QueuedView, RequestOutcome, SchedDecision, SchedSnapshot,
+    SchedulingPolicy, ServeConfig, ServeEngine, TraceReport,
 };
 pub use step::{AlphaSelector, DecodeStepExecutor, StepOutcome};
 pub use writeback::{spill_nand_bytes_per_token, SpillDecision, WritebackManager};

@@ -1,6 +1,16 @@
 //! The policy-generic serving engine: executes [`SchedDecision`]s under
 //! the ledger/batch invariants and runs the continuous-batching decode
 //! loop (see the [module docs](super) for the step anatomy).
+//!
+//! Internally the loop is split into a *stepwise core*
+//! ([`ServeEngine::advance_once`] over a [`RunState`]) and a thin driver
+//! ([`ServeEngine::run_trace`]). The split exists for the cluster layer
+//! ([`crate::cluster`]): a [`ClusterEngine`](crate::cluster::ClusterEngine)
+//! drives N engines' run states in lockstep under one global arrival
+//! cursor, dispatching each arrival through a routing policy instead of
+//! a fixed trace. The single-deployment driver performs *exactly* the
+//! iteration sequence the pre-split loop did — the FIFO golden test pins
+//! it bit for bit.
 
 use super::policy::{Fifo, SchedDecision, SchedulingPolicy};
 use super::snapshot::{InFlightView, QueuedView, SchedSnapshot};
@@ -9,7 +19,7 @@ use crate::runner::{CoreError, HilosSystem};
 use crate::scheduler::{weight_source, WeightSource};
 use crate::step::{AlphaSelector, DecodeStepExecutor};
 use crate::writeback::{SpillDecision, WritebackManager};
-use hilos_llm::Request;
+use hilos_llm::{DeploymentId, ModelConfig, Request};
 use hilos_storage::KvShardLedger;
 use std::collections::{HashMap, VecDeque};
 
@@ -57,15 +67,15 @@ impl ServeConfig {
 /// A queued request: never admitted, or preempted and awaiting
 /// re-admission with retained progress.
 #[derive(Debug, Clone, Copy)]
-struct QueueEntry {
-    req: Request,
-    arrival_s: f64,
+pub(crate) struct QueueEntry {
+    pub(crate) req: Request,
+    pub(crate) arrival_s: f64,
     /// Tokens generated before a preemption (zero on first admission).
-    emitted: u64,
-    first_token_s: Option<f64>,
+    pub(crate) emitted: u64,
+    pub(crate) first_token_s: Option<f64>,
     /// The first admission time, kept across preemptions.
-    first_admitted_s: Option<f64>,
-    preemptions: u32,
+    pub(crate) first_admitted_s: Option<f64>,
+    pub(crate) preemptions: u32,
 }
 
 /// A request in flight (admitted; prefilling or decoding).
@@ -102,6 +112,95 @@ struct CachedStep {
     internal_read_bytes: f64,
 }
 
+/// What one call to [`ServeEngine::advance_once`] accomplished — the
+/// driver (single-deployment or cluster) decides how the arrival cursor
+/// moves in response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepProgress {
+    /// One decode step of the running batch was executed.
+    Decoded,
+    /// No decode ran this call (prefills still in flight, or everything
+    /// drained mid-step) — the defensive tick.
+    NoDecode,
+    /// The policy held queued requests with nothing in flight and no
+    /// admission executed: the loop cannot make progress on its own.
+    Stalled,
+}
+
+/// The mutable state of one serving run, separated from the engine so a
+/// cluster driver can hold N of them and advance them in lockstep. All
+/// per-run counters live here; the engine keeps only the cross-run
+/// caches (step/prefill memoization) and the immutable configuration.
+#[derive(Debug)]
+pub(crate) struct RunState {
+    pub(crate) queue: VecDeque<QueueEntry>,
+    prefilling: Vec<InFlight>,
+    running: Vec<InFlight>,
+    outcomes: Vec<RequestOutcome>,
+    rejected: Vec<u64>,
+    pub(crate) clock: f64,
+    /// The arrival cursor (jumps over idle gaps). Owned by the driver;
+    /// the body only reads it into the scheduling snapshot.
+    pub(crate) step: u64,
+    decode_steps: u64,
+    alpha: f64,
+    composition_changed: bool,
+    joins: u64,
+    evictions: u64,
+    preemptions: u64,
+    alpha_recomputes: u64,
+    generated: u64,
+    peak_batch: u32,
+    alpha_steps_sum: f64,
+    host_bytes: f64,
+    internal_bytes: f64,
+    prefill_payload: f64,
+    kv_placed: Vec<f64>,
+    /// Memoized snapshot footprint estimates (see the snapshot build).
+    footprint_estimates: HashMap<u64, u64>,
+    wb: WritebackManager,
+    /// Ids preempted by the most recent [`ServeEngine::advance_once`]
+    /// call, in preemption order. Victims are re-queued locally (tail of
+    /// `queue`) exactly as before the cluster layer existed; a cluster
+    /// driver *may* drain them by id and re-dispatch across deployments.
+    pub(crate) just_preempted: Vec<u64>,
+}
+
+impl RunState {
+    /// Whether the run still has anything to serve.
+    pub(crate) fn has_work(&self) -> bool {
+        !self.queue.is_empty() || !self.prefilling.is_empty() || !self.running.is_empty()
+    }
+
+    /// Requests waiting in the admission queue.
+    pub(crate) fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// In-flight requests whose prefill is still running.
+    pub(crate) fn prefilling_len(&self) -> usize {
+        self.prefilling.len()
+    }
+
+    /// In-flight requests currently decoding.
+    pub(crate) fn decoding_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Removes the entries named by `just_preempted` from the queue (they
+    /// are its tail, in order) and returns them for cross-deployment
+    /// re-dispatch. Clears the marker list.
+    pub(crate) fn drain_just_preempted(&mut self) -> Vec<QueueEntry> {
+        let mut moved = Vec::with_capacity(self.just_preempted.len());
+        for id in std::mem::take(&mut self.just_preempted) {
+            if let Some(pos) = self.queue.iter().position(|q| q.req.id == id) {
+                moved.push(self.queue.remove(pos).expect("position came from a live scan"));
+            }
+        }
+        moved
+    }
+}
+
 /// The continuous-batching serving engine over one HILOS deployment.
 #[derive(Debug)]
 pub struct ServeEngine {
@@ -111,6 +210,11 @@ pub struct ServeEngine {
     alpha_sel: AlphaSelector,
     ledger: KvShardLedger,
     policy: Box<dyn SchedulingPolicy>,
+    /// The model, cloned out of the system once so the hot loop can hold
+    /// `&model` across `&mut self` memoization calls.
+    model: ModelConfig,
+    /// Which deployment this engine is, stamped onto every outcome.
+    deployment: DeploymentId,
     /// Placeable bytes of the empty array (after weight reservations) —
     /// the bound beyond which a request can never be admitted.
     max_placeable: u64,
@@ -146,8 +250,8 @@ impl ServeEngine {
         let exec = DecodeStepExecutor::new(&system)?;
         let alpha_sel = AlphaSelector::new(system.config(), exec.system());
         let mut ledger = exec.system().kv_ledger();
-        let model = system.model();
-        if weight_source(exec.system(), model, 32 << 30) == WeightSource::Storage {
+        let model = system.model().clone();
+        if weight_source(exec.system(), &model, 32 << 30) == WeightSource::Storage {
             ledger.reserve_evenly(model.weight_bytes()).map_err(|_| {
                 CoreError::DeviceCapacityExceeded {
                     needed: model.weight_bytes(),
@@ -163,6 +267,8 @@ impl ServeEngine {
             alpha_sel,
             ledger,
             policy,
+            model,
+            deployment: DeploymentId::default(),
             max_placeable,
             step_cache: HashMap::new(),
             prefill_cache: HashMap::new(),
@@ -177,6 +283,22 @@ impl ServeEngine {
     /// The active scheduling policy's name.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Which deployment this engine is ([`DeploymentId`] `0` outside a
+    /// cluster). Stamped onto every [`RequestOutcome`].
+    pub fn deployment(&self) -> DeploymentId {
+        self.deployment
+    }
+
+    /// Assigns the engine its cluster slot (outcomes record it).
+    pub(crate) fn set_deployment(&mut self, id: DeploymentId) {
+        self.deployment = id;
     }
 
     /// Rounds a context to the nearest step-cache bucket. The quantum
@@ -194,7 +316,7 @@ impl ServeEngine {
 
     /// KV/X bytes a request owns at full generation length under `alpha`.
     fn request_footprint(&self, req: &Request, alpha: f64) -> u64 {
-        let m = self.system.model();
+        let m = &self.model;
         let per_token =
             (1.0 - alpha) * m.kv_bytes_per_token() as f64 + alpha * m.x_bytes_per_token() as f64;
         (per_token * req.total_tokens() as f64) as u64
@@ -238,6 +360,398 @@ impl ServeEngine {
         Ok(cached)
     }
 
+    /// A fresh run state sized for this deployment.
+    pub(crate) fn new_run_state(&self) -> RunState {
+        RunState {
+            queue: VecDeque::new(),
+            prefilling: Vec::new(),
+            running: Vec::new(),
+            outcomes: Vec::new(),
+            rejected: Vec::new(),
+            clock: 0.0,
+            step: 0,
+            decode_steps: 0,
+            alpha: 0.0,
+            composition_changed: true,
+            joins: 0,
+            evictions: 0,
+            preemptions: 0,
+            alpha_recomputes: 0,
+            generated: 0,
+            peak_batch: 0,
+            alpha_steps_sum: 0.0,
+            host_bytes: 0.0,
+            internal_bytes: 0.0,
+            prefill_payload: 0.0,
+            kv_placed: vec![0.0; self.ledger.device_count()],
+            footprint_estimates: HashMap::new(),
+            wb: WritebackManager::new(self.system.config().spill_interval()),
+            just_preempted: Vec::new(),
+        }
+    }
+
+    /// Enqueues an arriving request at the deployment's current clock.
+    pub(crate) fn enqueue_arrival(&self, st: &mut RunState, req: Request) {
+        st.queue.push_back(QueueEntry {
+            req,
+            arrival_s: st.clock,
+            emitted: 0,
+            first_token_s: None,
+            first_admitted_s: None,
+            preemptions: 0,
+        });
+    }
+
+    /// Re-queues a preempted entry (possibly from another deployment)
+    /// with its retained progress and timestamps. Cross-deployment
+    /// callers must first re-base the entry's timestamps into *this*
+    /// deployment's clock domain (the cluster router does) — deployment
+    /// clocks are independent busy-time axes.
+    pub(crate) fn requeue(&self, st: &mut RunState, entry: QueueEntry) {
+        st.queue.push_back(entry);
+    }
+
+    /// Runs one serving iteration over `st`: scheduling, prefill joins,
+    /// one decode step of the running batch, token emission and eviction
+    /// — everything the pre-split loop body did between two visits of the
+    /// arrival cursor. Advancing the cursor (and feeding arrivals) is the
+    /// driver's job.
+    pub(crate) fn advance_once(&mut self, st: &mut RunState) -> Result<StepProgress, CoreError> {
+        st.just_preempted.clear();
+        let wb_enabled = self.system.config().delayed_writeback();
+
+        // 2: admission & preemption — the policy decides, the engine
+        // executes under the batch-cap and shard-ledger invariants.
+        // An admission-only policy ([`SchedulingPolicy::may_preempt`]
+        // == false) provably has nothing to say when there is nothing
+        // to admit (empty queue) or no room (full batch), so those
+        // steps skip the snapshot build entirely — it is O(queue), the
+        // dominant cost on a backlogged trace. Policies that may
+        // preempt are consulted every step.
+        let batch_full = st.running.len() + st.prefilling.len() >= self.config.max_batch as usize;
+        let skip_policy = !self.policy.may_preempt() && (st.queue.is_empty() || batch_full);
+        let decisions = if skip_policy {
+            Vec::new()
+        } else {
+            let in_flight_len = (st.running.len() + st.prefilling.len()) as u32;
+            let held = |id: u64| self.ledger.held_bytes(id).unwrap_or(0);
+            let view_of = |r: &InFlight, decoding: bool| InFlightView {
+                id: r.req.id,
+                class: r.req.class,
+                priority: r.req.slo.priority,
+                arrival_s: r.arrival_s,
+                deadline_s: r.arrival_s + r.req.slo.deadline_s(),
+                emitted: r.emitted,
+                output_budget: r.req.output_budget,
+                decoding,
+                held_bytes: held(r.req.id),
+                preemptions: r.preemptions,
+            };
+            let mut queue_views: Vec<QueuedView> = Vec::with_capacity(st.queue.len());
+            let footprint_estimates = &mut st.footprint_estimates;
+            for q in &st.queue {
+                // The snapshot's footprint is an *estimate* (the engine
+                // re-derives the exact value at admission), so it is
+                // memoized per request rather than re-derived for the
+                // whole backlog on every step — α drifts with batch
+                // composition, the stored estimate does not.
+                let footprint_bytes = match footprint_estimates.get(&q.req.id) {
+                    Some(&f) => f,
+                    None => {
+                        let admit_alpha = self.alpha_sel.select(
+                            &self.model,
+                            in_flight_len + 1,
+                            q.req.prompt_len.max(1),
+                        );
+                        let f = self.request_footprint(&q.req, admit_alpha);
+                        footprint_estimates.insert(q.req.id, f);
+                        f
+                    }
+                };
+                queue_views.push(QueuedView {
+                    id: q.req.id,
+                    class: q.req.class,
+                    priority: q.req.slo.priority,
+                    arrival_s: q.arrival_s,
+                    deadline_s: q.arrival_s + q.req.slo.deadline_s(),
+                    prompt_len: q.req.prompt_len,
+                    output_budget: q.req.output_budget,
+                    emitted: q.emitted,
+                    preemptions: q.preemptions,
+                    footprint_bytes,
+                });
+            }
+            let flight_views: Vec<InFlightView> = st
+                .running
+                .iter()
+                .map(|r| view_of(r, true))
+                .chain(st.prefilling.iter().map(|p| view_of(p, false)))
+                .collect();
+            let device_free = self.ledger.free_by_device();
+            let snapshot = SchedSnapshot {
+                clock_s: st.clock,
+                step: st.step,
+                max_batch: self.config.max_batch,
+                queue: &queue_views,
+                in_flight: &flight_views,
+                device_free_bytes: &device_free,
+                placeable_free: self.ledger.placeable_free(),
+            };
+            self.policy.schedule(&snapshot)
+        };
+        let mut admissions_executed = 0usize;
+        'decisions: for d in decisions {
+            match d {
+                SchedDecision::Preempt { victim } => {
+                    // Only decoding requests are preemptable; stale or
+                    // invalid ids are ignored.
+                    let Some(pos) = st.running.iter().position(|r| r.req.id == victim) else {
+                        continue;
+                    };
+                    let r = st.running.remove(pos);
+                    self.ledger.release(r.req.id).expect("running request holds allocation");
+                    st.preemptions += 1;
+                    st.composition_changed = true;
+                    st.queue.push_back(QueueEntry {
+                        req: r.req,
+                        arrival_s: r.arrival_s,
+                        emitted: r.emitted,
+                        first_token_s: r.first_token_s,
+                        first_admitted_s: Some(r.admitted_s),
+                        preemptions: r.preemptions + 1,
+                    });
+                    st.just_preempted.push(r.req.id);
+                }
+                SchedDecision::Admit { request } => {
+                    if st.running.len() + st.prefilling.len() >= self.config.max_batch as usize {
+                        break 'decisions;
+                    }
+                    let Some(pos) = st.queue.iter().position(|q| q.req.id == request) else {
+                        continue;
+                    };
+                    let entry = st.queue[pos];
+                    // α for the composition this request would join.
+                    let admit_alpha = self.alpha_sel.select(
+                        &self.model,
+                        (st.running.len() + st.prefilling.len() + 1) as u32,
+                        entry.req.prompt_len.max(1),
+                    );
+                    let footprint = self.request_footprint(&entry.req, admit_alpha);
+                    // A request that can never be placed is dropped — but
+                    // a preempted victim carries generated tokens, so it
+                    // completes with its retained progress instead of
+                    // vanishing into `rejected` (the generated-token
+                    // accounting must keep summing over outcomes).
+                    let deployment = self.deployment;
+                    let drop_unplaceable = |entry: QueueEntry,
+                                            outcomes: &mut Vec<RequestOutcome>,
+                                            rejected: &mut Vec<u64>,
+                                            clock: f64| {
+                        if entry.emitted > 0 {
+                            outcomes.push(RequestOutcome {
+                                id: entry.req.id,
+                                class: entry.req.class,
+                                deployment,
+                                prompt_len: entry.req.prompt_len,
+                                output_len: entry.emitted,
+                                arrival_s: entry.arrival_s,
+                                admitted_s: entry
+                                    .first_admitted_s
+                                    .expect("preempted request was admitted"),
+                                first_token_s: entry
+                                    .first_token_s
+                                    .expect("preempted request emitted tokens"),
+                                finished_s: clock,
+                                slo_deadline_s: entry.req.slo.deadline_s(),
+                                preemptions: entry.preemptions,
+                            });
+                        } else {
+                            rejected.push(entry.req.id);
+                        }
+                    };
+                    if footprint > self.max_placeable {
+                        drop_unplaceable(entry, &mut st.outcomes, &mut st.rejected, st.clock);
+                        st.queue.remove(pos);
+                        continue;
+                    }
+                    match self.ledger.allocate(entry.req.id, footprint) {
+                        Ok(placed) => {
+                            for (acc, &b) in st.kv_placed.iter_mut().zip(&placed) {
+                                *acc += b as f64;
+                            }
+                        }
+                        Err(_) => {
+                            if self.ledger.live_requests() == 0 {
+                                // Nothing live and still unplaceable
+                                // (e.g. a stripe member filled by static
+                                // reservations): the request can never be
+                                // admitted.
+                                drop_unplaceable(
+                                    entry,
+                                    &mut st.outcomes,
+                                    &mut st.rejected,
+                                    st.clock,
+                                );
+                                st.queue.remove(pos);
+                                continue;
+                            }
+                            // Head-of-line wait: abandon the rest of this
+                            // step's decisions; evictions will free space.
+                            break 'decisions;
+                        }
+                    }
+                    st.queue.remove(pos);
+                    // A re-admitted preemption victim re-materializes the
+                    // KV of its generated progress too.
+                    let pf_ctx = entry.req.prompt_len + entry.emitted;
+                    let pf = match self.prefill_seconds(pf_ctx, admit_alpha) {
+                        Ok(pf) => pf,
+                        Err(e) => {
+                            // Don't leak the shard allocation on a failed
+                            // prefill simulation — the engine stays
+                            // reusable.
+                            let _ = self.ledger.release(entry.req.id);
+                            return Err(e);
+                        }
+                    };
+                    st.prefill_payload +=
+                        footprint as f64 * pf_ctx as f64 / entry.req.total_tokens() as f64;
+                    admissions_executed += 1;
+                    st.prefilling.push(InFlight {
+                        req: entry.req,
+                        arrival_s: entry.arrival_s,
+                        admitted_s: entry.first_admitted_s.unwrap_or(st.clock),
+                        join_s: st.clock + pf,
+                        first_token_s: entry.first_token_s,
+                        emitted: entry.emitted,
+                        preemptions: entry.preemptions,
+                    });
+                }
+            }
+        }
+        // A policy that holds everything while nothing is in flight can
+        // never make progress by itself — hand the stall to the driver
+        // (which feeds the next arrival, or fails loudly once the trace
+        // is exhausted).
+        if st.running.is_empty() && st.prefilling.is_empty() {
+            if !st.queue.is_empty() && admissions_executed == 0 {
+                return Ok(StepProgress::Stalled);
+            }
+            if st.queue.is_empty() {
+                // Everything drained mid-step (e.g. the whole queue was
+                // rejected as unplaceable): nothing left to decode.
+                return Ok(StepProgress::NoDecode);
+            }
+        }
+
+        // 3: join finished prefills at this step boundary. If nothing is
+        // decoding, fast-forward to the earliest join.
+        if st.running.is_empty() && !st.prefilling.is_empty() {
+            let earliest = st.prefilling.iter().map(|p| p.join_s).fold(f64::INFINITY, f64::min);
+            st.clock = st.clock.max(earliest);
+        }
+        if !st.prefilling.is_empty() {
+            let mut ready: Vec<InFlight> =
+                st.prefilling.iter().copied().filter(|p| p.join_s <= st.clock).collect();
+            if !ready.is_empty() {
+                let clock = st.clock;
+                st.prefilling.retain(|p| p.join_s > clock);
+                // Deterministic join order: prefill completion, then id.
+                ready.sort_by(|a, b| a.join_s.total_cmp(&b.join_s).then(a.req.id.cmp(&b.req.id)));
+                st.joins += ready.len() as u64;
+                st.running.extend(ready);
+                st.composition_changed = true;
+            }
+        }
+        if st.running.is_empty() {
+            // Prefills still in flight but none ready — can only happen
+            // before the clock advance above; defensive tick.
+            return Ok(StepProgress::NoDecode);
+        }
+
+        // 4: one decode step of the running batch at its mean context.
+        let batch = st.running.len() as u32;
+        st.peak_batch = st.peak_batch.max(batch);
+        let total_ctx: u64 = st.running.iter().map(|r| r.req.context_at(r.emitted)).sum();
+        let mean_ctx = (total_ctx / batch as u64).max(1);
+        if st.composition_changed {
+            st.alpha = self.alpha_sel.select(&self.model, batch, mean_ctx);
+            st.alpha_recomputes += 1;
+            st.composition_changed = false;
+        }
+        let decision = if wb_enabled {
+            st.wb.on_step()
+        } else {
+            SpillDecision { buffered_tokens: 0, spill_now: false, spill_tokens: 0 }
+        };
+        let outcome = self.decode_step(batch, mean_ctx, st.alpha, &decision)?;
+        st.clock += outcome.seconds;
+        st.decode_steps += 1;
+        st.generated += batch as u64;
+        st.alpha_steps_sum += st.alpha;
+        st.host_bytes += outcome.host_pcie_bytes;
+        st.internal_bytes += outcome.internal_read_bytes;
+
+        // Token emission + 5: eviction of completed requests.
+        let mut still_running = Vec::with_capacity(st.running.len());
+        for mut r in std::mem::take(&mut st.running) {
+            r.emitted += 1;
+            if r.first_token_s.is_none() {
+                r.first_token_s = Some(st.clock);
+            }
+            if r.emitted >= r.req.output_budget {
+                self.ledger.release(r.req.id).expect("running request holds allocation");
+                st.evictions += 1;
+                st.outcomes.push(RequestOutcome {
+                    id: r.req.id,
+                    class: r.req.class,
+                    deployment: self.deployment,
+                    prompt_len: r.req.prompt_len,
+                    output_len: r.emitted,
+                    arrival_s: r.arrival_s,
+                    admitted_s: r.admitted_s,
+                    first_token_s: r.first_token_s.unwrap(),
+                    finished_s: st.clock,
+                    slo_deadline_s: r.req.slo.deadline_s(),
+                    preemptions: r.preemptions,
+                });
+                st.composition_changed = true;
+            } else {
+                still_running.push(r);
+            }
+        }
+        st.running = still_running;
+        Ok(StepProgress::Decoded)
+    }
+
+    /// Seals a finished run state into its [`TraceReport`].
+    pub(crate) fn finish(&self, st: RunState) -> TraceReport {
+        TraceReport {
+            policy: self.policy.name().to_string(),
+            outcomes: st.outcomes,
+            rejected: st.rejected,
+            steps: st.decode_steps,
+            elapsed_s: st.clock,
+            generated_tokens: st.generated,
+            peak_batch: st.peak_batch,
+            joins: st.joins,
+            evictions: st.evictions,
+            preemptions: st.preemptions,
+            alpha_recomputes: st.alpha_recomputes,
+            mean_alpha: if st.decode_steps > 0 {
+                st.alpha_steps_sum / st.decode_steps as f64
+            } else {
+                0.0
+            },
+            step_cache_entries: self.step_cache.len(),
+            host_pcie_bytes: st.host_bytes,
+            internal_read_bytes: st.internal_bytes,
+            prefill_payload_bytes: st.prefill_payload,
+            kv_placed_bytes: st.kv_placed,
+            deadline_s: self.config.deadline_s,
+        }
+    }
+
     /// Serves a trace of requests (sorted by `arrival_step`) to
     /// completion and reports request-level latency and throughput.
     ///
@@ -255,383 +769,38 @@ impl ServeEngine {
             trace.windows(2).all(|w| w[0].arrival_step <= w[1].arrival_step),
             "trace must be sorted by arrival step"
         );
-        let model = self.system.model().clone();
-        let wb_enabled = self.system.config().delayed_writeback();
-        let mut wb = WritebackManager::new(self.system.config().spill_interval());
-
-        let mut queue: VecDeque<QueueEntry> = VecDeque::new();
-        let mut prefilling: Vec<InFlight> = Vec::new();
-        let mut running: Vec<InFlight> = Vec::new();
-        let mut outcomes = Vec::new();
-        let mut rejected = Vec::new();
-
-        let mut clock = 0.0f64;
-        // `step` is the arrival cursor (it jumps over idle gaps);
-        // `decode_steps` counts decode iterations actually executed.
-        let mut step = 0u64;
-        let mut decode_steps = 0u64;
+        let mut st = self.new_run_state();
         let mut idx = 0usize;
-        let mut alpha = 0.0f64;
-        let mut composition_changed = true;
-        let mut joins = 0u64;
-        let mut evictions = 0u64;
-        let mut preemptions = 0u64;
-        let mut alpha_recomputes = 0u64;
-        let mut generated = 0u64;
-        let mut peak_batch = 0u32;
-        let mut alpha_steps_sum = 0.0f64;
-        let mut host_bytes = 0.0f64;
-        let mut internal_bytes = 0.0f64;
-        let mut prefill_payload = 0.0f64;
-        let mut kv_placed = vec![0.0f64; self.ledger.device_count()];
-        // Memoized snapshot footprint estimates (see the snapshot build).
-        let mut footprint_estimates: HashMap<u64, u64> = HashMap::new();
 
-        while idx < trace.len()
-            || !queue.is_empty()
-            || !prefilling.is_empty()
-            || !running.is_empty()
-        {
+        while idx < trace.len() || st.has_work() {
             // 1: arrivals up to the current serving step.
-            while idx < trace.len() && trace[idx].arrival_step <= step {
-                queue.push_back(QueueEntry {
-                    req: trace[idx],
-                    arrival_s: clock,
-                    emitted: 0,
-                    first_token_s: None,
-                    first_admitted_s: None,
-                    preemptions: 0,
-                });
+            while idx < trace.len() && trace[idx].arrival_step <= st.step {
+                self.enqueue_arrival(&mut st, trace[idx]);
                 idx += 1;
             }
             // Fully idle with traffic still ahead: jump to the next
             // arrival (simulated time does not advance while idle).
-            if running.is_empty() && prefilling.is_empty() && queue.is_empty() {
+            if !st.has_work() {
                 if idx >= trace.len() {
                     break;
                 }
-                step = trace[idx].arrival_step;
+                st.step = trace[idx].arrival_step;
                 continue;
             }
-
-            // 2: admission & preemption — the policy decides, the engine
-            // executes under the batch-cap and shard-ledger invariants.
-            // An admission-only policy ([`SchedulingPolicy::may_preempt`]
-            // == false) provably has nothing to say when there is nothing
-            // to admit (empty queue) or no room (full batch), so those
-            // steps skip the snapshot build entirely — it is O(queue),
-            // the dominant cost on a backlogged trace. Policies that may
-            // preempt are consulted every step.
-            let batch_full = running.len() + prefilling.len() >= self.config.max_batch as usize;
-            let skip_policy = !self.policy.may_preempt() && (queue.is_empty() || batch_full);
-            let decisions = if skip_policy {
-                Vec::new()
-            } else {
-                let in_flight_len = (running.len() + prefilling.len()) as u32;
-                let held = |id: u64| self.ledger.held_bytes(id).unwrap_or(0);
-                let view_of = |r: &InFlight, decoding: bool| InFlightView {
-                    id: r.req.id,
-                    class: r.req.class,
-                    priority: r.req.slo.priority,
-                    arrival_s: r.arrival_s,
-                    deadline_s: r.arrival_s + r.req.slo.deadline_s(),
-                    emitted: r.emitted,
-                    output_budget: r.req.output_budget,
-                    decoding,
-                    held_bytes: held(r.req.id),
-                    preemptions: r.preemptions,
-                };
-                let mut queue_views: Vec<QueuedView> = Vec::with_capacity(queue.len());
-                for q in &queue {
-                    // The snapshot's footprint is an *estimate* (the
-                    // engine re-derives the exact value at admission), so
-                    // it is memoized per request rather than re-derived
-                    // for the whole backlog on every step — α drifts with
-                    // batch composition, the stored estimate does not.
-                    let footprint_bytes = match footprint_estimates.get(&q.req.id) {
-                        Some(&f) => f,
-                        None => {
-                            let admit_alpha = self.alpha_sel.select(
-                                &model,
-                                in_flight_len + 1,
-                                q.req.prompt_len.max(1),
-                            );
-                            let f = self.request_footprint(&q.req, admit_alpha);
-                            footprint_estimates.insert(q.req.id, f);
-                            f
-                        }
-                    };
-                    queue_views.push(QueuedView {
-                        id: q.req.id,
-                        class: q.req.class,
-                        priority: q.req.slo.priority,
-                        arrival_s: q.arrival_s,
-                        deadline_s: q.arrival_s + q.req.slo.deadline_s(),
-                        prompt_len: q.req.prompt_len,
-                        output_budget: q.req.output_budget,
-                        emitted: q.emitted,
-                        preemptions: q.preemptions,
-                        footprint_bytes,
-                    });
-                }
-                let flight_views: Vec<InFlightView> = running
-                    .iter()
-                    .map(|r| view_of(r, true))
-                    .chain(prefilling.iter().map(|p| view_of(p, false)))
-                    .collect();
-                let device_free = self.ledger.free_by_device();
-                let snapshot = SchedSnapshot {
-                    clock_s: clock,
-                    step,
-                    max_batch: self.config.max_batch,
-                    queue: &queue_views,
-                    in_flight: &flight_views,
-                    device_free_bytes: &device_free,
-                    placeable_free: self.ledger.placeable_free(),
-                };
-                self.policy.schedule(&snapshot)
-            };
-            let mut admissions_executed = 0usize;
-            'decisions: for d in decisions {
-                match d {
-                    SchedDecision::Preempt { victim } => {
-                        // Only decoding requests are preemptable; stale or
-                        // invalid ids are ignored.
-                        let Some(pos) = running.iter().position(|r| r.req.id == victim) else {
-                            continue;
-                        };
-                        let r = running.remove(pos);
-                        self.ledger.release(r.req.id).expect("running request holds allocation");
-                        preemptions += 1;
-                        composition_changed = true;
-                        queue.push_back(QueueEntry {
-                            req: r.req,
-                            arrival_s: r.arrival_s,
-                            emitted: r.emitted,
-                            first_token_s: r.first_token_s,
-                            first_admitted_s: Some(r.admitted_s),
-                            preemptions: r.preemptions + 1,
-                        });
+            match self.advance_once(&mut st)? {
+                StepProgress::Stalled => {
+                    // Feed the stalled policy the next arrival, or fail
+                    // loudly once the trace is exhausted.
+                    if idx >= trace.len() {
+                        return Err(CoreError::SchedulerStalled { queued: st.queue.len() });
                     }
-                    SchedDecision::Admit { request } => {
-                        if running.len() + prefilling.len() >= self.config.max_batch as usize {
-                            break 'decisions;
-                        }
-                        let Some(pos) = queue.iter().position(|q| q.req.id == request) else {
-                            continue;
-                        };
-                        let entry = queue[pos];
-                        // α for the composition this request would join.
-                        let admit_alpha = self.alpha_sel.select(
-                            &model,
-                            (running.len() + prefilling.len() + 1) as u32,
-                            entry.req.prompt_len.max(1),
-                        );
-                        let footprint = self.request_footprint(&entry.req, admit_alpha);
-                        // A request that can never be placed is dropped —
-                        // but a preempted victim carries generated tokens,
-                        // so it completes with its retained progress
-                        // instead of vanishing into `rejected` (the
-                        // generated-token accounting must keep summing
-                        // over outcomes).
-                        let drop_unplaceable =
-                            |entry: QueueEntry,
-                             outcomes: &mut Vec<RequestOutcome>,
-                             rejected: &mut Vec<u64>,
-                             clock: f64| {
-                                if entry.emitted > 0 {
-                                    outcomes.push(RequestOutcome {
-                                        id: entry.req.id,
-                                        class: entry.req.class,
-                                        prompt_len: entry.req.prompt_len,
-                                        output_len: entry.emitted,
-                                        arrival_s: entry.arrival_s,
-                                        admitted_s: entry
-                                            .first_admitted_s
-                                            .expect("preempted request was admitted"),
-                                        first_token_s: entry
-                                            .first_token_s
-                                            .expect("preempted request emitted tokens"),
-                                        finished_s: clock,
-                                        slo_deadline_s: entry.req.slo.deadline_s(),
-                                        preemptions: entry.preemptions,
-                                    });
-                                } else {
-                                    rejected.push(entry.req.id);
-                                }
-                            };
-                        if footprint > self.max_placeable {
-                            drop_unplaceable(entry, &mut outcomes, &mut rejected, clock);
-                            queue.remove(pos);
-                            continue;
-                        }
-                        match self.ledger.allocate(entry.req.id, footprint) {
-                            Ok(placed) => {
-                                for (acc, &b) in kv_placed.iter_mut().zip(&placed) {
-                                    *acc += b as f64;
-                                }
-                            }
-                            Err(_) => {
-                                if self.ledger.live_requests() == 0 {
-                                    // Nothing live and still unplaceable
-                                    // (e.g. a stripe member filled by
-                                    // static reservations): the request
-                                    // can never be admitted.
-                                    drop_unplaceable(entry, &mut outcomes, &mut rejected, clock);
-                                    queue.remove(pos);
-                                    continue;
-                                }
-                                // Head-of-line wait: abandon the rest of
-                                // this step's decisions; evictions will
-                                // free space.
-                                break 'decisions;
-                            }
-                        }
-                        queue.remove(pos);
-                        // A re-admitted preemption victim re-materializes
-                        // the KV of its generated progress too.
-                        let pf_ctx = entry.req.prompt_len + entry.emitted;
-                        let pf = match self.prefill_seconds(pf_ctx, admit_alpha) {
-                            Ok(pf) => pf,
-                            Err(e) => {
-                                // Don't leak the shard allocation on a
-                                // failed prefill simulation — the engine
-                                // stays reusable.
-                                let _ = self.ledger.release(entry.req.id);
-                                return Err(e);
-                            }
-                        };
-                        prefill_payload +=
-                            footprint as f64 * pf_ctx as f64 / entry.req.total_tokens() as f64;
-                        admissions_executed += 1;
-                        prefilling.push(InFlight {
-                            req: entry.req,
-                            arrival_s: entry.arrival_s,
-                            admitted_s: entry.first_admitted_s.unwrap_or(clock),
-                            join_s: clock + pf,
-                            first_token_s: entry.first_token_s,
-                            emitted: entry.emitted,
-                            preemptions: entry.preemptions,
-                        });
-                    }
+                    st.step = trace[idx].arrival_step;
                 }
+                StepProgress::Decoded | StepProgress::NoDecode => st.step += 1,
             }
-            // A policy that holds everything while nothing is in flight
-            // would spin the arrival cursor forever: feed it the next
-            // arrival, or fail loudly once the trace is exhausted.
-            if running.is_empty()
-                && prefilling.is_empty()
-                && !queue.is_empty()
-                && admissions_executed == 0
-            {
-                if idx >= trace.len() {
-                    return Err(CoreError::SchedulerStalled { queued: queue.len() });
-                }
-                step = trace[idx].arrival_step;
-                continue;
-            }
-
-            // 3: join finished prefills at this step boundary. If nothing
-            // is decoding, fast-forward to the earliest join.
-            if running.is_empty() && !prefilling.is_empty() {
-                let earliest = prefilling.iter().map(|p| p.join_s).fold(f64::INFINITY, f64::min);
-                clock = clock.max(earliest);
-            }
-            if !prefilling.is_empty() {
-                let mut ready: Vec<InFlight> =
-                    prefilling.iter().copied().filter(|p| p.join_s <= clock).collect();
-                if !ready.is_empty() {
-                    prefilling.retain(|p| p.join_s > clock);
-                    // Deterministic join order: prefill completion, then id.
-                    ready.sort_by(|a, b| {
-                        a.join_s.total_cmp(&b.join_s).then(a.req.id.cmp(&b.req.id))
-                    });
-                    joins += ready.len() as u64;
-                    running.extend(ready);
-                    composition_changed = true;
-                }
-            }
-            if running.is_empty() {
-                // Prefills still in flight but none ready — can only
-                // happen before the clock advance above; defensive tick.
-                step += 1;
-                continue;
-            }
-
-            // 4: one decode step of the running batch at its mean context.
-            let batch = running.len() as u32;
-            peak_batch = peak_batch.max(batch);
-            let total_ctx: u64 = running.iter().map(|r| r.req.context_at(r.emitted)).sum();
-            let mean_ctx = (total_ctx / batch as u64).max(1);
-            if composition_changed {
-                alpha = self.alpha_sel.select(&model, batch, mean_ctx);
-                alpha_recomputes += 1;
-                composition_changed = false;
-            }
-            let decision = if wb_enabled {
-                wb.on_step()
-            } else {
-                SpillDecision { buffered_tokens: 0, spill_now: false, spill_tokens: 0 }
-            };
-            let outcome = self.decode_step(batch, mean_ctx, alpha, &decision)?;
-            clock += outcome.seconds;
-            step += 1;
-            decode_steps += 1;
-            generated += batch as u64;
-            alpha_steps_sum += alpha;
-            host_bytes += outcome.host_pcie_bytes;
-            internal_bytes += outcome.internal_read_bytes;
-
-            // Token emission + 5: eviction of completed requests.
-            let mut still_running = Vec::with_capacity(running.len());
-            for mut r in running {
-                r.emitted += 1;
-                if r.first_token_s.is_none() {
-                    r.first_token_s = Some(clock);
-                }
-                if r.emitted >= r.req.output_budget {
-                    self.ledger.release(r.req.id).expect("running request holds allocation");
-                    evictions += 1;
-                    outcomes.push(RequestOutcome {
-                        id: r.req.id,
-                        class: r.req.class,
-                        prompt_len: r.req.prompt_len,
-                        output_len: r.emitted,
-                        arrival_s: r.arrival_s,
-                        admitted_s: r.admitted_s,
-                        first_token_s: r.first_token_s.unwrap(),
-                        finished_s: clock,
-                        slo_deadline_s: r.req.slo.deadline_s(),
-                        preemptions: r.preemptions,
-                    });
-                    composition_changed = true;
-                } else {
-                    still_running.push(r);
-                }
-            }
-            running = still_running;
         }
 
-        Ok(TraceReport {
-            policy: self.policy.name().to_string(),
-            outcomes,
-            rejected,
-            steps: decode_steps,
-            elapsed_s: clock,
-            generated_tokens: generated,
-            peak_batch,
-            joins,
-            evictions,
-            preemptions,
-            alpha_recomputes,
-            mean_alpha: if decode_steps > 0 { alpha_steps_sum / decode_steps as f64 } else { 0.0 },
-            step_cache_entries: self.step_cache.len(),
-            host_pcie_bytes: host_bytes,
-            internal_read_bytes: internal_bytes,
-            prefill_payload_bytes: prefill_payload,
-            kv_placed_bytes: kv_placed,
-            deadline_s: self.config.deadline_s,
-        })
+        Ok(self.finish(st))
     }
 }
 
@@ -664,11 +833,12 @@ mod tests {
             report.generated_tokens,
             report.outcomes.iter().map(|o| o.output_len).sum::<u64>()
         );
-        // Every request's lifecycle is ordered.
+        // Every request's lifecycle is ordered, on the default deployment.
         for o in &report.outcomes {
             assert!(o.arrival_s <= o.admitted_s, "{o:?}");
             assert!(o.admitted_s < o.first_token_s, "{o:?}");
             assert!(o.first_token_s <= o.finished_s, "{o:?}");
+            assert_eq!(o.deployment, DeploymentId::default(), "{o:?}");
         }
         // All shard space released at the end.
         assert_eq!(eng.ledger().live_requests(), 0);

@@ -69,7 +69,7 @@
 //! few hundred graph simulations instead of tens of thousands while
 //! remaining bit-deterministic for a fixed trace and policy.
 
-mod engine;
+pub(crate) mod engine;
 pub mod policy;
 mod snapshot;
 
@@ -77,7 +77,7 @@ pub use engine::{ServeConfig, ServeEngine};
 pub use policy::{DeadlineEdf, Fifo, PriorityPreempt, SchedDecision, SchedulingPolicy};
 pub use snapshot::{InFlightView, QueuedView, SchedSnapshot};
 
-use hilos_llm::RequestClass;
+use hilos_llm::{DeploymentId, RequestClass};
 use hilos_metrics::{class_breakdown, goodput, ClassReport, ClassSample, LatencyStats};
 
 /// Lifecycle record of one completed request.
@@ -87,6 +87,10 @@ pub struct RequestOutcome {
     pub id: u64,
     /// The request's class.
     pub class: RequestClass,
+    /// The deployment that served the request to completion
+    /// ([`DeploymentId`] `0` outside a cluster). A preempted request that
+    /// was re-dispatched across deployments records where it *finished*.
+    pub deployment: DeploymentId,
     /// Prompt length in tokens.
     pub prompt_len: u64,
     /// Tokens generated.
@@ -141,7 +145,7 @@ impl RequestOutcome {
 /// [`TraceReport`] and the baselines' trace reports so the metric
 /// definition cannot drift between them.
 pub fn ttft_stats_of(outcomes: &[RequestOutcome]) -> LatencyStats {
-    LatencyStats::from_samples(&outcomes.iter().map(RequestOutcome::ttft).collect::<Vec<_>>())
+    outcomes.iter().map(RequestOutcome::ttft).collect()
 }
 
 /// Token goodput over completed outcomes under a deadline. Zero — not
@@ -158,6 +162,32 @@ pub fn throughput_of(generated_tokens: u64, elapsed_s: f64) -> f64 {
     } else {
         0.0
     }
+}
+
+/// Per-class latency/goodput breakdown (SLO-based) over completed
+/// outcomes, in [`RequestClass::all`] order for the classes present —
+/// shared by [`TraceReport`] and the cluster-level
+/// [`ClusterReport`](crate::cluster::ClusterReport) so the class
+/// aggregation cannot drift between the two layers.
+pub fn class_breakdown_of(outcomes: &[RequestOutcome]) -> Vec<ClassReport> {
+    let mut samples: Vec<(RequestClass, ClassSample)> = outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.class,
+                ClassSample {
+                    label: o.class.label(),
+                    ttft_s: o.ttft(),
+                    e2e_s: o.e2e(),
+                    met_slo: o.met_slo(),
+                    tokens: o.output_len,
+                },
+            )
+        })
+        .collect();
+    let class_rank = |c: RequestClass| RequestClass::all().iter().position(|&x| x == c);
+    samples.sort_by_key(|(c, _)| class_rank(*c));
+    class_breakdown(samples.into_iter().map(|(_, s)| s))
 }
 
 /// Everything one trace run reports.
@@ -217,16 +247,12 @@ impl TraceReport {
 
     /// Inter-token latency order statistics.
     pub fn itl_stats(&self) -> LatencyStats {
-        LatencyStats::from_samples(
-            &self.outcomes.iter().map(RequestOutcome::itl).collect::<Vec<_>>(),
-        )
+        self.outcomes.iter().map(RequestOutcome::itl).collect()
     }
 
     /// End-to-end latency order statistics.
     pub fn e2e_stats(&self) -> LatencyStats {
-        LatencyStats::from_samples(
-            &self.outcomes.iter().map(RequestOutcome::e2e).collect::<Vec<_>>(),
-        )
+        self.outcomes.iter().map(RequestOutcome::e2e).collect()
     }
 
     /// Generated-token throughput over the run.
@@ -276,25 +302,7 @@ impl TraceReport {
     /// [`RequestClass::all`] order for the classes that completed
     /// requests — who pays the tails under a given policy.
     pub fn class_breakdown(&self) -> Vec<ClassReport> {
-        let mut samples: Vec<(RequestClass, ClassSample)> = self
-            .outcomes
-            .iter()
-            .map(|o| {
-                (
-                    o.class,
-                    ClassSample {
-                        label: o.class.label(),
-                        ttft_s: o.ttft(),
-                        e2e_s: o.e2e(),
-                        met_slo: o.met_slo(),
-                        tokens: o.output_len,
-                    },
-                )
-            })
-            .collect();
-        let class_rank = |c: RequestClass| RequestClass::all().iter().position(|&x| x == c);
-        samples.sort_by_key(|(c, _)| class_rank(*c));
-        class_breakdown(samples.into_iter().map(|(_, s)| s))
+        class_breakdown_of(&self.outcomes)
     }
 
     /// The [`ClassReport`] of one class, if it completed any requests.
@@ -311,6 +319,7 @@ mod tests {
         RequestOutcome {
             id: 0,
             class,
+            deployment: DeploymentId::default(),
             prompt_len: 64,
             output_len: 10,
             arrival_s,

@@ -1,6 +1,9 @@
 //! Property tests for the α model, writeback invariants and the serving
 //! layer's shard-ledger conservation.
 
+use hilos_core::cluster::{
+    ClusterEngine, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
+};
 use hilos_core::{
     paper_alpha_mha, spill_nand_bytes_per_token, AlphaModel, DeadlineEdf, Fifo, HilosConfig,
     HilosSystem, PriorityPreempt, SchedulingPolicy, ServeConfig, ServeEngine, WritebackManager,
@@ -157,6 +160,88 @@ proptest! {
         prop_assert_eq!(eng.ledger().live_requests(), 0, "{} leaked allocations", name);
         prop_assert_eq!(eng.ledger().total_occupied(), occupied_before, "{} occupancy", name);
         prop_assert_eq!(eng.ledger().free_by_device(), free_before, "{} per-device free", name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cluster conservation: for any routing policy, scheduling policy
+    /// mix, load and cluster shape, every trace request finishes exactly
+    /// once across the whole cluster — no loss, no duplication — and
+    /// every deployment's shard ledger returns to its initial per-device
+    /// free state, even when preempted requests are re-dispatched across
+    /// deployments.
+    #[test]
+    fn cluster_routing_conserves_requests_and_ledgers(
+        n in 12usize..48,
+        seed in 0u64..1_000_000,
+        gap in 0u64..48,
+        max_batch in 2u32..6,
+        routing_idx in 0usize..3,
+        sched_idx in 0usize..2,
+        dep_count in 1usize..4,
+    ) {
+        let trace = TraceConfig { mean_interarrival_steps: gap, ..TraceConfig::azure_mix(n, seed) }
+            .generate()
+            .unwrap();
+        let routing: Box<dyn RoutingPolicy> = match routing_idx {
+            0 => Box::new(RoundRobin::new()),
+            1 => Box::new(JoinShortestQueue),
+            _ => Box::new(LedgerPressure::new()),
+        };
+        // Heterogeneous shapes: 8 healthy / 6 half-degraded / 4 degraded.
+        let deployments: Vec<ServeEngine> = (0..dep_count)
+            .map(|d| {
+                let sys = match d {
+                    0 => serve_system(),
+                    1 => HilosSystem::new(
+                        &SystemSpec::a100_smartssd(6),
+                        &presets::opt_30b(),
+                        &HilosConfig::new(6),
+                    )
+                    .unwrap()
+                    .with_sim_layers(1)
+                    .with_degraded_device(1, 0.5),
+                    _ => HilosSystem::new(
+                        &SystemSpec::a100_smartssd(4),
+                        &presets::opt_30b(),
+                        &HilosConfig::new(4),
+                    )
+                    .unwrap()
+                    .with_sim_layers(1)
+                    .with_degraded_device(0, 0.25),
+                };
+                let policy: Box<dyn SchedulingPolicy> = if sched_idx == 0 {
+                    Box::new(Fifo)
+                } else {
+                    Box::new(PriorityPreempt::new())
+                };
+                ServeEngine::with_policy(sys, ServeConfig::new(max_batch), policy).unwrap()
+            })
+            .collect();
+        let frees_before: Vec<Vec<u64>> =
+            deployments.iter().map(|e| e.ledger().free_by_device()).collect();
+        let mut cluster = ClusterEngine::new(deployments, routing);
+        let report = cluster.run_trace(&trace).unwrap();
+
+        // Exactly-once across the cluster: outcomes + rejections
+        // partition the trace ids.
+        let mut seen: Vec<u64> = report.outcomes().map(|o| o.id).collect();
+        seen.extend(report.deployments.iter().flat_map(|d| d.rejected.iter().copied()));
+        seen.sort_unstable();
+        let mut expect: Vec<u64> = trace.iter().map(|r| r.id).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect, "requests lost or duplicated across deployments");
+
+        // Dispatch accounting covers the whole trace.
+        prop_assert_eq!(report.dispatched.iter().sum::<u64>(), n as u64);
+
+        // Ledger conservation per deployment.
+        for (eng, before) in cluster.deployments().iter().zip(&frees_before) {
+            prop_assert_eq!(eng.ledger().live_requests(), 0, "leaked allocations");
+            prop_assert_eq!(&eng.ledger().free_by_device(), before, "per-device free drifted");
+        }
     }
 }
 

@@ -65,6 +65,28 @@ impl fmt::Display for TraceError {
 
 impl Error for TraceError {}
 
+/// Identity of one deployment in a multi-deployment cluster.
+///
+/// A single-deployment run is deployment `0` (the [`Default`]); a
+/// cluster router stamps the deployment that actually served a request
+/// onto its outcome, so per-deployment attribution (who paid which tail,
+/// which array wore how much) survives aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DeploymentId(pub u32);
+
+impl DeploymentId {
+    /// The deployment's index in cluster order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeploymentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dep{}", self.0)
+    }
+}
+
 /// Scheduling priority class, ordered `Low < Normal < High`.
 ///
 /// Priority-aware policies (`hilos-core::serve::policy::PriorityPreempt`)

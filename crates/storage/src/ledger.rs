@@ -144,6 +144,51 @@ impl KvShardLedger {
         self.allocations.len()
     }
 
+    /// Occupancy pressure of device `i`: held bytes over capacity, in
+    /// `[0, 1]`. A zero-capacity device reports `1.0` (it can never accept
+    /// another byte). Reservations ([`KvShardLedger::reserve_evenly`])
+    /// count as held — pressure measures how close the device is to
+    /// rejecting placement, whatever is squeezing it.
+    pub fn device_pressure(&self, i: usize) -> f64 {
+        let s = &self.shards[i];
+        if s.spec.capacity_bytes == 0 {
+            1.0
+        } else {
+            s.occupied as f64 / s.spec.capacity_bytes as f64
+        }
+    }
+
+    /// Per-device occupancy pressures in device index order — the routing
+    /// signal a cluster-level balancer reads per deployment.
+    pub fn pressure_by_device(&self) -> Vec<f64> {
+        (0..self.shards.len()).map(|i| self.device_pressure(i)).collect()
+    }
+
+    /// Aggregate occupancy pressure over placement-eligible (non-zero
+    /// weight) devices: total held bytes over total capacity, in `[0, 1]`.
+    /// `1.0` when no device accepts placement at all — a fully degraded
+    /// deployment looks saturated to a router, which is exactly right.
+    pub fn pressure(&self) -> f64 {
+        let (mut occ, mut cap) = (0u64, 0u64);
+        for s in self.shards.iter().filter(|s| s.spec.weight > 0.0) {
+            occ += s.occupied;
+            cap += s.spec.capacity_bytes;
+        }
+        if cap == 0 {
+            1.0
+        } else {
+            occ as f64 / cap as f64
+        }
+    }
+
+    /// Sum of the devices' placement weights. Weights are proportional to
+    /// sustained read bandwidth, so this is the deployment's aggregate
+    /// storage bandwidth with degraded/offline devices discounted — the
+    /// drain-rate half of a pressure-aware routing score.
+    pub fn total_weight(&self) -> f64 {
+        self.shards.iter().map(|s| s.spec.weight).sum()
+    }
+
     /// The per-device placement of a live request, if any.
     pub fn allocation(&self, request: u64) -> Option<&[u64]> {
         self.allocations.get(&request).map(Vec::as_slice)
@@ -382,6 +427,50 @@ mod tests {
         l.release(4).unwrap();
         assert_eq!(l.held_bytes(4), None);
         assert_eq!(l.free_by_device(), vec![1000, 1000, 1000]);
+    }
+
+    #[test]
+    fn pressure_tracks_occupancy_per_device_and_aggregate() {
+        let mut l = KvShardLedger::new(vec![
+            ShardSpec { capacity_bytes: 1000, weight: 2.0 },
+            ShardSpec { capacity_bytes: 3000, weight: 1.0 },
+        ]);
+        assert_eq!(l.pressure(), 0.0);
+        assert_eq!(l.pressure_by_device(), vec![0.0, 0.0]);
+        assert_eq!(l.total_weight(), 3.0);
+        let placed = l.allocate(1, 2000).unwrap();
+        // Aggregate: 2000 held of 4000 capacity.
+        assert!((l.pressure() - 0.5).abs() < 1e-12);
+        for (i, &p) in placed.iter().enumerate() {
+            let expect = p as f64 / [1000.0, 3000.0][i];
+            assert!((l.device_pressure(i) - expect).abs() < 1e-12, "device {i}");
+        }
+        // Release restores zero pressure exactly.
+        l.release(1).unwrap();
+        assert_eq!(l.pressure(), 0.0);
+        assert_eq!(l.pressure_by_device(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn pressure_counts_reservations_and_skips_weightless_capacity() {
+        let mut l = KvShardLedger::new(vec![
+            ShardSpec { capacity_bytes: 1000, weight: 1.0 },
+            ShardSpec { capacity_bytes: 1000, weight: 0.0 },
+        ]);
+        // Static weight reservations squeeze the placeable devices too.
+        l.reserve_evenly(1000).unwrap();
+        // Aggregate pressure is over placeable capacity only: 500/1000.
+        assert!((l.pressure() - 0.5).abs() < 1e-12);
+        // Per-device pressure reports every device, weightless included.
+        assert_eq!(l.pressure_by_device(), vec![0.5, 0.5]);
+        // A fully weightless ledger is saturated by definition.
+        let dead = KvShardLedger::new(vec![ShardSpec { capacity_bytes: 1000, weight: 0.0 }]);
+        assert_eq!(dead.pressure(), 1.0);
+        assert_eq!(dead.total_weight(), 0.0);
+        // ...as is a zero-capacity device.
+        let tiny = KvShardLedger::new(vec![ShardSpec { capacity_bytes: 0, weight: 1.0 }]);
+        assert_eq!(tiny.device_pressure(0), 1.0);
+        assert_eq!(tiny.pressure(), 1.0);
     }
 
     #[test]

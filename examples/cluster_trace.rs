@@ -1,0 +1,92 @@
+//! Cluster-serving demo: one contended trace balanced across three
+//! heterogeneous HILOS deployments (distinct device counts and
+//! degradation profiles) under the three shipped routing policies —
+//! capacity-blind round-robin, load-aware join-shortest-queue, and
+//! pressure-aware ledger-pressure (power-of-two-choices over free KV
+//! bytes × device bandwidth). Pressure-aware routing sheds load from the
+//! small degraded array toward the healthy one and wins on SLO goodput.
+//!
+//! ```sh
+//! cargo run --release --example cluster_trace
+//! ```
+
+use hilos::core::cluster::{
+    ClusterEngine, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
+};
+use hilos::core::{HilosConfig, HilosSystem, ServeConfig, ServeEngine};
+use hilos::llm::{presets, TraceConfig};
+use hilos::metrics::{fmt_seconds, Table};
+use hilos::platform::SystemSpec;
+
+fn deployment(n: usize, degraded: Option<(usize, f64)>) -> ServeEngine {
+    let mut sys =
+        HilosSystem::new(&SystemSpec::a100_smartssd(n), &presets::opt_30b(), &HilosConfig::new(n))
+            .expect("valid deployment")
+            .with_sim_layers(1);
+    if let Some((device, factor)) = degraded {
+        sys = sys.with_degraded_device(device, factor);
+    }
+    ServeEngine::new(sys, ServeConfig::new(8)).expect("deployment builds")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The seeded contended trace of `BENCH_cluster.json`: one arrival
+    // every ~10 serving steps keeps the weak deployment overloaded under
+    // blind routing while the cluster as a whole has capacity to spare.
+    let trace = TraceConfig { mean_interarrival_steps: 10, ..TraceConfig::azure_mix(384, 42) }
+        .generate()?;
+
+    println!(
+        "Balancing {} requests of {} across 3 heterogeneous deployments:\n\
+         \u{20}  dep0: 8 healthy SmartSSDs\n\
+         \u{20}  dep1: 6 SmartSSDs, one at half bandwidth\n\
+         \u{20}  dep2: 4 SmartSSDs, one at quarter bandwidth\n",
+        trace.len(),
+        presets::opt_30b().name(),
+    );
+
+    let mut t = Table::new(vec![
+        "routing",
+        "SLO goodput tok/s",
+        "SLO hit rate",
+        "makespan",
+        "TTFT p95",
+        "dispatched",
+        "re-dispatched",
+    ]);
+    for routing in [
+        Box::new(RoundRobin::new()) as Box<dyn RoutingPolicy>,
+        Box::new(JoinShortestQueue),
+        Box::new(LedgerPressure::new()),
+    ] {
+        let mut cluster = ClusterEngine::new(
+            vec![
+                deployment(8, None),
+                deployment(6, Some((1, 0.5))),
+                deployment(4, Some((0, 0.25))),
+            ],
+            routing,
+        );
+        let r = cluster.run_trace(&trace)?;
+        assert_eq!(r.completed(), trace.len(), "every request completes");
+        let dispatched: Vec<String> = r.dispatched.iter().map(u64::to_string).collect();
+        t.row(vec![
+            r.routing.clone(),
+            format!("{:.2}", r.slo_token_goodput()),
+            format!("{:.1}%", r.slo_hit_rate() * 100.0),
+            fmt_seconds(r.elapsed_s()),
+            fmt_seconds(r.ttft_stats().p95),
+            dispatched.join("/"),
+            r.redispatches.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Round-robin feeds the degraded 4-device array a third of the traffic and its\n\
+         requests rot; join-shortest-queue reacts to queue depth but not drain rate;\n\
+         ledger-pressure routes by free KV bytes x aggregate device bandwidth per unit\n\
+         of load, so the healthy array absorbs the surplus and the cluster finishes\n\
+         the same trace sooner at a higher SLO goodput."
+    );
+    Ok(())
+}
