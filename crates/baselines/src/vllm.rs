@@ -238,6 +238,9 @@ impl VllmMultiNode {
                 finished_s,
                 slo_deadline_s: req.slo.deadline_s(),
                 preemptions: 0,
+                // Serial recompute-from-prefill: every prompt is
+                // ingested exactly once, in one piece.
+                prefill_tokens: req.prompt_len,
             });
         }
         Ok(VllmTraceReport { outcomes, elapsed_s: clock, generated_tokens: generated, deadline_s })

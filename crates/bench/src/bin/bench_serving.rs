@@ -18,14 +18,21 @@
 //!    scheduling. The simulation is bit-deterministic, so CI gates the
 //!    exact claims: EDF beats FIFO on SLO goodput, priority preemption
 //!    beats FIFO on high-class (Short) p95 TTFT.
+//! 4. **Chunked prefill** — the long-prompt contended trace served with
+//!    inline lump prefill vs token-budgeted chunks, plus a
+//!    `ChunkMode::Off` golden-equivalence smoke (the FNV constant
+//!    `tests/serving.rs` pins). CI gates the chunking claim exactly:
+//!    the decode-gap tail (per-emission ITL p95/p99/max) improves.
+//! 5. **Overload shedding** — plain deadline-EDF vs EDF with shedding on
+//!    the overloaded seeded trace; CI gates the SLO-goodput lift.
 //!
 //! ```text
 //! Usage: bench_serving [output.json]
 //! ```
 
 use hilos_core::{
-    DeadlineEdf, Fifo, HilosConfig, HilosSystem, PriorityPreempt, SchedulingPolicy, ServeConfig,
-    ServeEngine,
+    ChunkMode, DeadlineEdf, Fifo, HilosConfig, HilosSystem, PriorityPreempt, SchedulingPolicy,
+    ServeConfig, ServeEngine,
 };
 use hilos_llm::{presets, RequestClass, TraceConfig};
 use hilos_platform::SystemSpec;
@@ -98,6 +105,12 @@ fn engine_run(use_heap: bool) -> (u64, SimTime) {
     (events, eng.now())
 }
 
+fn hilos_system(n: usize) -> HilosSystem {
+    HilosSystem::new(&SystemSpec::a100_smartssd(n), &presets::opt_30b(), &HilosConfig::new(n))
+        .unwrap()
+        .with_sim_layers(1)
+}
+
 fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
     f(); // warmup
     let mut best = f64::INFINITY;
@@ -159,7 +172,7 @@ fn main() {
         .expect("valid trace config");
     let policy_rows: Vec<String> = [
         Box::new(Fifo) as Box<dyn SchedulingPolicy>,
-        Box::new(DeadlineEdf),
+        Box::new(DeadlineEdf::new()),
         Box::new(PriorityPreempt::new()),
     ]
     .into_iter()
@@ -201,6 +214,113 @@ fn main() {
     })
     .collect();
 
+    // -- 4: chunked-prefill interference comparison --
+    // Long-heavy prompts stretched 8x: prompt ingestion is the dominant
+    // contender for device bandwidth, so the chunk mode decides the
+    // decode-gap tail. Mirrors the pin in `tests/serving.rs`.
+    let long_trace = {
+        let mut cfg = TraceConfig::long_context(96, 42, 8).with_mean_interarrival(80);
+        cfg.class_weights = [1, 3, 6];
+        cfg.generate().expect("valid trace config")
+    };
+    let chunk_rows: Vec<String> =
+        [("off", ChunkMode::Off), ("lump", ChunkMode::Lump), ("chunked", ChunkMode::chunked())]
+            .into_iter()
+            .map(|(name, mode)| {
+                let r =
+                    ServeEngine::new(hilos_system(8), ServeConfig::new(8).with_chunk_mode(mode))
+                        .unwrap()
+                        .run_trace(&long_trace)
+                        .unwrap();
+                assert_eq!(r.outcomes.len(), long_trace.len(), "{name}: trace must complete");
+                let s = r.step_itl_stats();
+                let ttft = r.ttft_stats();
+                eprintln!(
+            "chunk mode {name}: decode-gap p95 {:.2}s p99 {:.2}s max {:.2}s, TTFT p95 {:.0}s, \
+             {} chunks ({} tokens), interference {:.0}s, stall {:.0}s",
+            s.p95,
+            s.p99,
+            s.max,
+            ttft.p95,
+            r.prefill.chunks,
+            r.prefill.chunk_tokens,
+            r.prefill.interference_seconds,
+            r.prefill.stall_seconds,
+        );
+                format!(
+                    "{{\"mode\": \"{name}\", \"step_itl_p50_seconds\": {:.4}, \
+             \"step_itl_p95_seconds\": {:.4}, \"step_itl_p99_seconds\": {:.4}, \
+             \"step_itl_max_seconds\": {:.4}, \"ttft_p95_seconds\": {:.4}, \
+             \"prefill_chunks\": {}, \"prefill_chunk_tokens\": {}, \
+             \"interference_seconds\": {:.4}, \"stall_seconds\": {:.4}, \
+             \"elapsed_seconds\": {:.4}}}",
+                    s.p50,
+                    s.p95,
+                    s.p99,
+                    s.max,
+                    ttft.p95,
+                    r.prefill.chunks,
+                    r.prefill.chunk_tokens,
+                    r.prefill.interference_seconds,
+                    r.prefill.stall_seconds,
+                    r.elapsed_s,
+                )
+            })
+            .collect();
+
+    // ChunkMode::Off golden-equivalence smoke: the refactored engine must
+    // still reproduce the FNV constant `tests/serving.rs` pins for the
+    // pre-chunking engine on the seeded Azure-mix trace.
+    let golden_trace = TraceConfig::azure_mix(512, 42).generate().expect("valid trace config");
+    let golden =
+        ServeEngine::new(hilos_system(8), ServeConfig::new(16).with_chunk_mode(ChunkMode::Off))
+            .unwrap()
+            .run_trace(&golden_trace)
+            .unwrap();
+    let off_fnv = hilos_core::outcome_lifecycle_fnv(&golden.outcomes);
+    eprintln!("ChunkMode::Off golden FNV: {off_fnv:#018x}");
+
+    // -- 5: overload shedding --
+    let overload = TraceConfig::azure_mix(256, 42)
+        .with_mean_interarrival(10)
+        .generate()
+        .expect("valid trace config");
+    let shed_rows: Vec<String> = [
+        Box::new(DeadlineEdf::new()) as Box<dyn SchedulingPolicy>,
+        Box::new(DeadlineEdf::with_shedding()),
+    ]
+    .into_iter()
+    .map(|policy| {
+        let name = policy.name();
+        let r = ServeEngine::with_policy(hilos_system(8), ServeConfig::new(8), policy)
+            .unwrap()
+            .run_trace(&overload)
+            .unwrap();
+        assert_eq!(
+            r.outcomes.len() + r.rejected.len() + r.shed.len(),
+            overload.len(),
+            "{name}: requests lost"
+        );
+        eprintln!(
+            "shedding {name}: slo_goodput {:.3} tok/s, hit {:.1}%, {} completed, {} shed",
+            r.slo_token_goodput(),
+            r.slo_hit_rate() * 100.0,
+            r.outcomes.len(),
+            r.shed.len(),
+        );
+        format!(
+            "{{\"policy\": \"{name}\", \"slo_goodput_tokens_per_second\": {:.4}, \
+             \"slo_hit_rate\": {:.4}, \"completed\": {}, \"shed\": {}, \
+             \"tokens_per_second\": {:.4}}}",
+            r.slo_token_goodput(),
+            r.slo_hit_rate(),
+            r.outcomes.len(),
+            r.shed.len(),
+            r.tokens_per_second(),
+        )
+    })
+    .collect();
+
     let json = format!(
         "{{\n  \"bench\": \"serving\",\n  \"note\": \"heap-indexed vs linear-scan \
          next_completion_time on a serving-shaped event loop ({CONCURRENT} concurrent jobs, \
@@ -213,7 +333,10 @@ fn main() {
          \"wall_seconds\": {wall:.4}, \"requests_per_second\": {rps:.1}, \
          \"serving_steps\": {}, \"step_cache_entries\": {}, \"peak_batch\": {}, \
          \"simulated_tokens_per_second\": {:.3}, \"ttft_p99_seconds\": {:.3}}},\n  \
-         \"policies\": [\n    {}\n  ]\n}}\n",
+         \"policies\": [\n    {}\n  ],\n  \
+         \"chunked\": {{\n    \"requests\": {}, \"prompt_scale\": 8, \
+         \"off_golden_fnv\": \"{off_fnv:#018x}\",\n    \"modes\": [\n      {}\n    ]\n  }},\n  \
+         \"shedding\": [\n    {}\n  ]\n}}\n",
         trace.len(),
         report.steps,
         report.step_cache_entries,
@@ -221,6 +344,9 @@ fn main() {
         report.tokens_per_second(),
         report.ttft_stats().p99,
         policy_rows.join(",\n    "),
+        long_trace.len(),
+        chunk_rows.join(",\n      "),
+        shed_rows.join(",\n    "),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("{json}");

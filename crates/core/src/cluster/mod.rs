@@ -20,9 +20,15 @@
 //!   a pluggable [`RoutingPolicy`] fed a read-only [`ClusterSnapshot`] —
 //!   per-deployment queue depth, in-flight batch composition, ledger
 //!   pressure
-//!   ([`KvShardLedger::pressure`](hilos_storage::KvShardLedger::pressure))
-//!   and the degradation profile (bandwidth-discounted placement
-//!   weights).
+//!   ([`KvShardLedger::pressure`](hilos_storage::KvShardLedger::pressure)),
+//!   the degradation profile (bandwidth-discounted placement weights),
+//!   and the prefill backlog
+//!   ([`DeploymentView::prefill_backlog_tokens`]): under the
+//!   token-budgeted serving step ([`ChunkMode`](crate::ChunkMode)) a
+//!   deployment's pending prompt-ingestion debt is a first-class load
+//!   signal, so size-aware placement (long prompts to the deployment
+//!   with the least backlog per unit bandwidth) is expressible as a
+//!   routing policy.
 //! * Requests a deployment's scheduling policy preempts are offered back
 //!   to the router, which may **re-dispatch them across deployments**
 //!   with their generated-token progress retained (their KV is
@@ -31,7 +37,11 @@
 //! * A run aggregates into a [`ClusterReport`]: the per-deployment
 //!   [`TraceReport`](crate::TraceReport)s plus global TTFT/ITL/goodput
 //!   built on [`hilos_metrics::LatencyStats`] /
-//!   [`hilos_metrics::ClassReport`].
+//!   [`hilos_metrics::ClassReport`], the pooled per-emission decode-gap
+//!   distribution ([`ClusterReport::step_itl_stats`]), and the merged
+//!   prefill-interference breakdown
+//!   ([`ClusterReport::prefill_breakdown`] over
+//!   [`hilos_metrics::PrefillBreakdown`]).
 //!
 //! Three routing policies ship in [`policy`]: [`RoundRobin`] (the
 //! capacity-blind baseline), [`JoinShortestQueue`] (load-aware,

@@ -132,6 +132,13 @@ pub struct DeploymentView {
     pub device_count: usize,
     /// Requests dispatched to this deployment so far.
     pub dispatched: u64,
+    /// Prompt tokens the deployment's in-flight prefills still have to
+    /// ingest — its remaining chunk debt under the token-budgeted step
+    /// (see [`ChunkMode`](crate::ChunkMode)). The signal size-aware
+    /// placement needs: a long prompt routed onto a deployment already
+    /// drowning in prefill backlog pays for every queued chunk ahead of
+    /// it before its first token.
+    pub prefill_backlog_tokens: u64,
 }
 
 impl DeploymentView {
@@ -304,6 +311,7 @@ mod tests {
             bandwidth_weight: bw,
             device_count: 4,
             dispatched: 0,
+            prefill_backlog_tokens: 0,
         }
     }
 

@@ -3,7 +3,7 @@
 //! [`hilos_metrics`] primitives the single-deployment layer uses.
 
 use crate::serve::{class_breakdown_of, RequestOutcome, TraceReport};
-use hilos_metrics::{goodput, ClassReport, LatencyStats};
+use hilos_metrics::{goodput, ClassReport, LatencyStats, PrefillBreakdown};
 
 /// Everything one cluster trace run reports.
 ///
@@ -71,6 +71,24 @@ impl ClusterReport {
         self.deployments.iter().map(|d| d.preemptions).sum()
     }
 
+    /// Requests shed by overload-shedding policies across the cluster.
+    pub fn shed_len(&self) -> usize {
+        self.deployments.iter().map(|d| d.shed.len()).sum()
+    }
+
+    /// Prefill re-materialization debt left by preemptions across the
+    /// cluster, in tokens.
+    pub fn wasted_prefill_tokens(&self) -> u64 {
+        self.deployments.iter().map(|d| d.wasted_prefill_tokens).sum()
+    }
+
+    /// Merged prefill-stall / chunk-interference breakdown across the
+    /// deployments — where the cluster's step-charged time went under
+    /// the token-budgeted serving step.
+    pub fn prefill_breakdown(&self) -> PrefillBreakdown {
+        self.deployments.iter().fold(PrefillBreakdown::default(), |acc, d| acc.merged(&d.prefill))
+    }
+
     /// Simulated busy seconds of the slowest deployment — the cluster's
     /// makespan, and the denominator of every global rate below.
     pub fn elapsed_s(&self) -> f64 {
@@ -102,9 +120,16 @@ impl ClusterReport {
         self.outcomes().map(RequestOutcome::ttft).collect()
     }
 
-    /// Global inter-token latency order statistics.
+    /// Global inter-token latency order statistics (per-request means).
     pub fn itl_stats(&self) -> LatencyStats {
         self.outcomes().map(RequestOutcome::itl).collect()
+    }
+
+    /// Per-emission decode-gap order statistics pooled across every
+    /// deployment's executed steps (see
+    /// [`TraceReport::step_itl_stats`](crate::TraceReport::step_itl_stats)).
+    pub fn step_itl_stats(&self) -> LatencyStats {
+        self.deployments.iter().flat_map(|d| d.step_latency_s.iter().copied()).collect()
     }
 
     /// Global end-to-end latency order statistics.
@@ -154,6 +179,7 @@ mod tests {
                 finished_s: fin,
                 slo_deadline_s: if met { 1e9 } else { 0.6 },
                 preemptions: 0,
+                prefill_tokens: 64,
             })
             .collect();
         TraceReport {
@@ -162,6 +188,7 @@ mod tests {
             elapsed_s: outcomes.iter().map(|o| o.finished_s).fold(0.0, f64::max),
             outcomes,
             rejected: vec![],
+            shed: vec![],
             steps: 4,
             peak_batch: 2,
             joins: 2,
@@ -175,6 +202,15 @@ mod tests {
             prefill_payload_bytes: 0.0,
             kv_placed_bytes: vec![],
             deadline_s: 120.0,
+            prefill: PrefillBreakdown {
+                decode_seconds: 1.0,
+                interference_seconds: 0.5,
+                stall_seconds: 0.25,
+                chunks: 2,
+                chunk_tokens: 128,
+            },
+            step_latency_s: vec![],
+            wasted_prefill_tokens: 3,
         }
     }
 
@@ -191,6 +227,14 @@ mod tests {
         assert_eq!(r.rejected_len(), 0);
         assert_eq!(r.generated_tokens(), 180);
         assert_eq!(r.preemptions(), 2);
+        assert_eq!(r.shed_len(), 0);
+        assert_eq!(r.wasted_prefill_tokens(), 6);
+        // Prefill breakdowns merge element-wise across deployments.
+        let pf = r.prefill_breakdown();
+        assert_eq!(pf.chunks, 4);
+        assert_eq!(pf.chunk_tokens, 256);
+        assert_eq!(pf.decode_seconds, 2.0);
+        assert_eq!(pf.prefill_seconds(), 1.5);
         // Makespan is the slowest deployment.
         assert_eq!(r.elapsed_s(), 20.0);
         assert!((r.tokens_per_second() - 180.0 / 20.0).abs() < 1e-12);

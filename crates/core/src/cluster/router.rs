@@ -128,6 +128,7 @@ impl ClusterEngine {
                     bandwidth_weight: ledger.total_weight(),
                     device_count: ledger.device_count(),
                     dispatched: d,
+                    prefill_backlog_tokens: st.prefill_backlog_tokens(),
                 }
             })
             .collect();

@@ -18,9 +18,11 @@
 //!   [`DecodeStepExecutor`],
 //! * **request-level serving** ([`serve`]) — continuous batching over
 //!   heterogeneous request traces behind a pluggable [`SchedulingPolicy`]
-//!   API (FIFO, deadline-EDF, priority-preemptive), with per-device KV
-//!   shard admission, recompute-style preemption and TTFT/ITL/goodput
-//!   reporting,
+//!   API (FIFO, deadline-EDF with opt-in overload shedding,
+//!   priority-preemptive), with per-device KV shard admission,
+//!   recompute-style preemption, token-budgeted chunked prefill
+//!   ([`ChunkMode`]) that models prompt-ingestion contention with the
+//!   running decode batch, and TTFT/ITL/goodput reporting,
 //! * **cluster serving** ([`cluster`]) — one trace balanced across
 //!   heterogeneous deployments by a pluggable [`RoutingPolicy`]
 //!   (round-robin, join-shortest-queue, ledger-pressure), with
@@ -80,9 +82,10 @@ pub use scheduler::{
     WeightSource, GDS_EFFICIENCY, SUB_PAGE_WRITE_PENALTY_S,
 };
 pub use serve::{
-    class_breakdown_of, throughput_of, token_goodput_of, ttft_stats_of, DeadlineEdf, Fifo,
-    InFlightView, PriorityPreempt, QueuedView, RequestOutcome, SchedDecision, SchedSnapshot,
-    SchedulingPolicy, ServeConfig, ServeEngine, TraceReport,
+    class_breakdown_of, outcome_lifecycle_fnv, throughput_of, token_goodput_of, ttft_stats_of,
+    ChunkMode, DeadlineEdf, Fifo, InFlightView, PriorityPreempt, QueuedView, RequestOutcome,
+    SchedDecision, SchedSnapshot, SchedulingPolicy, ServeConfig, ServeEngine, ShedOutcome,
+    TraceReport,
 };
 pub use step::{AlphaSelector, DecodeStepExecutor, StepOutcome};
 pub use writeback::{spill_nand_bytes_per_token, SpillDecision, WritebackManager};

@@ -14,14 +14,82 @@
 
 use super::policy::{Fifo, SchedDecision, SchedulingPolicy};
 use super::snapshot::{InFlightView, QueuedView, SchedSnapshot};
-use super::{RequestOutcome, TraceReport};
+use super::{RequestOutcome, ShedOutcome, TraceReport};
 use crate::runner::{CoreError, HilosSystem};
 use crate::scheduler::{weight_source, WeightSource};
 use crate::step::{AlphaSelector, DecodeStepExecutor};
 use crate::writeback::{SpillDecision, WritebackManager};
 use hilos_llm::{DeploymentId, ModelConfig, Request};
+use hilos_metrics::PrefillBreakdown;
 use hilos_storage::KvShardLedger;
 use std::collections::{HashMap, VecDeque};
+
+/// Context quantum of the chunk-path prefill memoization. Chunk cursors
+/// are rounded to this *fixed* grid — unlike the adaptive
+/// [`ServeConfig::ctx_quantum`] rounding, a fixed grid keeps per-chunk
+/// times telescoping to the same whole-prompt total whatever the chunk
+/// size (the conservation property the proptests pin: chunked and lump
+/// ingestion of the same prompt cost the same total seconds).
+const PREFILL_CHUNK_QUANTUM: u64 = 64;
+
+/// How prompt ingestion shares the serving step with decoding.
+///
+/// The paper's pipeline runs prefill and decode as separate phases of
+/// one uniform job; under *serving*, prompt ingestion of newly admitted
+/// requests competes with the running batch's token generation for the
+/// same device bandwidth. `ChunkMode` selects how the engine models that
+/// contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkMode {
+    /// Legacy side-prefill: an admitted request's whole-prompt prefill
+    /// is simulated once and runs fully overlapped with decoding,
+    /// joining the batch when its completion time passes. Optimistic —
+    /// prompt ingestion is never charged to the step — and bit-identical
+    /// to the pre-chunking engine (golden-pinned). The default.
+    Off,
+    /// Inline whole-prompt prefill: an admitted prompt is ingested in
+    /// one piece *inside* the serving step, monopolizing the devices
+    /// until it completes (a vLLM-style prefill iteration). The
+    /// interference baseline chunked prefill is measured against: every
+    /// running decode's inter-token latency absorbs the full prompt.
+    Lump,
+    /// Token-budgeted chunked prefill: each step the running decode
+    /// batch reserves one budget token per sequence, and the remaining
+    /// budget ingests up to `chunk_tokens` of each pending prompt (in
+    /// admission order), so long prompts interleave with decoding
+    /// instead of stalling it — bounded inter-token inflation per step.
+    Chunked {
+        /// Most prompt tokens one request ingests per step.
+        chunk_tokens: u64,
+        /// Per-step token budget shared by decode and prefill chunks.
+        step_budget_tokens: u64,
+    },
+}
+
+impl ChunkMode {
+    /// The default chunked operating point: 256-token chunks under a
+    /// 2048-token step budget.
+    pub fn chunked() -> Self {
+        ChunkMode::Chunked { chunk_tokens: 256, step_budget_tokens: 2048 }
+    }
+
+    /// Whether prefill executes inside the serving step (any mode but
+    /// [`ChunkMode::Off`]).
+    pub fn is_inline(&self) -> bool {
+        !matches!(self, ChunkMode::Off)
+    }
+
+    /// The `(chunk, budget)` knobs of the inline modes ([`ChunkMode::Lump`]
+    /// is unbounded on both axes).
+    fn knobs(&self) -> (u64, u64) {
+        match *self {
+            ChunkMode::Off | ChunkMode::Lump => (u64::MAX, u64::MAX),
+            ChunkMode::Chunked { chunk_tokens, step_budget_tokens } => {
+                (chunk_tokens, step_budget_tokens)
+            }
+        }
+    }
+}
 
 /// Configuration of the serving loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +103,9 @@ pub struct ServeConfig {
     /// (the quantum shrinks automatically for short contexts so relative
     /// error stays bounded). Smaller is more faithful, larger is faster.
     pub ctx_quantum: u64,
+    /// How prompt ingestion shares the step with decoding (defaults to
+    /// the legacy side-prefill [`ChunkMode::Off`]).
+    pub chunk_mode: ChunkMode,
 }
 
 impl ServeConfig {
@@ -46,7 +117,7 @@ impl ServeConfig {
     /// Panics if `max_batch` is zero.
     pub fn new(max_batch: u32) -> Self {
         assert!(max_batch > 0, "need a positive batch cap");
-        ServeConfig { max_batch, deadline_s: 120.0, ctx_quantum: 1024 }
+        ServeConfig { max_batch, deadline_s: 120.0, ctx_quantum: 1024, chunk_mode: ChunkMode::Off }
     }
 
     /// Sets the goodput deadline.
@@ -60,6 +131,21 @@ impl ServeConfig {
     pub fn with_ctx_quantum(mut self, quantum: u64) -> Self {
         assert!(quantum > 0, "quantum must be positive");
         self.ctx_quantum = quantum;
+        self
+    }
+
+    /// Sets the prefill chunking mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ChunkMode::Chunked`] knob is zero (a zero chunk or
+    /// budget could never make prefill progress).
+    pub fn with_chunk_mode(mut self, mode: ChunkMode) -> Self {
+        if let ChunkMode::Chunked { chunk_tokens, step_budget_tokens } = mode {
+            assert!(chunk_tokens > 0, "chunk size must be positive");
+            assert!(step_budget_tokens > 0, "step budget must be positive");
+        }
+        self.chunk_mode = mode;
         self
     }
 }
@@ -76,6 +162,9 @@ pub(crate) struct QueueEntry {
     /// The first admission time, kept across preemptions.
     pub(crate) first_admitted_s: Option<f64>,
     pub(crate) preemptions: u32,
+    /// Prefill tokens executed for this request so far, across every
+    /// (re-)admission — including chunks a preemption later discarded.
+    pub(crate) prefill_tokens: u64,
 }
 
 /// A request in flight (admitted; prefilling or decoding).
@@ -84,11 +173,26 @@ struct InFlight {
     req: Request,
     arrival_s: f64,
     admitted_s: f64,
-    /// When its prefill finishes and it may join the running batch.
+    /// When its prefill finishes and it may join the running batch
+    /// (side-prefill [`ChunkMode::Off`] only; infinite under the inline
+    /// modes, where the chunk cursor below drives joining).
     join_s: f64,
     first_token_s: Option<f64>,
     emitted: u64,
     preemptions: u32,
+    /// Prompt tokens ingested so far this admission (the chunk cursor;
+    /// stays zero in [`ChunkMode::Off`], where the prefill is simulated
+    /// as one lump on the side).
+    prefill_done: u64,
+    /// Tokens this admission must ingest before joining: the prompt plus
+    /// any generated progress retained across a preemption.
+    prefill_total: u64,
+    /// The α selected at admission — chunk times use it so one request's
+    /// chunks telescope consistently to its whole-prompt prefill.
+    admit_alpha: f64,
+    /// Lifetime prefill tokens executed (carried across preemptions;
+    /// reported on the outcome).
+    prefill_charged: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -138,6 +242,7 @@ pub(crate) struct RunState {
     running: Vec<InFlight>,
     outcomes: Vec<RequestOutcome>,
     rejected: Vec<u64>,
+    shed: Vec<ShedOutcome>,
     pub(crate) clock: f64,
     /// The arrival cursor (jumps over idle gaps). Owned by the driver;
     /// the body only reads it into the scheduling snapshot.
@@ -155,6 +260,23 @@ pub(crate) struct RunState {
     host_bytes: f64,
     internal_bytes: f64,
     prefill_payload: f64,
+    /// Sum of executed decode-step seconds (the denominator of the
+    /// chunk-interference ratio).
+    decode_seconds: f64,
+    /// Prefill-chunk seconds charged to steps that also decoded.
+    prefill_interference_s: f64,
+    /// Prefill-chunk seconds charged to steps with nothing decoding.
+    prefill_stall_s: f64,
+    prefill_chunks: u64,
+    prefill_chunk_tokens: u64,
+    /// Per-decode-step emission gap (chunk seconds charged to the step
+    /// plus the decode time): the inter-token latency every running
+    /// request experienced that step.
+    step_latency: Vec<f64>,
+    /// Prefill re-materialization debt left by preemptions: the victim's
+    /// already-ingested tokens (context held by a decode victim, executed
+    /// chunks of a prefilling victim).
+    wasted_prefill_tokens: u64,
     kv_placed: Vec<f64>,
     /// Memoized snapshot footprint estimates (see the snapshot build).
     footprint_estimates: HashMap<u64, u64>,
@@ -185,6 +307,34 @@ impl RunState {
     /// In-flight requests currently decoding.
     pub(crate) fn decoding_len(&self) -> usize {
         self.running.len()
+    }
+
+    /// Prompt tokens the in-flight prefills still have to ingest — the
+    /// deployment's prefill backlog, a routing signal for size-aware
+    /// placement. Zero under [`ChunkMode::Off`]'s lump side-prefill once
+    /// nothing is pending (legacy prefills report their whole context as
+    /// debt until they join).
+    pub(crate) fn prefill_backlog_tokens(&self) -> u64 {
+        self.prefilling.iter().map(|p| p.prefill_total - p.prefill_done).sum()
+    }
+
+    /// Re-queues a preemption victim with its retained progress and
+    /// marks it for potential cross-deployment re-dispatch — the single
+    /// construction point of a victim's `QueueEntry`, shared by the
+    /// decoding- and prefilling-victim preempt arms so their retained
+    /// state cannot diverge. The caller releases the ledger and books
+    /// the wasted work.
+    fn requeue_victim(&mut self, r: InFlight) {
+        self.queue.push_back(QueueEntry {
+            req: r.req,
+            arrival_s: r.arrival_s,
+            emitted: r.emitted,
+            first_token_s: r.first_token_s,
+            first_admitted_s: Some(r.admitted_s),
+            preemptions: r.preemptions + 1,
+            prefill_tokens: r.prefill_charged,
+        });
+        self.just_preempted.push(r.req.id);
     }
 
     /// Removes the entries named by `just_preempted` from the queue (they
@@ -322,14 +472,51 @@ impl ServeEngine {
         (per_token * req.total_tokens() as f64) as u64
     }
 
-    fn prefill_seconds(&mut self, prompt_len: u64, alpha: f64) -> Result<f64, CoreError> {
-        let key = (self.quantize(prompt_len), alpha.to_bits());
+    /// Memoized `execute_prefill(1, ctx, α)` at an already-rounded
+    /// context — the single miss path behind both rounding grids, so the
+    /// cached value's meaning cannot drift between them.
+    fn prefill_seconds_rounded(&mut self, ctx: u64, alpha: f64) -> Result<f64, CoreError> {
+        let key = (ctx, alpha.to_bits());
         if let Some(&s) = self.prefill_cache.get(&key) {
             return Ok(s);
         }
-        let s = self.exec.execute_prefill(1, key.0, alpha)?;
+        let s = self.exec.execute_prefill(1, ctx, alpha)?;
         self.prefill_cache.insert(key, s);
         Ok(s)
+    }
+
+    fn prefill_seconds(&mut self, prompt_len: u64, alpha: f64) -> Result<f64, CoreError> {
+        let ctx = self.quantize(prompt_len);
+        self.prefill_seconds_rounded(ctx, alpha)
+    }
+
+    /// Whole-prompt prefill seconds at a chunk-cursor context, memoized
+    /// on the fixed [`PREFILL_CHUNK_QUANTUM`] grid (shared cache with
+    /// [`ServeEngine::prefill_seconds`] — both store the same
+    /// `execute_prefill(1, ctx, α)` value, only the rounding differs).
+    fn prefill_seconds_at(&mut self, ctx: u64, alpha: f64) -> Result<f64, CoreError> {
+        let q = PREFILL_CHUNK_QUANTUM;
+        self.prefill_seconds_rounded(((ctx + q / 2) / q).max(1) * q, alpha)
+    }
+
+    /// Seconds to ingest prompt tokens `[start, start + len)` — the
+    /// difference of the whole-prompt prefill times at the chunk's two
+    /// cursors, so attention's growing cost lands on the later chunks
+    /// and a request's chunks telescope to exactly its lump prefill.
+    fn prefill_chunk_seconds(
+        &mut self,
+        start: u64,
+        len: u64,
+        alpha: f64,
+    ) -> Result<f64, CoreError> {
+        let end = self.prefill_seconds_at(start + len, alpha)?;
+        if start == 0 {
+            return Ok(end);
+        }
+        let begin = self.prefill_seconds_at(start, alpha)?;
+        // Rounding to the chunk grid can land both cursors in one
+        // bucket; clamp so a chunk is never negative time.
+        Ok((end - begin).max(0.0))
     }
 
     fn decode_step(
@@ -368,6 +555,7 @@ impl ServeEngine {
             running: Vec::new(),
             outcomes: Vec::new(),
             rejected: Vec::new(),
+            shed: Vec::new(),
             clock: 0.0,
             step: 0,
             decode_steps: 0,
@@ -383,6 +571,13 @@ impl ServeEngine {
             host_bytes: 0.0,
             internal_bytes: 0.0,
             prefill_payload: 0.0,
+            decode_seconds: 0.0,
+            prefill_interference_s: 0.0,
+            prefill_stall_s: 0.0,
+            prefill_chunks: 0,
+            prefill_chunk_tokens: 0,
+            step_latency: Vec::new(),
+            wasted_prefill_tokens: 0,
             kv_placed: vec![0.0; self.ledger.device_count()],
             footprint_estimates: HashMap::new(),
             wb: WritebackManager::new(self.system.config().spill_interval()),
@@ -399,6 +594,7 @@ impl ServeEngine {
             first_token_s: None,
             first_admitted_s: None,
             preemptions: 0,
+            prefill_tokens: 0,
         });
     }
 
@@ -419,6 +615,7 @@ impl ServeEngine {
     pub(crate) fn advance_once(&mut self, st: &mut RunState) -> Result<StepProgress, CoreError> {
         st.just_preempted.clear();
         let wb_enabled = self.system.config().delayed_writeback();
+        let inline = self.config.chunk_mode.is_inline();
 
         // 2: admission & preemption — the policy decides, the engine
         // executes under the batch-cap and shard-ledger invariants.
@@ -427,9 +624,12 @@ impl ServeEngine {
         // to admit (empty queue) or no room (full batch), so those
         // steps skip the snapshot build entirely — it is O(queue), the
         // dominant cost on a backlogged trace. Policies that may
-        // preempt are consulted every step.
+        // preempt are consulted every step, and shedding policies
+        // ([`SchedulingPolicy::may_shed`]) whenever the queue is
+        // non-empty — a full batch is exactly when shedding matters.
         let batch_full = st.running.len() + st.prefilling.len() >= self.config.max_batch as usize;
-        let skip_policy = !self.policy.may_preempt() && (st.queue.is_empty() || batch_full);
+        let skip_policy = !self.policy.may_preempt()
+            && (st.queue.is_empty() || (batch_full && !self.policy.may_shed()));
         let decisions = if skip_policy {
             Vec::new()
         } else {
@@ -446,6 +646,11 @@ impl ServeEngine {
                 decoding,
                 held_bytes: held(r.req.id),
                 preemptions: r.preemptions,
+                // A decoding request's prefill is complete whatever the
+                // chunk mode; a side-prefill (ChunkMode::Off) in flight
+                // reports its whole context as pending.
+                prefill_done: if decoding { r.prefill_total } else { r.prefill_done },
+                prefill_total: r.prefill_total,
             };
             let mut queue_views: Vec<QueuedView> = Vec::with_capacity(st.queue.len());
             let footprint_estimates = &mut st.footprint_estimates;
@@ -496,31 +701,65 @@ impl ServeEngine {
                 in_flight: &flight_views,
                 device_free_bytes: &device_free,
                 placeable_free: self.ledger.placeable_free(),
+                prefill_backlog_tokens: st.prefill_backlog_tokens(),
             };
             self.policy.schedule(&snapshot)
         };
         let mut admissions_executed = 0usize;
+        let mut sheds_executed = 0usize;
         'decisions: for d in decisions {
             match d {
                 SchedDecision::Preempt { victim } => {
-                    // Only decoding requests are preemptable; stale or
-                    // invalid ids are ignored.
-                    let Some(pos) = st.running.iter().position(|r| r.req.id == victim) else {
+                    // Decoding requests are always preemptable; under the
+                    // inline chunk modes a *prefilling* victim is too —
+                    // and cheap: only its executed chunks are discarded,
+                    // no decode progress is lost. Stale or invalid ids
+                    // are ignored.
+                    if let Some(pos) = st.running.iter().position(|r| r.req.id == victim) {
+                        let r = st.running.remove(pos);
+                        self.ledger.release(r.req.id).expect("running request holds allocation");
+                        st.preemptions += 1;
+                        // Re-materialization debt: the context the victim
+                        // had ingested must be prefilled again.
+                        st.wasted_prefill_tokens += r.req.prompt_len + r.emitted;
+                        st.composition_changed = true;
+                        st.requeue_victim(r);
+                    } else if inline {
+                        let Some(pos) = st.prefilling.iter().position(|p| p.req.id == victim)
+                        else {
+                            continue;
+                        };
+                        let p = st.prefilling.remove(pos);
+                        self.ledger.release(p.req.id).expect("prefilling request holds allocation");
+                        st.preemptions += 1;
+                        st.wasted_prefill_tokens += p.prefill_done;
+                        st.requeue_victim(p);
+                    }
+                }
+                SchedDecision::Shed { request } => {
+                    let Some(pos) = st.queue.iter().position(|q| q.req.id == request) else {
                         continue;
                     };
-                    let r = st.running.remove(pos);
-                    self.ledger.release(r.req.id).expect("running request holds allocation");
-                    st.preemptions += 1;
-                    st.composition_changed = true;
-                    st.queue.push_back(QueueEntry {
-                        req: r.req,
-                        arrival_s: r.arrival_s,
-                        emitted: r.emitted,
-                        first_token_s: r.first_token_s,
-                        first_admitted_s: Some(r.admitted_s),
-                        preemptions: r.preemptions + 1,
+                    // Only provably-hopeless, progress-free requests may
+                    // be dropped: the deadline must already have passed
+                    // on this deployment's clock, and a preempted victim
+                    // carrying generated tokens completes through the
+                    // admission path instead (its progress must not
+                    // vanish). Anything else is ignored — a policy
+                    // cannot shed viable work.
+                    let q = &st.queue[pos];
+                    if q.emitted > 0 || q.arrival_s + q.req.slo.deadline_s() > st.clock {
+                        continue;
+                    }
+                    let entry = st.queue.remove(pos).expect("position came from a live scan");
+                    st.shed.push(ShedOutcome {
+                        id: entry.req.id,
+                        class: entry.req.class,
+                        arrival_s: entry.arrival_s,
+                        shed_s: st.clock,
+                        slo_deadline_s: entry.req.slo.deadline_s(),
                     });
-                    st.just_preempted.push(r.req.id);
+                    sheds_executed += 1;
                 }
                 SchedDecision::Admit { request } => {
                     if st.running.len() + st.prefilling.len() >= self.config.max_batch as usize {
@@ -564,6 +803,7 @@ impl ServeEngine {
                                 finished_s: clock,
                                 slo_deadline_s: entry.req.slo.deadline_s(),
                                 preemptions: entry.preemptions,
+                                prefill_tokens: entry.prefill_tokens,
                             });
                         } else {
                             rejected.push(entry.req.id);
@@ -604,14 +844,21 @@ impl ServeEngine {
                     // A re-admitted preemption victim re-materializes the
                     // KV of its generated progress too.
                     let pf_ctx = entry.req.prompt_len + entry.emitted;
-                    let pf = match self.prefill_seconds(pf_ctx, admit_alpha) {
-                        Ok(pf) => pf,
-                        Err(e) => {
-                            // Don't leak the shard allocation on a failed
-                            // prefill simulation — the engine stays
-                            // reusable.
-                            let _ = self.ledger.release(entry.req.id);
-                            return Err(e);
+                    // Side-prefill (ChunkMode::Off) simulates the whole
+                    // prefill now and joins on the clock; the inline
+                    // modes leave joining to the chunk cursor.
+                    let join_s = if inline {
+                        f64::INFINITY
+                    } else {
+                        match self.prefill_seconds(pf_ctx, admit_alpha) {
+                            Ok(pf) => st.clock + pf,
+                            Err(e) => {
+                                // Don't leak the shard allocation on a
+                                // failed prefill simulation — the engine
+                                // stays reusable.
+                                let _ = self.ledger.release(entry.req.id);
+                                return Err(e);
+                            }
                         }
                     };
                     st.prefill_payload +=
@@ -621,10 +868,16 @@ impl ServeEngine {
                         req: entry.req,
                         arrival_s: entry.arrival_s,
                         admitted_s: entry.first_admitted_s.unwrap_or(st.clock),
-                        join_s: st.clock + pf,
+                        join_s,
                         first_token_s: entry.first_token_s,
                         emitted: entry.emitted,
                         preemptions: entry.preemptions,
+                        prefill_done: 0,
+                        prefill_total: pf_ctx,
+                        admit_alpha,
+                        // The lump side-prefill executes in full right
+                        // here; chunks charge as they run.
+                        prefill_charged: entry.prefill_tokens + if inline { 0 } else { pf_ctx },
                     });
                 }
             }
@@ -632,9 +885,10 @@ impl ServeEngine {
         // A policy that holds everything while nothing is in flight can
         // never make progress by itself — hand the stall to the driver
         // (which feeds the next arrival, or fails loudly once the trace
-        // is exhausted).
+        // is exhausted). Executed sheds count as progress: the queue
+        // shrank, so the loop is not stuck.
         if st.running.is_empty() && st.prefilling.is_empty() {
-            if !st.queue.is_empty() && admissions_executed == 0 {
+            if !st.queue.is_empty() && admissions_executed == 0 && sheds_executed == 0 {
                 return Ok(StepProgress::Stalled);
             }
             if st.queue.is_empty() {
@@ -644,28 +898,93 @@ impl ServeEngine {
             }
         }
 
-        // 3: join finished prefills at this step boundary. If nothing is
-        // decoding, fast-forward to the earliest join.
-        if st.running.is_empty() && !st.prefilling.is_empty() {
-            let earliest = st.prefilling.iter().map(|p| p.join_s).fold(f64::INFINITY, f64::min);
-            st.clock = st.clock.max(earliest);
+        // 3a (inline chunk modes): ingest prompt chunks under the step
+        // token budget. The running batch reserves one budget token per
+        // sequence (decode keeps its cadence — that is the whole point
+        // of chunking); the remainder is spent front-to-back over the
+        // pending prefills, up to one chunk each, and the time is
+        // charged to this step's clock.
+        let mut chunk_seconds = 0.0f64;
+        // Whether a decode stream was live *while* the chunks executed —
+        // decides below whether their time was interference (inflating
+        // running requests' emission gaps) or a stall (the joiner's own
+        // TTFT, with nothing decoding to disturb).
+        let mut chunks_overlapped_decode = false;
+        if inline && !st.prefilling.is_empty() {
+            chunks_overlapped_decode = !st.running.is_empty();
+            let (chunk_len, step_budget) = self.config.chunk_mode.knobs();
+            let mut budget = step_budget.saturating_sub(st.running.len() as u64);
+            for i in 0..st.prefilling.len() {
+                if budget == 0 {
+                    break;
+                }
+                let (done, total, alpha) = {
+                    let p = &st.prefilling[i];
+                    (p.prefill_done, p.prefill_total, p.admit_alpha)
+                };
+                let remaining = total - done;
+                if remaining == 0 {
+                    continue;
+                }
+                let take = chunk_len.min(remaining).min(budget);
+                chunk_seconds += self.prefill_chunk_seconds(done, take, alpha)?;
+                let p = &mut st.prefilling[i];
+                p.prefill_done += take;
+                p.prefill_charged += take;
+                budget -= take;
+                st.prefill_chunks += 1;
+                st.prefill_chunk_tokens += take;
+            }
+            st.clock += chunk_seconds;
+            if chunk_seconds > 0.0 {
+                if chunks_overlapped_decode {
+                    st.prefill_interference_s += chunk_seconds;
+                } else {
+                    st.prefill_stall_s += chunk_seconds;
+                }
+            }
         }
-        if !st.prefilling.is_empty() {
-            let mut ready: Vec<InFlight> =
-                st.prefilling.iter().copied().filter(|p| p.join_s <= st.clock).collect();
-            if !ready.is_empty() {
-                let clock = st.clock;
-                st.prefilling.retain(|p| p.join_s > clock);
-                // Deterministic join order: prefill completion, then id.
-                ready.sort_by(|a, b| a.join_s.total_cmp(&b.join_s).then(a.req.id.cmp(&b.req.id)));
+
+        // 3: join finished prefills at this step boundary.
+        if inline {
+            // The chunk cursor decides: fully-ingested prompts join in
+            // admission order (the order their last chunks executed).
+            if st.prefilling.iter().any(|p| p.prefill_done >= p.prefill_total) {
+                let (ready, pending): (Vec<InFlight>, Vec<InFlight>) =
+                    st.prefilling.drain(..).partition(|p| p.prefill_done >= p.prefill_total);
+                st.prefilling = pending;
                 st.joins += ready.len() as u64;
                 st.running.extend(ready);
                 st.composition_changed = true;
             }
+        } else {
+            // Side-prefill: the simulated completion clock decides. If
+            // nothing is decoding, fast-forward to the earliest join.
+            if st.running.is_empty() && !st.prefilling.is_empty() {
+                let earliest = st.prefilling.iter().map(|p| p.join_s).fold(f64::INFINITY, f64::min);
+                st.clock = st.clock.max(earliest);
+            }
+            if !st.prefilling.is_empty() {
+                let mut ready: Vec<InFlight> =
+                    st.prefilling.iter().copied().filter(|p| p.join_s <= st.clock).collect();
+                if !ready.is_empty() {
+                    let clock = st.clock;
+                    st.prefilling.retain(|p| p.join_s > clock);
+                    // Deterministic join order: prefill completion, then
+                    // id.
+                    ready.sort_by(|a, b| {
+                        a.join_s.total_cmp(&b.join_s).then(a.req.id.cmp(&b.req.id))
+                    });
+                    st.joins += ready.len() as u64;
+                    st.running.extend(ready);
+                    st.composition_changed = true;
+                }
+            }
         }
         if st.running.is_empty() {
-            // Prefills still in flight but none ready — can only happen
-            // before the clock advance above; defensive tick.
+            // Prefills still in flight but none ready — chunk modes keep
+            // ingesting next call; the side-prefill path can only get
+            // here before the clock advance above. Defensive tick.
             return Ok(StepProgress::NoDecode);
         }
 
@@ -686,6 +1005,14 @@ impl ServeEngine {
         };
         let outcome = self.decode_step(batch, mean_ctx, st.alpha, &decision)?;
         st.clock += outcome.seconds;
+        st.decode_seconds += outcome.seconds;
+        // The gap between this emission and the previous one includes
+        // the prefill chunks the step absorbed — but only when a stream
+        // was already decoding while they ran; chunks that executed with
+        // the pipeline empty delayed nobody's next token (they are the
+        // joiner's own TTFT, booked as stall above).
+        let interference = if chunks_overlapped_decode { chunk_seconds } else { 0.0 };
+        st.step_latency.push(interference + outcome.seconds);
         st.decode_steps += 1;
         st.generated += batch as u64;
         st.alpha_steps_sum += st.alpha;
@@ -714,6 +1041,7 @@ impl ServeEngine {
                     finished_s: st.clock,
                     slo_deadline_s: r.req.slo.deadline_s(),
                     preemptions: r.preemptions,
+                    prefill_tokens: r.prefill_charged,
                 });
                 st.composition_changed = true;
             } else {
@@ -730,6 +1058,7 @@ impl ServeEngine {
             policy: self.policy.name().to_string(),
             outcomes: st.outcomes,
             rejected: st.rejected,
+            shed: st.shed,
             steps: st.decode_steps,
             elapsed_s: st.clock,
             generated_tokens: st.generated,
@@ -749,6 +1078,15 @@ impl ServeEngine {
             prefill_payload_bytes: st.prefill_payload,
             kv_placed_bytes: st.kv_placed,
             deadline_s: self.config.deadline_s,
+            prefill: PrefillBreakdown {
+                decode_seconds: st.decode_seconds,
+                interference_seconds: st.prefill_interference_s,
+                stall_seconds: st.prefill_stall_s,
+                chunks: st.prefill_chunks,
+                chunk_tokens: st.prefill_chunk_tokens,
+            },
+            step_latency_s: st.step_latency,
+            wasted_prefill_tokens: st.wasted_prefill_tokens,
         }
     }
 
@@ -928,9 +1266,10 @@ mod tests {
         let trace = TraceConfig { mean_interarrival_steps: 0, ..TraceConfig::azure_mix(48, 21) }
             .generate()
             .unwrap();
-        for policy in
-            [Box::new(DeadlineEdf) as Box<dyn SchedulingPolicy>, Box::new(PriorityPreempt::new())]
-        {
+        for policy in [
+            Box::new(DeadlineEdf::new()) as Box<dyn SchedulingPolicy>,
+            Box::new(PriorityPreempt::new()),
+        ] {
             let name = policy.name();
             let mut eng = ServeEngine::with_policy(system(8), ServeConfig::new(4), policy).unwrap();
             assert_eq!(eng.policy_name(), name);
@@ -984,6 +1323,214 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report, eng2.run_trace(&trace).unwrap());
+    }
+
+    fn long_heavy_trace() -> Vec<Request> {
+        // Long-prompt heavy mix: prefill work dominates, so the chunk
+        // modes differ visibly.
+        let mut cfg = TraceConfig::long_context(48, 42, 4).with_mean_interarrival(40);
+        cfg.class_weights = [1, 3, 6];
+        cfg.generate().unwrap()
+    }
+
+    #[test]
+    fn chunked_prefill_conserves_tokens_and_ledger() {
+        let trace = long_heavy_trace();
+        for mode in [ChunkMode::Lump, ChunkMode::chunked()] {
+            let mut eng =
+                ServeEngine::new(system(8), ServeConfig::new(8).with_chunk_mode(mode)).unwrap();
+            let free_before = eng.ledger().free_by_device();
+            let report = eng.run_trace(&trace).unwrap();
+            assert_eq!(report.outcomes.len(), 48, "{mode:?}");
+            // Chunk conservation: FIFO never preempts, so every request
+            // ingests exactly its prompt — chunked or not.
+            for o in &report.outcomes {
+                assert_eq!(o.prefill_tokens, o.prompt_len, "{mode:?}: {o:?}");
+            }
+            assert_eq!(
+                report.prefill.chunk_tokens,
+                report.outcomes.iter().map(|o| o.prompt_len).sum::<u64>(),
+                "{mode:?}: executed chunks must sum to the whole prompts"
+            );
+            assert!(report.prefill.chunks >= 48, "{mode:?}");
+            assert!(report.prefill.prefill_seconds() > 0.0, "{mode:?}");
+            assert_eq!(eng.ledger().free_by_device(), free_before, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_and_lump_prefill_cost_the_same_total_seconds() {
+        // The budget only moves prefill work around in time; the total
+        // charged seconds telescope to the same whole-prompt prefills.
+        // α is pinned because the auto-α admission choice depends on the
+        // live batch size, which can evolve differently per mode.
+        let trace = long_heavy_trace();
+        let fixed = HilosConfig::new(8).with_alpha(crate::config::AlphaPolicy::Fixed(0.5));
+        let run = |mode| {
+            let sys = HilosSystem::new(&SystemSpec::a100_smartssd(8), &presets::opt_30b(), &fixed)
+                .unwrap()
+                .with_sim_layers(1);
+            ServeEngine::new(sys, ServeConfig::new(8).with_chunk_mode(mode))
+                .unwrap()
+                .run_trace(&trace)
+                .unwrap()
+        };
+        let lump = run(ChunkMode::Lump);
+        let chunked = run(ChunkMode::chunked());
+        let (a, b) = (lump.prefill.prefill_seconds(), chunked.prefill.prefill_seconds());
+        assert!((a - b).abs() / a < 1e-9, "prefill totals diverged: {a} vs {b}");
+        assert_eq!(lump.prefill.chunk_tokens, chunked.prefill.chunk_tokens);
+        assert!(chunked.prefill.chunks > lump.prefill.chunks);
+    }
+
+    #[test]
+    fn chunking_bounds_the_decode_gap_tail() {
+        let trace = long_heavy_trace();
+        let run = |mode| {
+            ServeEngine::new(system(8), ServeConfig::new(8).with_chunk_mode(mode))
+                .unwrap()
+                .run_trace(&trace)
+                .unwrap()
+        };
+        let lump = run(ChunkMode::Lump);
+        let chunked = run(ChunkMode::chunked());
+        // A lump prefill lands whole inside one step; chunking bounds the
+        // per-step interference, so the worst emission gap collapses.
+        assert!(
+            chunked.step_itl_stats().max < lump.step_itl_stats().max,
+            "chunking must bound the worst decode gap: {} vs {}",
+            chunked.step_itl_stats().max,
+            lump.step_itl_stats().max
+        );
+        // Off charges prefill nowhere (free parallel ingestion) — both
+        // inline modes sit above it, which is the whole point of
+        // modeling the contention.
+        let off = run(ChunkMode::Off);
+        assert_eq!(off.prefill.chunks, 0);
+        assert_eq!(off.prefill.prefill_seconds(), 0.0);
+        assert!(lump.elapsed_s > off.elapsed_s);
+    }
+
+    #[test]
+    fn chunk_mode_runs_are_deterministic() {
+        let trace = long_heavy_trace();
+        let run = || {
+            ServeEngine::new(system(8), ServeConfig::new(8).with_chunk_mode(ChunkMode::chunked()))
+                .unwrap()
+                .run_trace(&trace)
+                .unwrap()
+        };
+        assert_eq!(run(), run(), "chunked serving must stay bit-deterministic");
+    }
+
+    #[test]
+    fn prefilling_victims_are_cheap_to_preempt_under_chunking() {
+        // A policy that preempts whatever is prefilling the moment
+        // anything queues: exercises the mid-prefill preemption path.
+        #[derive(Debug)]
+        struct EvictPrefills;
+        impl SchedulingPolicy for EvictPrefills {
+            fn name(&self) -> &'static str {
+                "evict-prefills"
+            }
+            fn schedule(&mut self, snap: &SchedSnapshot<'_>) -> Vec<SchedDecision> {
+                let mut d = Vec::new();
+                if !snap.queue.is_empty() {
+                    // At most one preemption per victim, or the loop
+                    // would thrash forever re-ingesting the same prompt.
+                    d.extend(
+                        snap.in_flight
+                            .iter()
+                            .filter(|v| {
+                                !v.decoding && v.prefill_remaining() > 0 && v.preemptions == 0
+                            })
+                            .take(1)
+                            .map(|v| SchedDecision::Preempt { victim: v.id }),
+                    );
+                }
+                d.extend(snap.queue.iter().map(|q| SchedDecision::Admit { request: q.id }));
+                d
+            }
+        }
+        let trace = TraceConfig::azure_mix(32, 7).with_mean_interarrival(4).generate().unwrap();
+        let mut eng = ServeEngine::with_policy(
+            system(8),
+            ServeConfig::new(4).with_chunk_mode(ChunkMode::chunked()),
+            Box::new(EvictPrefills),
+        )
+        .unwrap();
+        let free_before = eng.ledger().free_by_device();
+        let report = eng.run_trace(&trace).unwrap();
+        assert!(report.preemptions > 0, "prefilling victims must have been preempted");
+        assert_eq!(report.outcomes.len(), 32, "preempted prefills still complete");
+        // The discarded chunks are charged as wasted work and re-ingested.
+        assert!(report.wasted_prefill_tokens > 0);
+        let prompts: u64 = report.outcomes.iter().map(|o| o.prompt_len).sum();
+        assert!(report.prefill.chunk_tokens > prompts, "re-ingestion must cost extra chunks");
+        assert_eq!(eng.ledger().free_by_device(), free_before);
+        // Under the legacy side-prefill mode the same policy's preempt
+        // decisions are ignored (prefilling is untouchable there).
+        let mut off =
+            ServeEngine::with_policy(system(8), ServeConfig::new(4), Box::new(EvictPrefills))
+                .unwrap();
+        let off_report = off.run_trace(&trace).unwrap();
+        assert_eq!(off_report.preemptions, 0);
+        assert_eq!(off_report.outcomes.len(), 32);
+    }
+
+    #[test]
+    fn engine_refuses_to_shed_viable_requests() {
+        // A policy that tries to shed everything: the engine must ignore
+        // the sheds (every deadline is still live) and stall instead,
+        // because the policy never admits.
+        #[derive(Debug)]
+        struct ShedEverything;
+        impl SchedulingPolicy for ShedEverything {
+            fn name(&self) -> &'static str {
+                "shed-everything"
+            }
+            fn may_shed(&self) -> bool {
+                true
+            }
+            fn schedule(&mut self, snap: &SchedSnapshot<'_>) -> Vec<SchedDecision> {
+                snap.queue.iter().map(|q| SchedDecision::Shed { request: q.id }).collect()
+            }
+        }
+        let trace = TraceConfig::azure_mix(4, 1).generate().unwrap();
+        let mut eng =
+            ServeEngine::with_policy(system(4), ServeConfig::new(4), Box::new(ShedEverything))
+                .unwrap();
+        match eng.run_trace(&trace) {
+            Err(CoreError::SchedulerStalled { queued }) => assert_eq!(queued, 4),
+            other => panic!("viable requests must not be shed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edf_shedding_drops_hopeless_requests_under_overload() {
+        let trace = TraceConfig::azure_mix(192, 42).with_mean_interarrival(5).generate().unwrap();
+        let run = |policy: Box<dyn SchedulingPolicy>| {
+            ServeEngine::with_policy(system(8), ServeConfig::new(8), policy)
+                .unwrap()
+                .run_trace(&trace)
+                .unwrap()
+        };
+        let plain = run(Box::new(DeadlineEdf::new()));
+        let shedding = run(Box::new(DeadlineEdf::with_shedding()));
+        assert!(plain.shed.is_empty());
+        assert_eq!(plain.outcomes.len(), 192);
+        assert!(!shedding.shed.is_empty(), "the overloaded trace must shed");
+        // outcomes + rejected + shed partition the trace.
+        assert_eq!(shedding.outcomes.len() + shedding.rejected.len() + shedding.shed.len(), 192);
+        // Every shed was provably hopeless, after its deadline.
+        for s in &shedding.shed {
+            assert!(s.overdue_s() >= 0.0, "{s:?}");
+            assert!(s.shed_s >= s.arrival_s + s.slo_deadline_s, "{s:?}");
+        }
+        // Shed ids never appear as outcomes.
+        for s in &shedding.shed {
+            assert!(shedding.outcomes.iter().all(|o| o.id != s.id), "{s:?} also completed");
+        }
     }
 
     #[test]

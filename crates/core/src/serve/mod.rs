@@ -31,54 +31,74 @@
 //! [`policy`] module docs for a worked "implement your own policy"
 //! example.
 //!
-//! # The step loop
+//! # The token-budgeted step loop
 //!
-//! Each iteration of [`ServeEngine::run_trace`] is one decoding step of
-//! the *running batch* — the serving-layer analogue of one trip around the
-//! paper's Fig. 4a pipeline (weights stream in, fresh Q/K/V scatter to the
-//! devices, per-device KV shards are swept by the near-storage
-//! accelerators while the α-fraction X-cache re-projects on the GPU, the
-//! delayed-writeback buffer ticks):
+//! Each iteration of [`ServeEngine::run_trace`] is one serving step — the
+//! serving-layer analogue of one trip around the paper's Fig. 4a pipeline
+//! (weights stream in, fresh Q/K/V scatter to the devices, per-device KV
+//! shards are swept by the near-storage accelerators while the α-fraction
+//! X-cache re-projects on the GPU, the delayed-writeback buffer ticks):
 //!
 //! 1. **Arrivals** — requests whose `arrival_step` has passed enter the
 //!    admission queue.
-//! 2. **Scheduling** — the policy reads the [`SchedSnapshot`] and issues
-//!    [`SchedDecision`]s; the engine executes them. An admission is
-//!    gated by the per-device KV shard ledger
+//! 2. **Scheduling** — the policy reads the [`SchedSnapshot`] (which now
+//!    carries per-request prefill progress and the deployment's total
+//!    prefill backlog) and issues [`SchedDecision`]s; the engine executes
+//!    them. An admission is gated by the per-device KV shard ledger
 //!    ([`hilos_storage::KvShardLedger`]): a full or weightless (offline)
 //!    device rejects placement, degraded devices take proportionally
 //!    less of every stripe, and a capacity miss with live requests
 //!    abandons the rest of the step's decisions (head-of-line wait).
 //!    Admission starts the request's prefill. A preemption releases the
-//!    victim's shard allocation and re-queues it with retained progress.
-//! 3. **Join** — requests whose prefill has finished join the running
-//!    batch at the next step boundary (continuous batching's
-//!    per-iteration join).
-//! 4. **Decode** — one step of the whole batch is simulated with the same
+//!    victim's shard allocation and re-queues it with retained progress —
+//!    and under the inline chunk modes a *prefilling* victim is cheap
+//!    (only its executed chunks are discarded, no decode progress is
+//!    lost). A shedding policy ([`SchedulingPolicy::may_shed`]) may drop
+//!    provably-hopeless queued requests as typed [`ShedOutcome`]s.
+//! 3. **Chunked prefill** — under [`ChunkMode::Lump`] /
+//!    [`ChunkMode::Chunked`], pending prompts are ingested *inside* the
+//!    step under a shared token budget: the running batch reserves one
+//!    budget token per sequence, and the remainder ingests up to one
+//!    chunk of each pending prefill (admission order). The chunk time is
+//!    charged to the step's clock, so prompt ingestion visibly inflates
+//!    decode inter-token latency (interference) or runs with the pipeline
+//!    empty (stall) — split out in [`hilos_metrics::PrefillBreakdown`].
+//!    Under the legacy [`ChunkMode::Off`], prefill instead runs fully
+//!    overlapped on the side, for free (bit-identical to the pre-chunking
+//!    engine, golden-pinned).
+//! 4. **Join** — requests whose prefill has finished (chunk cursor
+//!    complete, or side-prefill clock passed) join the running batch at
+//!    the step boundary (continuous batching's per-iteration join).
+//! 5. **Decode** — one step of the whole batch is simulated with the same
 //!    [`DecodeStepExecutor`](crate::DecodeStepExecutor) that powers
 //!    `run_decode`, at the batch's mean context (the step graph is linear
 //!    in `batch × context`, so the mean reproduces the heterogeneous
 //!    batch's total KV traffic). The α split and the writeback spill
 //!    schedule are recomputed whenever the batch composition changes.
-//! 5. **Eviction** — requests that exhausted their output budget leave
+//! 6. **Eviction** — requests that exhausted their output budget leave
 //!    the batch and release their shard allocations, unblocking
 //!    admission.
 //!
 //! Step times are memoized on the quantized operating point
-//! `(batch, context, α, writeback phase)`, so a 10k-request trace costs a
-//! few hundred graph simulations instead of tens of thousands while
-//! remaining bit-deterministic for a fixed trace and policy.
+//! `(batch, context, α, writeback phase)` — and chunk times on a fixed
+//! fine context grid, so one request's chunks telescope to exactly its
+//! whole-prompt prefill (the conservation property the proptests pin) —
+//! so a 10k-request trace costs a few hundred graph simulations instead
+//! of tens of thousands while remaining bit-deterministic for a fixed
+//! trace and policy.
 
 pub(crate) mod engine;
 pub mod policy;
 mod snapshot;
 
-pub use engine::{ServeConfig, ServeEngine};
+pub use engine::{ChunkMode, ServeConfig, ServeEngine};
 pub use policy::{DeadlineEdf, Fifo, PriorityPreempt, SchedDecision, SchedulingPolicy};
 pub use snapshot::{InFlightView, QueuedView, SchedSnapshot};
 
 use hilos_llm::{DeploymentId, RequestClass};
-use hilos_metrics::{class_breakdown, goodput, ClassReport, ClassSample, LatencyStats};
+use hilos_metrics::{
+    class_breakdown, goodput, ClassReport, ClassSample, LatencyStats, PrefillBreakdown,
+};
 
 /// Lifecycle record of one completed request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +127,11 @@ pub struct RequestOutcome {
     pub slo_deadline_s: f64,
     /// How many times the request was preempted and re-admitted.
     pub preemptions: u32,
+    /// Prefill tokens executed for this request across every
+    /// (re-)admission, including work a preemption later discarded.
+    /// Equals `prompt_len` for a never-preempted request — the chunk
+    /// conservation the property tests pin.
+    pub prefill_tokens: u64,
 }
 
 impl RequestOutcome {
@@ -139,6 +164,56 @@ impl RequestOutcome {
     pub fn met_slo(&self) -> bool {
         self.met_deadline(self.slo_deadline_s)
     }
+}
+
+/// Lifecycle record of a request dropped by an overload-shedding policy
+/// — it never generated anything, and its deadline had provably passed
+/// while it queued (the engine refuses any other shed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedOutcome {
+    /// Request id.
+    pub id: u64,
+    /// The request's class.
+    pub class: RequestClass,
+    /// When the request became visible to admission (seconds).
+    pub arrival_s: f64,
+    /// When it was dropped.
+    pub shed_s: f64,
+    /// The SLO deadline (seconds from arrival) that had already expired.
+    pub slo_deadline_s: f64,
+}
+
+impl ShedOutcome {
+    /// How long past its deadline the request had rotted when shed.
+    pub fn overdue_s(&self) -> f64 {
+        self.shed_s - (self.arrival_s + self.slo_deadline_s)
+    }
+}
+
+/// FNV-1a over each outcome's identity, lengths and f64-bit-exact
+/// lifecycle timestamps — the golden-pin recipe shared by
+/// `tests/serving.rs`, `tests/cluster.rs` and the `bench_serving` CI
+/// smoke, so the pinned field set cannot drift between them. Any change
+/// to the fields hashed here invalidates every pinned constant at once,
+/// loudly.
+pub fn outcome_lifecycle_fnv(outcomes: &[RequestOutcome]) -> u64 {
+    fn fnv1a(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    let mut h = 0xcbf29ce484222325u64;
+    for o in outcomes {
+        fnv1a(&mut h, &o.id.to_le_bytes());
+        fnv1a(&mut h, &o.prompt_len.to_le_bytes());
+        fnv1a(&mut h, &o.output_len.to_le_bytes());
+        fnv1a(&mut h, &o.arrival_s.to_bits().to_le_bytes());
+        fnv1a(&mut h, &o.admitted_s.to_bits().to_le_bytes());
+        fnv1a(&mut h, &o.first_token_s.to_bits().to_le_bytes());
+        fnv1a(&mut h, &o.finished_s.to_bits().to_le_bytes());
+    }
+    h
 }
 
 /// TTFT order statistics over completed outcomes — shared by
@@ -203,6 +278,11 @@ pub struct TraceReport {
     /// re-admission instead completes into `outcomes` with its retained
     /// progress, so `generated_tokens` always sums over `outcomes`.)
     pub rejected: Vec<u64>,
+    /// Requests an overload-shedding policy dropped (deadline already
+    /// expired in the queue, nothing generated). Empty under the shipped
+    /// non-shedding policies. `outcomes + rejected + shed` partition the
+    /// trace.
+    pub shed: Vec<ShedOutcome>,
     /// Decode steps actually executed (idle gaps between arrivals are
     /// skipped, not counted).
     pub steps: u64,
@@ -237,6 +317,22 @@ pub struct TraceReport {
     pub kv_placed_bytes: Vec<f64>,
     /// The deadline the run was configured with.
     pub deadline_s: f64,
+    /// Where the step-charged time went once prefill runs inside the
+    /// serving step: decode, chunk interference with the running batch,
+    /// or prefill stall (all-zero chunk fields under the legacy
+    /// side-prefill [`ChunkMode::Off`]).
+    pub prefill: PrefillBreakdown,
+    /// Per-decode-step emission gap, in execution order: the decode time
+    /// plus whatever prefill-chunk seconds the step absorbed — the
+    /// inter-token latency every running request felt at that step.
+    /// [`TraceReport::itl_stats`] averages within each request and hides
+    /// interference spikes; these samples expose them.
+    pub step_latency_s: Vec<f64>,
+    /// Prefill re-materialization debt left by preemptions: tokens whose
+    /// ingested KV was discarded (a decode victim's whole context, a
+    /// prefilling victim's executed chunks) — the groundwork for
+    /// cost-aware victim selection.
+    pub wasted_prefill_tokens: u64,
 }
 
 impl TraceReport {
@@ -245,9 +341,20 @@ impl TraceReport {
         ttft_stats_of(&self.outcomes)
     }
 
-    /// Inter-token latency order statistics.
+    /// Inter-token latency order statistics (per-request *means* — how a
+    /// request's whole stream averaged out).
     pub fn itl_stats(&self) -> LatencyStats {
         self.outcomes.iter().map(RequestOutcome::itl).collect()
+    }
+
+    /// Per-emission decode-gap order statistics over every executed step
+    /// — the tail a live token stream actually feels. Under
+    /// [`ChunkMode::Lump`] a whole-prompt prefill lands in one step and
+    /// shows up here as a spike; [`ChunkMode::Chunked`] bounds the
+    /// per-step interference, which is exactly what this distribution's
+    /// tail measures (the chunked-vs-lump CI gate).
+    pub fn step_itl_stats(&self) -> LatencyStats {
+        self.step_latency_s.iter().copied().collect()
     }
 
     /// End-to-end latency order statistics.
@@ -328,6 +435,7 @@ mod tests {
             finished_s,
             slo_deadline_s: slo,
             preemptions: 0,
+            prefill_tokens: 64,
         }
     }
 
@@ -341,6 +449,7 @@ mod tests {
             policy: "fifo".into(),
             outcomes: vec![],
             rejected: vec![],
+            shed: vec![],
             steps: 0,
             elapsed_s: 0.0,
             generated_tokens: 0,
@@ -356,6 +465,9 @@ mod tests {
             prefill_payload_bytes: 0.0,
             kv_placed_bytes: vec![],
             deadline_s: 120.0,
+            prefill: PrefillBreakdown::default(),
+            step_latency_s: vec![],
+            wasted_prefill_tokens: 0,
         };
         assert_eq!(empty.token_goodput(), 0.0);
         assert!(!empty.token_goodput().is_nan());
@@ -376,6 +488,7 @@ mod tests {
             policy: "test".into(),
             outcomes: vec![fast, late],
             rejected: vec![],
+            shed: vec![],
             steps: 2,
             elapsed_s: 50.0,
             generated_tokens: 20,
@@ -391,6 +504,9 @@ mod tests {
             prefill_payload_bytes: 0.0,
             kv_placed_bytes: vec![],
             deadline_s: 1000.0,
+            prefill: PrefillBreakdown::default(),
+            step_latency_s: vec![],
+            wasted_prefill_tokens: 0,
         };
         assert_eq!(report.slo_hit_rate(), 0.5);
         assert!((report.slo_token_goodput() - 10.0 / 50.0).abs() < 1e-12);

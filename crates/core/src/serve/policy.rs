@@ -18,7 +18,17 @@
 //!   it is removed from the batch, its shard allocation is released, and
 //!   it is re-queued with its generated-token progress retained (its KV is
 //!   re-materialized by a prefill over `prompt + progress` on
-//!   re-admission). Naming a prefilling, queued or unknown id is ignored.
+//!   re-admission). Under the inline chunk modes
+//!   ([`ChunkMode`](super::ChunkMode)) a *prefilling* victim may be named
+//!   too — a cheap preemption that discards only its executed chunks.
+//!   Naming a queued or unknown id (or a prefilling one under the legacy
+//!   side-prefill mode) is ignored.
+//! * [`SchedDecision::Shed`] — if the named *queued* request's deadline
+//!   has provably passed on the deployment clock and it carries no
+//!   generated progress, it is dropped with a typed
+//!   [`ShedOutcome`](super::ShedOutcome) instead of rotting in (and
+//!   clogging) the queue. Anything else is ignored — a policy cannot
+//!   shed viable work or erase retained progress.
 //! * [`SchedDecision::Admit`] — if the batch is at `max_batch` the rest
 //!   of the list is abandoned (the step is full). Otherwise the engine
 //!   computes the request's footprint at the admission α and asks the
@@ -76,11 +86,17 @@ pub enum SchedDecision {
         /// The queued request's id.
         request: u64,
     },
-    /// Preempt the decoding request with this id: release its KV shard
+    /// Preempt the in-flight request with this id: release its KV shard
     /// allocation and re-queue it with retained progress.
     Preempt {
-        /// The decoding victim's id.
+        /// The victim's id.
         victim: u64,
+    },
+    /// Drop the queued request with this id as provably hopeless (its
+    /// deadline already passed while it queued) — overload shedding.
+    Shed {
+        /// The hopeless queued request's id.
+        request: u64,
     },
 }
 
@@ -103,6 +119,16 @@ pub trait SchedulingPolicy: fmt::Debug {
     /// admission-only policies.
     fn may_preempt(&self) -> bool {
         true
+    }
+
+    /// Whether the policy ever emits [`SchedDecision::Shed`].
+    ///
+    /// Admission-only policies are normally skipped on full-batch steps
+    /// (nothing to admit), but a *shedding* policy must still see those
+    /// steps — a saturated batch over a deep queue is exactly when
+    /// deadlines expire. Defaults to `false`.
+    fn may_shed(&self) -> bool {
+        false
     }
 
     /// Reads the snapshot and returns the step's decisions, in execution
@@ -135,23 +161,57 @@ impl SchedulingPolicy for Fifo {
 }
 
 /// Earliest-deadline-first admission over per-request SLOs
-/// ([`hilos_llm::Slo`]), no preemption.
+/// ([`hilos_llm::Slo`]), no preemption — with opt-in overload shedding.
 ///
 /// Under contention, FIFO lets tight-deadline requests rot behind
 /// loose-deadline long jobs that arrived earlier; EDF admits by absolute
 /// deadline (`arrival + allowance`), which is optimal for deadline
 /// feasibility on a single resource and measurably lifts SLO goodput on
 /// mixed traces.
+///
+/// Under *overload*, plain EDF suffers the classic domino effect: it
+/// keeps admitting the earliest deadline even once that deadline is
+/// already dead, burning capacity on requests that can no longer count
+/// toward goodput and dragging every later deadline down with them.
+/// [`DeadlineEdf::with_shedding`] drops provably-hopeless queued
+/// requests (deadline already expired on the deployment clock) as typed
+/// [`ShedOutcome`](super::ShedOutcome)s instead, so the remaining
+/// capacity goes to requests that can still meet their SLOs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DeadlineEdf;
+pub struct DeadlineEdf {
+    /// Whether provably-hopeless queued requests are shed (off by
+    /// default — plain EDF, bit-identical to the pre-shedding policy).
+    pub shed_hopeless: bool,
+}
+
+impl DeadlineEdf {
+    /// Plain EDF: admit by absolute deadline, never drop anything.
+    pub fn new() -> Self {
+        DeadlineEdf { shed_hopeless: false }
+    }
+
+    /// EDF with overload shedding: queued requests whose deadline has
+    /// already passed are dropped instead of admitted.
+    pub fn with_shedding() -> Self {
+        DeadlineEdf { shed_hopeless: true }
+    }
+}
 
 impl SchedulingPolicy for DeadlineEdf {
     fn name(&self) -> &'static str {
-        "deadline-edf"
+        if self.shed_hopeless {
+            "deadline-edf-shed"
+        } else {
+            "deadline-edf"
+        }
     }
 
     fn may_preempt(&self) -> bool {
         false
+    }
+
+    fn may_shed(&self) -> bool {
+        self.shed_hopeless
     }
 
     fn schedule(&mut self, snapshot: &SchedSnapshot<'_>) -> Vec<SchedDecision> {
@@ -162,7 +222,20 @@ impl SchedulingPolicy for DeadlineEdf {
                 .then(a.arrival_s.total_cmp(&b.arrival_s))
                 .then(a.id.cmp(&b.id))
         });
-        order.into_iter().map(|q| SchedDecision::Admit { request: q.id }).collect()
+        order
+            .into_iter()
+            .map(|q| {
+                // A request whose deadline has already passed can never
+                // meet its SLO however it is scheduled; a preemption
+                // victim with progress still completes (the engine would
+                // refuse to shed it anyway).
+                if self.shed_hopeless && q.emitted == 0 && q.deadline_s <= snapshot.clock_s {
+                    SchedDecision::Shed { request: q.id }
+                } else {
+                    SchedDecision::Admit { request: q.id }
+                }
+            })
+            .collect()
     }
 }
 
@@ -282,6 +355,8 @@ mod tests {
             decoding,
             held_bytes: 600,
             preemptions: 0,
+            prefill_done: if decoding { 1024 } else { 0 },
+            prefill_total: 1024,
         }
     }
 
@@ -299,6 +374,7 @@ mod tests {
             in_flight,
             device_free_bytes: &[],
             placeable_free,
+            prefill_backlog_tokens: 0,
         }
     }
 
@@ -328,7 +404,7 @@ mod tests {
             queued(9, 2.0, 5.0, Priority::Normal),
             queued(1, 3.0, 5.0, Priority::Normal),
         ];
-        let d = DeadlineEdf.schedule(&snap(&q, &[], 4, 1 << 30));
+        let d = DeadlineEdf::new().schedule(&snap(&q, &[], 4, 1 << 30));
         let ids: Vec<u64> = d
             .iter()
             .map(|d| match d {
@@ -338,6 +414,40 @@ mod tests {
             .collect();
         // Deadline 2 < 5 (arrival 2.0 before 3.0) < 10.
         assert_eq!(ids, vec![2, 9, 1, 5]);
+    }
+
+    #[test]
+    fn edf_shedding_drops_only_expired_deadlines() {
+        let q = [
+            queued(5, 0.0, 10.0, Priority::Low),
+            queued(2, 1.0, 2.0, Priority::High),
+            queued(9, 2.0, 5.0, Priority::Normal),
+        ];
+        // Clock at 4.0: request 2's deadline (2.0) has passed, 9's (5.0)
+        // and 5's (10.0) have not.
+        let snapshot = SchedSnapshot { clock_s: 4.0, ..snap(&q, &[], 4, 1 << 30) };
+        let d = DeadlineEdf::with_shedding().schedule(&snapshot);
+        assert_eq!(
+            d,
+            vec![
+                SchedDecision::Shed { request: 2 },
+                SchedDecision::Admit { request: 9 },
+                SchedDecision::Admit { request: 5 },
+            ]
+        );
+        // Plain EDF admits the dead request anyway (the domino effect).
+        let plain = DeadlineEdf::new().schedule(&snapshot);
+        assert_eq!(plain[0], SchedDecision::Admit { request: 2 });
+        // A preemption victim with retained progress is never shed.
+        let victims = [QueuedView { emitted: 17, ..queued(2, 1.0, 2.0, Priority::High) }];
+        let snapshot = SchedSnapshot { clock_s: 4.0, ..snap(&victims, &[], 4, 1 << 30) };
+        assert_eq!(
+            DeadlineEdf::with_shedding().schedule(&snapshot),
+            vec![SchedDecision::Admit { request: 2 }]
+        );
+        assert!(DeadlineEdf::with_shedding().may_shed());
+        assert!(!DeadlineEdf::new().may_shed());
+        assert_eq!(DeadlineEdf::with_shedding().name(), "deadline-edf-shed");
     }
 
     #[test]
@@ -398,10 +508,11 @@ mod tests {
     #[test]
     fn empty_queue_schedules_nothing() {
         assert!(Fifo.schedule(&snap(&[], &[], 4, 0)).is_empty());
-        assert!(DeadlineEdf.schedule(&snap(&[], &[], 4, 0)).is_empty());
+        assert!(DeadlineEdf::new().schedule(&snap(&[], &[], 4, 0)).is_empty());
         assert!(PriorityPreempt::new().schedule(&snap(&[], &[], 4, 0)).is_empty());
         assert_eq!(Fifo.name(), "fifo");
-        assert_eq!(DeadlineEdf.name(), "deadline-edf");
+        assert_eq!(DeadlineEdf::new().name(), "deadline-edf");
+        assert_eq!(DeadlineEdf::default(), DeadlineEdf::new());
         assert_eq!(PriorityPreempt::default().name(), "priority-preempt");
     }
 }

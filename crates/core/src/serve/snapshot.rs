@@ -58,20 +58,37 @@ pub struct InFlightView {
     /// Output budget in tokens.
     pub output_budget: u64,
     /// Whether decoding has started. `false` while the prefill is still
-    /// running — prefilling requests are not preemptable (a preemption
-    /// decision naming one is ignored by the engine).
+    /// running. Under the legacy side-prefill
+    /// ([`ChunkMode::Off`](super::ChunkMode::Off)) prefilling requests
+    /// are not preemptable (a preemption decision naming one is ignored
+    /// by the engine); under the inline chunk modes they are — and
+    /// cheaply, since only their executed chunks are discarded.
     pub decoding: bool,
     /// Bytes of KV/X the request holds across the shard ledger — what a
     /// preemption would free.
     pub held_bytes: u64,
     /// How many times the request has been preempted.
     pub preemptions: u32,
+    /// Prompt tokens ingested so far (the chunk cursor; equals
+    /// `prefill_total` once decoding, stays zero for an in-flight legacy
+    /// side-prefill).
+    pub prefill_done: u64,
+    /// Tokens this admission must ingest before joining: the prompt plus
+    /// any progress retained across a preemption.
+    pub prefill_total: u64,
 }
 
 impl InFlightView {
     /// Tokens still to generate.
     pub fn remaining_output(&self) -> u64 {
         self.output_budget.saturating_sub(self.emitted)
+    }
+
+    /// Prompt tokens still to ingest before this request can decode —
+    /// the per-request chunk debt a policy can shape the prefill/decode
+    /// split with (zero once decoding).
+    pub fn prefill_remaining(&self) -> u64 {
+        self.prefill_total.saturating_sub(self.prefill_done)
     }
 }
 
@@ -94,6 +111,10 @@ pub struct SchedSnapshot<'a> {
     pub device_free_bytes: &'a [u64],
     /// Free bytes across placement-eligible devices.
     pub placeable_free: u64,
+    /// Prompt tokens the in-flight prefills still have to ingest — the
+    /// deployment's remaining chunk debt, which every new admission adds
+    /// to and every executed chunk drains.
+    pub prefill_backlog_tokens: u64,
 }
 
 impl SchedSnapshot<'_> {
@@ -121,8 +142,13 @@ mod tests {
             decoding: true,
             held_bytes: 1 << 20,
             preemptions: 0,
+            prefill_done: 4096,
+            prefill_total: 4096,
         };
         assert_eq!(v.remaining_output(), 310);
+        assert_eq!(v.prefill_remaining(), 0, "decoding requests carry no chunk debt");
+        let mid = InFlightView { decoding: false, prefill_done: 1024, ..v };
+        assert_eq!(mid.prefill_remaining(), 3072);
         let snap = SchedSnapshot {
             clock_s: 1.0,
             step: 3,
@@ -131,6 +157,7 @@ mod tests {
             in_flight: &[v, v, v],
             device_free_bytes: &[10, 20],
             placeable_free: 30,
+            prefill_backlog_tokens: 0,
         };
         assert_eq!(snap.free_slots(), 1);
         let full = SchedSnapshot { in_flight: &[v, v, v, v, v], ..snap };

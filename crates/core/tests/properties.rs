@@ -5,9 +5,9 @@ use hilos_core::cluster::{
     ClusterEngine, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
 };
 use hilos_core::{
-    paper_alpha_mha, spill_nand_bytes_per_token, AlphaModel, DeadlineEdf, Fifo, HilosConfig,
-    HilosSystem, PriorityPreempt, SchedulingPolicy, ServeConfig, ServeEngine, WritebackManager,
-    ALPHA_CANDIDATES,
+    paper_alpha_mha, spill_nand_bytes_per_token, AlphaModel, AlphaPolicy, ChunkMode, DeadlineEdf,
+    Fifo, HilosConfig, HilosSystem, PriorityPreempt, SchedulingPolicy, ServeConfig, ServeEngine,
+    WritebackManager, ALPHA_CANDIDATES,
 };
 use hilos_llm::{presets, TraceConfig};
 use hilos_platform::SystemSpec;
@@ -132,34 +132,105 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Shard-ledger conservation: after *any* `run_trace` — any policy,
-    /// any load, including runs that preempt and re-admit — every device
-    /// returns to its initial free capacity and no allocation leaks.
+    /// any chunk mode, any load, including runs that preempt mid-prefill
+    /// and re-admit — every device returns to its initial free capacity
+    /// and no allocation leaks.
     #[test]
     fn ledger_conserved_across_any_run_trace(
         n in 8usize..48,
         seed in 0u64..1_000_000,
         gap in 0u64..64,
         max_batch in 2u32..8,
-        policy_idx in 0usize..3,
+        policy_idx in 0usize..4,
+        chunk_idx in 0usize..4,
     ) {
         let trace = TraceConfig { mean_interarrival_steps: gap, ..TraceConfig::azure_mix(n, seed) }
             .generate()
             .unwrap();
         let policy: Box<dyn SchedulingPolicy> = match policy_idx {
             0 => Box::new(Fifo),
-            1 => Box::new(DeadlineEdf),
+            1 => Box::new(DeadlineEdf::new()),
+            2 => Box::new(DeadlineEdf::with_shedding()),
             _ => Box::new(PriorityPreempt::new()),
         };
+        let chunk_mode = match chunk_idx {
+            0 => ChunkMode::Off,
+            1 => ChunkMode::Lump,
+            2 => ChunkMode::chunked(),
+            _ => ChunkMode::Chunked { chunk_tokens: 64, step_budget_tokens: 512 },
+        };
         let name = policy.name();
-        let mut eng =
-            ServeEngine::with_policy(serve_system(), ServeConfig::new(max_batch), policy).unwrap();
+        let config = ServeConfig::new(max_batch).with_chunk_mode(chunk_mode);
+        let mut eng = ServeEngine::with_policy(serve_system(), config, policy).unwrap();
         let free_before = eng.ledger().free_by_device();
         let occupied_before = eng.ledger().total_occupied();
         let report = eng.run_trace(&trace).unwrap();
-        prop_assert_eq!(report.outcomes.len() + report.rejected.len(), n, "{} lost requests", name);
+        prop_assert_eq!(
+            report.outcomes.len() + report.rejected.len() + report.shed.len(), n,
+            "{} lost requests", name);
         prop_assert_eq!(eng.ledger().live_requests(), 0, "{} leaked allocations", name);
         prop_assert_eq!(eng.ledger().total_occupied(), occupied_before, "{} occupancy", name);
         prop_assert_eq!(eng.ledger().free_by_device(), free_before, "{} per-device free", name);
+        // A shed request never generated or completed.
+        for s in &report.shed {
+            prop_assert!(report.outcomes.iter().all(|o| o.id != s.id), "{:?} completed too", s);
+            prop_assert!(s.overdue_s() >= 0.0, "viable request shed: {:?}", s);
+        }
+    }
+
+    /// Chunk conservation: whatever the chunk size and step budget, the
+    /// executed prefill chunks of every completed request sum to exactly
+    /// its whole-prompt prefill — in tokens exactly, in seconds to f64
+    /// accumulation accuracy (chunk times are telescoping differences of
+    /// the same memoized whole-prompt curve, only their summation order
+    /// differs between runs). α is pinned: under auto-α the admission α
+    /// depends on the live batch size, which can evolve differently
+    /// between the two runs and legitimately shift their totals.
+    #[test]
+    fn chunked_prefill_conserves_whole_prompt_work(
+        n in 8usize..24,
+        seed in 0u64..1_000_000,
+        gap in 0u64..48,
+        chunk_pow in 5u32..10,
+        budget_mult in 1u64..8,
+    ) {
+        let chunk = 1u64 << chunk_pow;
+        let chunked = ChunkMode::Chunked {
+            chunk_tokens: chunk,
+            step_budget_tokens: chunk * budget_mult,
+        };
+        let trace = TraceConfig { mean_interarrival_steps: gap, ..TraceConfig::azure_mix(n, seed) }
+            .generate()
+            .unwrap();
+        let fixed_alpha_system = || {
+            HilosSystem::new(
+                &SystemSpec::a100_smartssd(8),
+                &presets::opt_30b(),
+                &HilosConfig::new(8).with_alpha(AlphaPolicy::Fixed(0.5)),
+            )
+            .unwrap()
+            .with_sim_layers(1)
+        };
+        let run = |mode| {
+            ServeEngine::new(fixed_alpha_system(), ServeConfig::new(4).with_chunk_mode(mode))
+                .unwrap()
+                .run_trace(&trace)
+                .unwrap()
+        };
+        let lump = run(ChunkMode::Lump);
+        let fine = run(chunked);
+        prop_assert_eq!(lump.outcomes.len(), n);
+        prop_assert_eq!(fine.outcomes.len(), n);
+        // FIFO never preempts: every request ingests exactly its prompt.
+        for o in fine.outcomes.iter().chain(lump.outcomes.iter()) {
+            prop_assert_eq!(o.prefill_tokens, o.prompt_len, "{:?}", o);
+        }
+        prop_assert_eq!(lump.prefill.chunk_tokens, fine.prefill.chunk_tokens);
+        let (a, b) = (lump.prefill.prefill_seconds(), fine.prefill.prefill_seconds());
+        prop_assert!(
+            (a - b).abs() <= 1e-9 * a.max(1.0),
+            "chunked prefill total {b}s diverged from lump {a}s (chunk {chunk})"
+        );
     }
 }
 

@@ -310,6 +310,15 @@ impl TraceConfig {
         self
     }
 
+    /// Replaces the mean inter-arrival gap — the contention knob: a
+    /// larger gap than the deployment's service rate sustains builds a
+    /// queue, so admission order (and prefill scheduling) decides who
+    /// meets their SLO. `0` makes the whole trace arrive at step zero.
+    pub fn with_mean_interarrival(mut self, steps: u64) -> Self {
+        self.mean_interarrival_steps = steps;
+        self
+    }
+
     /// Generates the trace: `requests` requests in arrival order,
     /// deterministic in `seed`.
     ///

@@ -10,6 +10,9 @@
 //! * [`LatencyStats`] / [`goodput`] — request-level latency order
 //!   statistics (TTFT, inter-token, end-to-end) and deadline goodput for
 //!   the serving layer,
+//! * [`PrefillBreakdown`] — where the token-budgeted serving step's time
+//!   went: decode, prefill-chunk interference with the running batch, or
+//!   prefill stall with nothing decoding,
 //! * [`Table`] — plain-text table rendering used by the `repro` harness.
 
 #![forbid(unsafe_code)]
@@ -19,10 +22,12 @@ mod cost;
 mod endurance;
 mod energy;
 mod latency;
+mod prefill;
 mod report;
 
 pub use cost::{normalized_cost_efficiency, tokens_per_second_per_dollar};
 pub use endurance::EnduranceModel;
 pub use energy::{energy, joules_per_token, ActivitySnapshot, EnergyBreakdown};
 pub use latency::{class_breakdown, fmt_seconds, goodput, ClassReport, ClassSample, LatencyStats};
+pub use prefill::PrefillBreakdown;
 pub use report::{fmt_bytes, fmt_ratio, Table};

@@ -13,12 +13,12 @@
 use hilos::core::cluster::{
     ClusterEngine, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
 };
-use hilos::core::{HilosConfig, HilosSystem, ServeConfig, ServeEngine};
+use hilos::core::{ChunkMode, HilosConfig, HilosSystem, ServeConfig, ServeEngine};
 use hilos::llm::{presets, TraceConfig};
 use hilos::metrics::{fmt_seconds, Table};
 use hilos::platform::SystemSpec;
 
-fn deployment(n: usize, degraded: Option<(usize, f64)>) -> ServeEngine {
+fn deployment_with(n: usize, degraded: Option<(usize, f64)>, chunk_mode: ChunkMode) -> ServeEngine {
     let mut sys =
         HilosSystem::new(&SystemSpec::a100_smartssd(n), &presets::opt_30b(), &HilosConfig::new(n))
             .expect("valid deployment")
@@ -26,7 +26,12 @@ fn deployment(n: usize, degraded: Option<(usize, f64)>) -> ServeEngine {
     if let Some((device, factor)) = degraded {
         sys = sys.with_degraded_device(device, factor);
     }
-    ServeEngine::new(sys, ServeConfig::new(8)).expect("deployment builds")
+    ServeEngine::new(sys, ServeConfig::new(8).with_chunk_mode(chunk_mode))
+        .expect("deployment builds")
+}
+
+fn deployment(n: usize, degraded: Option<(usize, f64)>) -> ServeEngine {
+    deployment_with(n, degraded, ChunkMode::Off)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -86,7 +91,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          requests rot; join-shortest-queue reacts to queue depth but not drain rate;\n\
          ledger-pressure routes by free KV bytes x aggregate device bandwidth per unit\n\
          of load, so the healthy array absorbs the surplus and the cluster finishes\n\
-         the same trace sooner at a higher SLO goodput."
+         the same trace sooner at a higher SLO goodput.\n"
+    );
+
+    // -- Chunked vs lump prefill across the same cluster -----------------
+    // The token-budgeted serving step one level up: every deployment
+    // ingests prompts inside its steps, and the cluster report merges the
+    // interference/stall breakdown. Routers also see each deployment's
+    // prefill backlog (`DeploymentView::prefill_backlog_tokens`).
+    let mut long_cfg = TraceConfig::long_context(96, 42, 4).with_mean_interarrival(30);
+    long_cfg.class_weights = [2, 4, 4];
+    let long_trace = long_cfg.generate()?;
+    println!(
+        "Chunked prefill across the cluster: {} long-prompt requests, ledger-pressure routing\n",
+        long_trace.len(),
+    );
+    let mut t = Table::new(vec![
+        "prefill mode",
+        "decode-gap p99",
+        "decode-gap max",
+        "interference",
+        "stall",
+        "chunks",
+    ]);
+    for (name, mode) in
+        [("lump (inline)", ChunkMode::Lump), ("chunked (256 @ 2048)", ChunkMode::chunked())]
+    {
+        let mut cluster = ClusterEngine::new(
+            vec![
+                deployment_with(8, None, mode),
+                deployment_with(6, Some((1, 0.5)), mode),
+                deployment_with(4, Some((0, 0.25)), mode),
+            ],
+            Box::new(LedgerPressure::new()),
+        );
+        let r = cluster.run_trace(&long_trace)?;
+        assert_eq!(r.completed(), long_trace.len(), "every request completes");
+        let s = r.step_itl_stats();
+        let pf = r.prefill_breakdown();
+        t.row(vec![
+            name.into(),
+            fmt_seconds(s.p99),
+            fmt_seconds(s.max),
+            fmt_seconds(pf.interference_seconds),
+            fmt_seconds(pf.stall_seconds),
+            pf.chunks.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Both modes do the same total prompt ingestion, but chunking bounds how much of\n\
+         it any single decode step absorbs — the worst emission gap shrinks on every\n\
+         deployment at once."
     );
     Ok(())
 }

@@ -8,7 +8,7 @@ use hilos::core::cluster::{
     RoutingPolicy,
 };
 use hilos::core::{
-    ClusterReport, HilosConfig, HilosSystem, PriorityPreempt, ServeConfig, ServeEngine,
+    ChunkMode, ClusterReport, HilosConfig, HilosSystem, PriorityPreempt, ServeConfig, ServeEngine,
 };
 use hilos::llm::{presets, DeploymentId, Request, TraceConfig};
 use hilos::platform::SystemSpec;
@@ -19,26 +19,7 @@ fn hilos(n: usize) -> HilosSystem {
         .with_sim_layers(1)
 }
 
-fn fnv1a(h: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(0x100000001b3);
-    }
-}
-
-fn outcome_hash(outcomes: &[hilos::core::RequestOutcome]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for o in outcomes {
-        fnv1a(&mut h, &o.id.to_le_bytes());
-        fnv1a(&mut h, &o.prompt_len.to_le_bytes());
-        fnv1a(&mut h, &o.output_len.to_le_bytes());
-        fnv1a(&mut h, &o.arrival_s.to_bits().to_le_bytes());
-        fnv1a(&mut h, &o.admitted_s.to_bits().to_le_bytes());
-        fnv1a(&mut h, &o.first_token_s.to_bits().to_le_bytes());
-        fnv1a(&mut h, &o.finished_s.to_bits().to_le_bytes());
-    }
-    h
-}
+use hilos::core::outcome_lifecycle_fnv as outcome_hash;
 
 /// Golden equivalence: a 1-deployment cluster — under *any* routing
 /// policy — serves the seeded Azure-mix trace bit-identically to the
@@ -203,6 +184,55 @@ fn preempted_requests_redispatch_across_deployments_and_complete() {
     // Deterministic under preemption + re-dispatch too.
     let mut cluster2 = ClusterEngine::new(build(), Box::new(RoundRobin::new()));
     assert_eq!(report, cluster2.run_trace(&trace).unwrap());
+}
+
+/// Chunked prefill through the cluster layer: a 1-deployment chunked
+/// cluster is bit-identical to the chunked engine driven directly (the
+/// router adds no drift to the token-budgeted step either), and a
+/// heterogeneous chunked cluster completes everything while aggregating
+/// the prefill-interference breakdown across deployments.
+#[test]
+fn chunked_cluster_is_drift_free_and_aggregates_breakdowns() {
+    let mut cfg = TraceConfig::long_context(96, 42, 4).with_mean_interarrival(30);
+    cfg.class_weights = [2, 4, 4];
+    let trace = cfg.generate().unwrap();
+    let chunked_config = || ServeConfig::new(8).with_chunk_mode(ChunkMode::chunked());
+
+    // Direct vs 1-deployment cluster.
+    let mut eng = ServeEngine::new(hilos(8), chunked_config()).unwrap();
+    let direct = eng.run_trace(&trace).unwrap();
+    assert!(direct.prefill.chunks > 0, "the trace must actually chunk");
+    let mut one = ClusterEngine::new(
+        vec![ServeEngine::new(hilos(8), chunked_config()).unwrap()],
+        Box::new(LedgerPressure::new()),
+    );
+    let one_report = one.run_trace(&trace).unwrap();
+    assert_eq!(one_report.deployments[0], direct, "cluster layer drifted under chunking");
+
+    // Heterogeneous chunked cluster: everything completes, the global
+    // breakdown merges per-deployment chunk work, and the router saw the
+    // prefill backlog while dispatching.
+    let mut cluster = ClusterEngine::new(
+        vec![
+            ServeEngine::new(hilos(8), chunked_config()).unwrap(),
+            ServeEngine::new(hilos(4).with_degraded_device(0, 0.5), chunked_config()).unwrap(),
+        ],
+        Box::new(LedgerPressure::new()),
+    );
+    let report = cluster.run_trace(&trace).unwrap();
+    assert_eq!(report.completed(), 96);
+    let merged = report.prefill_breakdown();
+    assert_eq!(merged.chunks, report.deployments.iter().map(|d| d.prefill.chunks).sum::<u64>());
+    assert_eq!(
+        merged.chunk_tokens,
+        report.outcomes().map(|o| o.prefill_tokens).sum::<u64>(),
+        "cluster-wide chunk conservation"
+    );
+    assert!(merged.prefill_seconds() > 0.0);
+    assert!(report.step_itl_stats().count > 0);
+    for eng in cluster.deployments() {
+        assert_eq!(eng.ledger().live_requests(), 0);
+    }
 }
 
 /// A directed migration probe: every fresh arrival goes to deployment 0,

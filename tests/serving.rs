@@ -5,7 +5,7 @@
 
 use hilos::baselines::VllmMultiNode;
 use hilos::core::{
-    DeadlineEdf, DecodeStepExecutor, Fifo, HilosConfig, HilosSystem, PriorityPreempt,
+    ChunkMode, DeadlineEdf, DecodeStepExecutor, Fifo, HilosConfig, HilosSystem, PriorityPreempt,
     SchedulingPolicy, ServeConfig, ServeEngine, ServingCampaign, SpillDecision, TraceReport,
 };
 use hilos::llm::{presets, BatchSpec, RequestClass, TraceConfig};
@@ -103,12 +103,6 @@ fn ten_thousand_request_trace_is_deterministic() {
 /// f64-bit-exact lifecycle timestamps.
 #[test]
 fn fifo_is_bit_identical_to_pre_policy_engine() {
-    fn fnv1a(h: &mut u64, bytes: &[u8]) {
-        for &b in bytes {
-            *h ^= b as u64;
-            *h = h.wrapping_mul(0x100000001b3);
-        }
-    }
     let trace = TraceConfig::azure_mix(512, 42).generate().unwrap();
     let mut eng = ServeEngine::new(hilos(8, 1), ServeConfig::new(16)).unwrap();
     let r = eng.run_trace(&trace).unwrap();
@@ -128,17 +122,117 @@ fn fifo_is_bit_identical_to_pre_policy_engine() {
     assert_eq!(r.host_pcie_bytes.to_bits(), 0x42fbac24b5b80000);
     assert_eq!(r.internal_read_bytes.to_bits(), 0x42cdabf18c400000);
 
-    let mut h = 0xcbf29ce484222325u64;
-    for o in &r.outcomes {
-        fnv1a(&mut h, &o.id.to_le_bytes());
-        fnv1a(&mut h, &o.prompt_len.to_le_bytes());
-        fnv1a(&mut h, &o.output_len.to_le_bytes());
-        fnv1a(&mut h, &o.arrival_s.to_bits().to_le_bytes());
-        fnv1a(&mut h, &o.admitted_s.to_bits().to_le_bytes());
-        fnv1a(&mut h, &o.first_token_s.to_bits().to_le_bytes());
-        fnv1a(&mut h, &o.finished_s.to_bits().to_le_bytes());
+    assert_eq!(
+        hilos::core::outcome_lifecycle_fnv(&r.outcomes),
+        0x988a698736a9c8fe,
+        "per-outcome lifecycle timings drifted"
+    );
+
+    // The default config *is* ChunkMode::Off; spelling it out must
+    // reproduce the same run bit for bit (the chunked-prefill refactor
+    // added no drift to the legacy side-prefill path).
+    let mut off =
+        ServeEngine::new(hilos(8, 1), ServeConfig::new(16).with_chunk_mode(ChunkMode::Off))
+            .unwrap();
+    assert_eq!(off.run_trace(&trace).unwrap(), r, "explicit ChunkMode::Off drifted");
+}
+
+/// The long-prompt contended trace of the chunked-vs-lump comparison
+/// (`bench_serving`'s `chunked` section): Long-heavy prompts stretched 8x,
+/// arriving fast enough that prompt ingestion overlaps running decodes.
+fn long_prompt_trace() -> Vec<hilos::llm::Request> {
+    let mut cfg = TraceConfig::long_context(96, 42, 8).with_mean_interarrival(80);
+    cfg.class_weights = [1, 3, 6];
+    cfg.generate().unwrap()
+}
+
+/// Acceptance: with chunking on, the decode-gap tail under the
+/// long-prompt contended trace improves measurably over inline lump
+/// prefill — p95, p99 and worst-case all shrink, because a whole-prompt
+/// ingestion can no longer land inside a single decode step. Both modes
+/// do the same total prefill work (conservation), and the legacy
+/// side-prefill mode charges none of it.
+#[test]
+fn chunked_prefill_tames_the_decode_gap_tail_vs_lump() {
+    let trace = long_prompt_trace();
+    let run = |mode| {
+        let mut eng =
+            ServeEngine::new(hilos(8, 1), ServeConfig::new(8).with_chunk_mode(mode)).unwrap();
+        eng.run_trace(&trace).unwrap()
+    };
+    let off = run(ChunkMode::Off);
+    let lump = run(ChunkMode::Lump);
+    let chunked = run(ChunkMode::chunked());
+
+    for r in [&off, &lump, &chunked] {
+        assert_eq!(r.outcomes.len(), 96, "incomplete");
+        assert!(r.rejected.is_empty() && r.shed.is_empty());
     }
-    assert_eq!(h, 0x988a698736a9c8fe, "per-outcome lifecycle timings drifted");
+
+    let (ls, cs) = (lump.step_itl_stats(), chunked.step_itl_stats());
+    assert!(cs.p95 < ls.p95, "chunked p95 {} must beat lump {}", cs.p95, ls.p95);
+    assert!(cs.p99 < ls.p99, "chunked p99 {} must beat lump {}", cs.p99, ls.p99);
+    assert!(
+        cs.max * 2.0 < ls.max,
+        "chunking must collapse the worst decode gap: {} vs {}",
+        cs.max,
+        ls.max
+    );
+
+    // Conservation: same prompts, same total ingestion seconds. This run
+    // uses auto-α, where the admission α depends on the live batch size
+    // and can in principle drift between the modes, so the seconds check
+    // is loose here — the strict 1e-9 telescoping claim is pinned under
+    // fixed α by the conservation proptest.
+    assert_eq!(lump.prefill.chunk_tokens, chunked.prefill.chunk_tokens);
+    let (a, b) = (lump.prefill.prefill_seconds(), chunked.prefill.prefill_seconds());
+    assert!((a - b).abs() < 0.01 * a, "prefill totals diverged: {a} vs {b}");
+
+    // The legacy mode models no contention at all — the inline modes
+    // exist precisely because its decode tail is optimistic.
+    assert_eq!(off.prefill.chunks, 0);
+    assert_eq!(off.prefill.prefill_seconds(), 0.0);
+
+    // Interference is visible and attributed: most chunk time coincided
+    // with running decodes on this trace.
+    assert!(chunked.prefill.interference_seconds > chunked.prefill.stall_seconds);
+    assert!(chunked.prefill.interference_ratio() > 0.0);
+}
+
+/// Acceptance: EDF with overload shedding strictly lifts SLO goodput
+/// over plain EDF on the overloaded seeded trace (the domino effect:
+/// plain EDF burns capacity on requests whose deadlines are already
+/// dead). The margin is recorded in `BENCH_serving.json` and gated
+/// exactly in CI.
+#[test]
+fn edf_shedding_lifts_slo_goodput_under_overload() {
+    let trace = TraceConfig::azure_mix(256, 42).with_mean_interarrival(10).generate().unwrap();
+    let run = |policy: Box<dyn SchedulingPolicy>| {
+        let mut eng = ServeEngine::with_policy(hilos(8, 1), ServeConfig::new(8), policy).unwrap();
+        eng.run_trace(&trace).unwrap()
+    };
+    let plain = run(Box::new(DeadlineEdf::new()));
+    let shed = run(Box::new(DeadlineEdf::with_shedding()));
+
+    assert_eq!(plain.outcomes.len(), 256);
+    assert!(plain.shed.is_empty());
+    assert!(!shed.shed.is_empty(), "overload must shed");
+    assert_eq!(shed.outcomes.len() + shed.shed.len(), 256, "partition must hold");
+    assert!(
+        shed.slo_token_goodput() > plain.slo_token_goodput(),
+        "shedding goodput {} must beat plain EDF {}",
+        shed.slo_token_goodput(),
+        plain.slo_token_goodput()
+    );
+    assert!(shed.slo_hit_rate() > plain.slo_hit_rate());
+    // Shedding sacrifices raw throughput only marginally.
+    assert!(shed.tokens_per_second() > 0.9 * plain.tokens_per_second());
+    // Every shed was past its deadline when dropped.
+    for s in &shed.shed {
+        assert!(s.overdue_s() >= 0.0, "{s:?}");
+    }
+    // Deterministic.
+    assert_eq!(shed, run(Box::new(DeadlineEdf::with_shedding())));
 }
 
 /// The contended seeded trace of the three-way policy comparison
@@ -164,7 +258,7 @@ fn run_policy(policy: Box<dyn SchedulingPolicy>) -> TraceReport {
 #[test]
 fn edf_and_priority_beat_fifo_on_their_objectives() {
     let fifo = run_policy(Box::new(Fifo));
-    let edf = run_policy(Box::new(DeadlineEdf));
+    let edf = run_policy(Box::new(DeadlineEdf::new()));
     let pp = run_policy(Box::new(PriorityPreempt::new()));
 
     for r in [&fifo, &edf, &pp] {
