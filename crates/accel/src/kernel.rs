@@ -295,6 +295,59 @@ fn score_block(
     }
 }
 
+/// The scoring routine a kernel driver runs per K block — same signature
+/// as [`score_block`], so SIMD variants slot into the identical two-pass
+/// driver without duplicating it.
+type ScoreBlockFn =
+    fn(&[f32], usize, usize, &[f32], usize, Option<&[bool]>, usize, f32, &mut [f32], usize, usize);
+
+/// Eight-lane `QKᵀ` scoring: each dot product runs on [`SIMD_LANES`]
+/// independent accumulators over exact chunks, a shape LLVM
+/// auto-vectorizes to packed FMA on any target with 256-bit vectors
+/// (`unsafe` intrinsics are forbidden in this crate). The summation
+/// *order* differs from [`score_block`]'s tile-serial order, so scores —
+/// and outputs — agree only to rounding; the `simd` tolerance test bounds
+/// the divergence.
+#[cfg(feature = "simd")]
+#[allow(clippy::too_many_arguments)]
+fn score_block_simd(
+    q: &[f32],
+    g: usize,
+    d: usize,
+    k_block: &[f32],
+    block_len: usize,
+    valid: Option<&[bool]>,
+    block_start: usize,
+    scale: f32,
+    out: &mut [f32],
+    out_stride: usize,
+    out_offset: usize,
+) {
+    const SIMD_LANES: usize = 8;
+    for qi in 0..g {
+        let qrow = &q[qi * d..(qi + 1) * d];
+        let orow = &mut out[qi * out_stride + out_offset..qi * out_stride + out_offset + block_len];
+        for (j, sj) in orow.iter_mut().enumerate() {
+            let krow = &k_block[j * d..(j + 1) * d];
+            let mut acc = [0.0f32; SIMD_LANES];
+            let mut qc = qrow.chunks_exact(SIMD_LANES);
+            let mut kc = krow.chunks_exact(SIMD_LANES);
+            for (qv, kv) in (&mut qc).zip(&mut kc) {
+                for i in 0..SIMD_LANES {
+                    acc[i] += qv[i] * kv[i];
+                }
+            }
+            let mut score: f32 =
+                qc.remainder().iter().zip(kc.remainder()).map(|(&a, &b)| a * b).sum();
+            // Pairwise lane reduction (keeps the dependency tree shallow).
+            score +=
+                ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]));
+            let masked = valid.map(|v| !v[block_start + j]).unwrap_or(false);
+            *sj = if masked { MASK_VALUE } else { score * scale };
+        }
+    }
+}
+
 /// Accumulates the score-value product of one decoded V block into the
 /// per-query output accumulators. `scores(qi)` yields the normalized
 /// slice of this block's scores for query `qi`.
@@ -345,6 +398,17 @@ pub fn attention_kernel_with_scratch(
     inputs: &AttentionInputs<'_>,
     scratch: &mut KernelScratch,
 ) -> Result<MatrixF32, KernelError> {
+    attention_two_pass_scored(inputs, scratch, score_block)
+}
+
+/// The two-pass driver, generic over the scoring routine. Every caller
+/// shares this body, so the bit-exact path and the SIMD path differ in
+/// *nothing* but the `QKᵀ` inner loop.
+fn attention_two_pass_scored(
+    inputs: &AttentionInputs<'_>,
+    scratch: &mut KernelScratch,
+    score: ScoreBlockFn,
+) -> Result<MatrixF32, KernelError> {
     let (g, d, s, tail) = validate(inputs)?;
     let total = s + tail;
 
@@ -360,7 +424,7 @@ pub fn attention_kernel_with_scratch(
     while block_start < s {
         let block_len = BLOCK_TOKENS.min(s - block_start);
         inputs.keys.decode_rows_into(block_start, block_len, &mut scratch.block);
-        score_block(
+        score(
             &scratch.q,
             g,
             d,
@@ -446,6 +510,36 @@ pub fn attention_kernel(inputs: &AttentionInputs<'_>) -> Result<MatrixF32, Kerne
         // back to a fresh arena rather than panicking.
         Err(_) => attention_kernel_with_scratch(inputs, &mut KernelScratch::new()),
     })
+}
+
+/// [`attention_kernel`] with the eight-lane SIMD `QKᵀ` inner loop
+/// ([`score_block_simd`]). Same driver, same inputs, same shapes — only
+/// the dot-product summation order differs, so outputs agree with
+/// [`attention_kernel`] to rounding (bounded by the `simd` tolerance
+/// test) rather than bit-exactly.
+///
+/// # Errors
+///
+/// Returns [`KernelError`] on shape mismatches or an empty context.
+#[cfg(feature = "simd")]
+pub fn attention_kernel_simd(inputs: &AttentionInputs<'_>) -> Result<MatrixF32, KernelError> {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => attention_kernel_simd_with_scratch(inputs, &mut scratch),
+        Err(_) => attention_kernel_simd_with_scratch(inputs, &mut KernelScratch::new()),
+    })
+}
+
+/// [`attention_kernel_simd`] with an explicit scratch arena.
+///
+/// # Errors
+///
+/// Returns [`KernelError`] on shape mismatches or an empty context.
+#[cfg(feature = "simd")]
+pub fn attention_kernel_simd_with_scratch(
+    inputs: &AttentionInputs<'_>,
+    scratch: &mut KernelScratch,
+) -> Result<MatrixF32, KernelError> {
+    attention_two_pass_scored(inputs, scratch, score_block_simd)
 }
 
 /// Runs the fused streaming variant: softmax statistics are folded into

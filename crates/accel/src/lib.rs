@@ -71,6 +71,8 @@ pub use kernel::{
     attention_kernel_fused_with_scratch, attention_kernel_with_scratch, host_partial_scores,
     transpose_tile, AttentionInputs, HostTail, KernelError, KernelScratch, BLOCK_TOKENS, TILE_DIM,
 };
+#[cfg(feature = "simd")]
+pub use kernel::{attention_kernel_simd, attention_kernel_simd_with_scratch};
 pub use parallel::{attention_kernel_batch, parallel_map};
 pub use reference::{attention_reference, attention_streaming, attention_streaming_f16};
 pub use resources::{FpgaPart, ResourceError, ResourceModel, ResourceReport};

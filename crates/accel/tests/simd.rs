@@ -1,0 +1,104 @@
+//! Tolerance validation of the SIMD `QKᵀ` path (`--features simd`).
+//!
+//! The eight-lane scoring loop reorders the dot-product summation, so
+//! [`attention_kernel_simd`] cannot be bit-identical to the serial
+//! kernel; instead this suite bounds its divergence: every output
+//! element must agree with the bit-exact kernel to a tight absolute +
+//! relative tolerance across GQA shapes, masked padding, and
+//! delayed-writeback host tails. The serial kernel stays golden — it is
+//! separately pinned bit-for-bit against the baseline in `bitexact.rs`.
+#![cfg(feature = "simd")]
+
+use hilos_accel::{
+    attention_kernel, attention_kernel_simd, attention_kernel_simd_with_scratch,
+    host_partial_scores, AttentionInputs, HostTail, KernelScratch, MatrixF32,
+};
+
+fn toy(g: usize, s: usize, d: usize, seed: u64) -> (MatrixF32, MatrixF32, MatrixF32) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0
+    };
+    let q = MatrixF32::from_fn(g, d, |_, _| next());
+    let k = MatrixF32::from_fn(s, d, |_, _| next());
+    let v = MatrixF32::from_fn(s, d, |_, _| next());
+    (q, k, v)
+}
+
+/// Post-softmax outputs are convex combinations of V rows in `[-1, 1]`,
+/// so an absolute + relative bound at a few f32 ulps of 1.0 is tight.
+fn assert_close(a: &MatrixF32, b: &MatrixF32, what: &str) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape");
+    for (i, (&x, &y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        let tol = 1e-5 + 1e-4 * x.abs().max(y.abs());
+        assert!(
+            (x - y).abs() <= tol,
+            "{what}: element {i} diverged beyond tolerance: serial {x} vs simd {y}"
+        );
+    }
+}
+
+#[test]
+fn simd_kernel_matches_serial_within_tolerance() {
+    // Shapes cover: head dims divisible by the 8 lanes, ragged remainders
+    // (d=112, d=13), single-row and multi-block contexts, GQA groups.
+    let shapes = [
+        (1usize, 1usize, 8usize),
+        (1, 300, 64),
+        (2, 256, 16),
+        (4, 129, 112),
+        (8, 333, 128),
+        (2, 77, 13),
+    ];
+    for &(g, s, d) in &shapes {
+        let (q, k, v) = toy(g, s, d, 0x5eed ^ ((g * 31 + s) as u64));
+        let (q, k, v) = (q.to_f16(), k.to_f16(), v.to_f16());
+        let inputs = AttentionInputs {
+            queries: &q,
+            keys: &k,
+            values: &v,
+            valid: None,
+            scale: 1.0 / (d as f32).sqrt(),
+            host_tail: None,
+        };
+        let serial = attention_kernel(&inputs).unwrap();
+        let simd = attention_kernel_simd(&inputs).unwrap();
+        assert_close(&serial, &simd, &format!("g={g} s={s} d={d}"));
+        let mut scratch = KernelScratch::new();
+        let explicit = attention_kernel_simd_with_scratch(&inputs, &mut scratch).unwrap();
+        assert_eq!(
+            simd.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            explicit.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "explicit-scratch SIMD run must equal the thread-local one bitwise"
+        );
+    }
+}
+
+#[test]
+fn simd_kernel_respects_masks_and_host_tail() {
+    let (g, s, d, tail) = (4usize, 200usize, 64usize, 24usize);
+    let (q, k, v) = toy(g, s + tail, d, 0xabcd);
+    let qh = q.to_f16();
+    // Mask out a stripe of stored tokens.
+    let valid: Vec<bool> = (0..s).map(|i| i % 3 != 1).collect();
+    let k_stored = MatrixF32::from_fn(s, d, |r, c| k.at(r, c)).to_f16();
+    let v_stored = MatrixF32::from_fn(s, d, |r, c| v.at(r, c)).to_f16();
+    let k_tail = MatrixF32::from_fn(tail, d, |r, c| k.at(s + r, c)).to_f16();
+    let v_tail = MatrixF32::from_fn(tail, d, |r, c| v.at(s + r, c)).to_f16();
+    let scale = 1.0 / (d as f32).sqrt();
+    let scores = host_partial_scores(&qh, &k_tail, scale);
+    let inputs = AttentionInputs {
+        queries: &qh,
+        keys: &k_stored,
+        values: &v_stored,
+        valid: Some(&valid),
+        scale,
+        host_tail: Some(HostTail { scores: &scores, values: &v_tail }),
+    };
+    let serial = attention_kernel(&inputs).unwrap();
+    let simd = attention_kernel_simd(&inputs).unwrap();
+    assert_close(&serial, &simd, "masked + host tail");
+}

@@ -5,7 +5,8 @@
 //! `BENCH_kernels.json` (current directory, or the path given as the
 //! first argument) so successive PRs accumulate a comparable throughput
 //! record. Runs in seconds, not minutes: iteration counts shrink as the
-//! context grows.
+//! context grows. With `--features simd` the tolerance-validated
+//! eight-lane `QKᵀ` kernel is timed as a fourth row.
 //!
 //! ```text
 //! Usage: bench_kernels [output.json]
@@ -104,11 +105,33 @@ fn main() {
              ({speedup:.2}x), fused {fused_s:.6}s/call ({fused_speedup:.2}x)"
         );
 
-        for (kernel, secs, tps) in [
+        #[cfg_attr(not(feature = "simd"), allow(unused_mut))]
+        let mut kernels = vec![
             ("baseline", base_s, base_tps),
             ("optimized", opt_s, opt_tps),
             ("fused", fused_s, fused_tps),
-        ] {
+        ];
+        #[cfg_attr(not(feature = "simd"), allow(unused_mut))]
+        let mut simd_speedup = String::new();
+        #[cfg(feature = "simd")]
+        {
+            let (simd_s, simd_tps) = time_kernel(
+                || {
+                    drop(
+                        hilos_accel::attention_kernel_simd_with_scratch(&inputs, &mut scratch)
+                            .unwrap(),
+                    )
+                },
+                iters,
+                reps,
+                s,
+            );
+            let x = base_s / simd_s;
+            eprintln!("s={s:>6}: simd {simd_s:.6}s/call ({x:.2}x)");
+            kernels.push(("simd", simd_s, simd_tps));
+            let _ = write!(simd_speedup, ", \"simd_vs_baseline\": {x:.3}");
+        }
+        for (kernel, secs, tps) in kernels {
             let _ = write!(
                 rows,
                 "\n    {{\"context\": {s}, \"head_dim\": {HEAD_DIM}, \"group\": {GROUP}, \
@@ -120,7 +143,7 @@ fn main() {
         let _ = write!(
             speedups,
             "\n    {{\"context\": {s}, \"optimized_vs_baseline\": {speedup:.3}, \
-             \"fused_vs_baseline\": {fused_speedup:.3}}}{sep}"
+             \"fused_vs_baseline\": {fused_speedup:.3}{simd_speedup}}}{sep}"
         );
     }
     rows.pop(); // trailing comma

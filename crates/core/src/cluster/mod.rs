@@ -15,7 +15,13 @@
 //!   [`HilosSystem`](crate::HilosSystem), its own
 //!   [`SchedulingPolicy`](crate::SchedulingPolicy), its own per-device
 //!   [`KvShardLedger`](hilos_storage::KvShardLedger)) and advances them
-//!   in lockstep under one global arrival cursor.
+//!   in lockstep under one global arrival cursor. Each deployment's
+//!   [`ServeConfig`](crate::ServeConfig) selects its flow engine via
+//!   [`with_flow_impl`](crate::ServeConfig::with_flow_impl), so a
+//!   cluster can run the O(log n) virtual-time engine
+//!   ([`FlowEngineImpl::VirtualTime`](crate::FlowEngineImpl)) on every
+//!   deployment — cross-deployment migration maps to job cancellation,
+//!   which the fast engine supports natively.
 //! * Each arriving [`Request`](hilos_llm::Request) is dispatched through
 //!   a pluggable [`RoutingPolicy`] fed a read-only [`ClusterSnapshot`] —
 //!   per-deployment queue depth, in-flight batch composition, ledger

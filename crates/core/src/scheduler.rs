@@ -124,6 +124,25 @@ pub fn build_hilos_decode_step(
     config: &HilosConfig,
     step: &DecodeStepSpec,
 ) -> TaskGraph {
+    build_hilos_decode_step_sharded(sys, model, config, step, 1)
+}
+
+/// [`build_hilos_decode_step`] with the per-device ANS sub-graphs built
+/// on up to `threads` workers.
+///
+/// The devices' step-3 fragments (scatter → store → load-KV → attention →
+/// gather) are independent given the QKV projection, so each is assembled
+/// against a local placeholder via [`hilos_accel::parallel_map`] and
+/// grafted back in device order — the result is task-for-task identical
+/// to the serial build for any thread count (pinned by a test), so
+/// callers trade nothing for the fan-out.
+pub fn build_hilos_decode_step_sharded(
+    sys: &BuiltSystem,
+    model: &ModelConfig,
+    config: &HilosConfig,
+    step: &DecodeStepSpec,
+    threads: usize,
+) -> TaskGraph {
     let mut g = TaskGraph::new();
     let n = sys.devices.len();
     let bs = step.batch as f64;
@@ -169,8 +188,14 @@ pub fn build_hilos_decode_step(
 
         // -- 3: ANS portion on the devices --
         if alpha < 1.0 {
-            for (d, dev) in sys.devices.iter().enumerate() {
-                let scatter = g.transfer(
+            // Each device's fragment depends only on `qkv`, so it is
+            // built against a local placeholder (possibly on another
+            // worker) and grafted back in device order — task for task
+            // the graph the old serial loop appended.
+            let build_device = |d: usize, dev: &hilos_platform::DeviceResources| -> TaskGraph {
+                let mut sub = TaskGraph::new();
+                let qkv = sub.milestone("ext:qkv", &[]);
+                let scatter = sub.transfer(
                     format!("scatter:qkv{l}.d{d}"),
                     scatter_bytes / n as f64,
                     sys.gpu_to_device_route(d),
@@ -182,13 +207,13 @@ pub fn build_hilos_decode_step(
                 if !wb {
                     let entries = ((1.0 - alpha) * bs * model.kv_heads() as f64 / n as f64).ceil();
                     let write = dev.ssd.write_task(
-                        &mut g,
+                        &mut sub,
                         &format!("storekv:l{l}.d{d}"),
                         entries * page, // each 256 B entry programs a page
                         &sys.gpu_to_device_route(d),
                         &[qkv],
                     );
-                    let rmw = g.delay(
+                    let rmw = sub.delay(
                         format!("storekv:rmw{l}.d{d}"),
                         hilos_sim::SimTime::from_secs_f64(entries * SUB_PAGE_WRITE_PENALTY_S),
                         &[write],
@@ -203,26 +228,32 @@ pub fn build_hilos_decode_step(
                     internal_route.push(dram);
                 }
                 let read = dev.ssd.read_task(
-                    &mut g,
+                    &mut sub,
                     &format!("loadkv:l{l}.d{d}"),
                     (1.0 - alpha) * kv_layer_bytes / n as f64,
                     &internal_route,
                     &read_deps,
                 );
                 let accel = dev.accel.expect("HILOS requires accelerator-equipped devices");
-                let atn = g.compute(
+                let atn = sub.compute(
                     format!("atn:l{l}.d{d}"),
                     (1.0 - alpha) * atn_flops_layer / n as f64,
                     accel,
                     &[scatter],
                 );
-                let gather = g.transfer(
+                sub.transfer(
                     format!("gather:out{l}.d{d}"),
                     gather_bytes / n as f64,
                     sys.device_to_host_route(d),
                     &[read, atn],
                 );
-                atn_parts.push(gather);
+                sub
+            };
+            let subs = hilos_accel::parallel_map(&sys.devices, threads, build_device);
+            for sub in subs {
+                let ids = g.graft(sub, &[qkv]);
+                // The gather is each fragment's last task.
+                atn_parts.push(*ids.last().expect("device fragment is never empty"));
             }
         }
 
@@ -483,6 +514,26 @@ mod tests {
         let spilling = run(true);
         // Spills contend a little but must not serialize into the step.
         assert!(spilling < quiet * 1.25, "spill stalled the step: {spilling} vs {quiet}");
+    }
+
+    #[test]
+    fn sharded_step_build_is_identical_for_any_thread_count() {
+        let model = presets::opt_66b();
+        let sys = built(8, 1);
+        // Cover both the write-through (rmw sub-tasks) and writeback
+        // device fragments, with and without the X-cache sections.
+        for (wb, alpha) in [(false, 0.0), (true, 0.5), (false, 0.5)] {
+            let cfg = HilosConfig::new(8).with_writeback(wb);
+            let mut step = default_step(16, 32 * 1024, alpha);
+            if !wb {
+                step.buffered_tokens = 0;
+            }
+            let serial = build_hilos_decode_step_sharded(&sys, &model, &cfg, &step, 1);
+            for threads in [2, 8] {
+                let sharded = build_hilos_decode_step_sharded(&sys, &model, &cfg, &step, threads);
+                assert_eq!(serial, sharded, "graph diverged at threads={threads} wb={wb}");
+            }
+        }
     }
 
     #[test]

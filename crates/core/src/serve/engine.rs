@@ -21,6 +21,7 @@ use crate::step::{AlphaSelector, DecodeStepExecutor};
 use crate::writeback::{SpillDecision, WritebackManager};
 use hilos_llm::{DeploymentId, ModelConfig, Request};
 use hilos_metrics::PrefillBreakdown;
+use hilos_sim::FlowEngineImpl;
 use hilos_storage::KvShardLedger;
 use std::collections::{HashMap, VecDeque};
 
@@ -106,6 +107,16 @@ pub struct ServeConfig {
     /// How prompt ingestion shares the step with decoding (defaults to
     /// the legacy side-prefill [`ChunkMode::Off`]).
     pub chunk_mode: ChunkMode,
+    /// Which rate-sharing implementation the underlying flow engine uses.
+    /// The default [`FlowEngineImpl::ProgressiveFilling`] is the oracle
+    /// every golden pin is taken under; [`FlowEngineImpl::VirtualTime`]
+    /// is the O(log n) fast path for very large traces.
+    pub flow_impl: FlowEngineImpl,
+    /// Workers building the per-device sub-graphs of each simulated step
+    /// (intra-step sharding). Outcomes are identical for any value —
+    /// pinned by a determinism test — so this is purely a wall-clock
+    /// knob. Defaults to 1 (serial).
+    pub step_threads: usize,
 }
 
 impl ServeConfig {
@@ -117,7 +128,14 @@ impl ServeConfig {
     /// Panics if `max_batch` is zero.
     pub fn new(max_batch: u32) -> Self {
         assert!(max_batch > 0, "need a positive batch cap");
-        ServeConfig { max_batch, deadline_s: 120.0, ctx_quantum: 1024, chunk_mode: ChunkMode::Off }
+        ServeConfig {
+            max_batch,
+            deadline_s: 120.0,
+            ctx_quantum: 1024,
+            chunk_mode: ChunkMode::Off,
+            flow_impl: FlowEngineImpl::default(),
+            step_threads: 1,
+        }
     }
 
     /// Sets the goodput deadline.
@@ -146,6 +164,19 @@ impl ServeConfig {
             assert!(step_budget_tokens > 0, "step budget must be positive");
         }
         self.chunk_mode = mode;
+        self
+    }
+
+    /// Selects the flow-engine implementation the serving world runs on.
+    pub fn with_flow_impl(mut self, flow_impl: FlowEngineImpl) -> Self {
+        self.flow_impl = flow_impl;
+        self
+    }
+
+    /// Sets how many workers build each step's per-device sub-graphs.
+    pub fn with_step_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        self.step_threads = threads;
         self
     }
 }
@@ -397,7 +428,8 @@ impl ServeEngine {
         config: ServeConfig,
         policy: Box<dyn SchedulingPolicy>,
     ) -> Result<Self, CoreError> {
-        let exec = DecodeStepExecutor::new(&system)?;
+        let mut exec = DecodeStepExecutor::with_flow_impl(&system, config.flow_impl)?;
+        exec.set_step_threads(config.step_threads);
         let alpha_sel = AlphaSelector::new(system.config(), exec.system());
         let mut ledger = exec.system().kv_ledger();
         let model = system.model().clone();
@@ -634,6 +666,13 @@ impl ServeEngine {
             Vec::new()
         } else {
             let in_flight_len = (st.running.len() + st.prefilling.len()) as u32;
+            // The policy may bound how much of the backlog its snapshot
+            // needs ([`SchedulingPolicy::queue_horizon`]); the view build
+            // is O(horizon) instead of O(queue).
+            let free_slots =
+                (self.config.max_batch as usize).saturating_sub(in_flight_len as usize);
+            let horizon =
+                self.policy.queue_horizon(free_slots).unwrap_or(usize::MAX).min(st.queue.len());
             let held = |id: u64| self.ledger.held_bytes(id).unwrap_or(0);
             let view_of = |r: &InFlight, decoding: bool| InFlightView {
                 id: r.req.id,
@@ -652,9 +691,9 @@ impl ServeEngine {
                 prefill_done: if decoding { r.prefill_total } else { r.prefill_done },
                 prefill_total: r.prefill_total,
             };
-            let mut queue_views: Vec<QueuedView> = Vec::with_capacity(st.queue.len());
+            let mut queue_views: Vec<QueuedView> = Vec::with_capacity(horizon);
             let footprint_estimates = &mut st.footprint_estimates;
-            for q in &st.queue {
+            for q in st.queue.iter().take(horizon) {
                 // The snapshot's footprint is an *estimate* (the engine
                 // re-derives the exact value at admission), so it is
                 // memoized per request rather than re-derived for the

@@ -131,6 +131,22 @@ pub trait SchedulingPolicy: fmt::Debug {
         false
     }
 
+    /// How many queued requests — from the head, in arrival order — the
+    /// policy needs in its snapshot this step, given `free_slots` open
+    /// batch slots. `None` (the default) means the whole queue.
+    ///
+    /// The snapshot's queue views are the serving loop's dominant cost on
+    /// a backlogged trace: O(queue) per step. A policy that admits
+    /// strictly from the head of the queue only ever acts on one
+    /// candidate per free slot, so it can bound the horizon and turn the
+    /// build into O(batch) — the difference between a 2k-request and a
+    /// 1M-request trace. Order-sensitive policies (deadline, priority)
+    /// must keep the default: they need the whole backlog to sort it.
+    fn queue_horizon(&self, free_slots: usize) -> Option<usize> {
+        let _ = free_slots;
+        None
+    }
+
     /// Reads the snapshot and returns the step's decisions, in execution
     /// order (preemptions intended to make room must precede the
     /// admission that needs it).
@@ -152,10 +168,18 @@ impl SchedulingPolicy for Fifo {
         false
     }
 
+    fn queue_horizon(&self, free_slots: usize) -> Option<usize> {
+        // FIFO admits strictly head-first and the engine stops at the
+        // batch cap (or the first capacity miss, which is head-of-line
+        // blocking either way), so candidates beyond the free slots can
+        // never be acted on this step.
+        Some(free_slots)
+    }
+
     fn schedule(&mut self, snapshot: &SchedSnapshot<'_>) -> Vec<SchedDecision> {
-        // Emit the whole queue in arrival order; the engine enforces the
-        // batch cap and the head-of-line wait, reproducing the original
-        // hard-wired loop exactly.
+        // Emit the whole visible queue in arrival order; the engine
+        // enforces the batch cap and the head-of-line wait, reproducing
+        // the original hard-wired loop exactly.
         snapshot.queue.iter().map(|q| SchedDecision::Admit { request: q.id }).collect()
     }
 }

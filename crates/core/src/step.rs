@@ -13,7 +13,7 @@
 use crate::config::HilosConfig;
 use crate::runner::{CoreError, HilosSystem};
 use crate::scheduler::GDS_EFFICIENCY;
-use crate::scheduler::{build_hilos_decode_step, build_hilos_prefill, DecodeStepSpec};
+use crate::scheduler::{build_hilos_decode_step_sharded, build_hilos_prefill, DecodeStepSpec};
 use crate::writeback::SpillDecision;
 use crate::xcache::AlphaModel;
 use hilos_llm::ModelConfig;
@@ -50,6 +50,7 @@ pub struct DecodeStepExecutor {
     config: HilosConfig,
     sim_layers: u32,
     layer_scale: f64,
+    step_threads: usize,
 }
 
 impl DecodeStepExecutor {
@@ -59,7 +60,20 @@ impl DecodeStepExecutor {
     ///
     /// Propagates platform build errors.
     pub fn new(system: &HilosSystem) -> Result<Self, CoreError> {
-        let sys = system.build_world()?;
+        DecodeStepExecutor::with_flow_impl(system, hilos_sim::FlowEngineImpl::default())
+    }
+
+    /// Like [`DecodeStepExecutor::new`], but selecting the rate-sharing
+    /// implementation of the world's flow engine. The virtual-time
+    /// implementation keeps step execution O(log n) in concurrent flows —
+    /// the difference between simulating thousands and millions of
+    /// requests — at the cost of bit-identity with the progressive-filling
+    /// oracle (golden pins are always taken under the default).
+    pub fn with_flow_impl(
+        system: &HilosSystem,
+        flow_impl: hilos_sim::FlowEngineImpl,
+    ) -> Result<Self, CoreError> {
+        let sys = system.build_world_with(flow_impl)?;
         let sim_layers = system.sim_layers();
         Ok(DecodeStepExecutor {
             sys,
@@ -67,7 +81,15 @@ impl DecodeStepExecutor {
             config: system.config().clone(),
             sim_layers,
             layer_scale: system.model().layers() as f64 / sim_layers as f64,
+            step_threads: 1,
         })
+    }
+
+    /// Sets how many workers build the per-device sub-graphs of each step
+    /// (see [`build_hilos_decode_step_sharded`]). The built graph — and
+    /// therefore every outcome — is identical for any thread count.
+    pub fn set_step_threads(&mut self, threads: usize) {
+        self.step_threads = threads.max(1);
     }
 
     /// The built world (resources, devices, engine).
@@ -102,7 +124,13 @@ impl DecodeStepExecutor {
             spill_tokens: decision.spill_tokens,
             sim_layers: self.sim_layers,
         };
-        let graph = build_hilos_decode_step(&self.sys, &self.model, &self.config, &step);
+        let graph = build_hilos_decode_step_sharded(
+            &self.sys,
+            &self.model,
+            &self.config,
+            &step,
+            self.step_threads,
+        );
         let timeline = execute(&mut self.sys.engine, &graph)?;
 
         // Traffic accounting (whole model, analytic — every flow that

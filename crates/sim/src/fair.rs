@@ -1,0 +1,588 @@
+//! Virtual-time fair sharing: the O(log n) fast path.
+//!
+//! Under fair sharing, every job crossing a resource receives the same
+//! share `capacity / n_active`, so the *order* in which jobs finish on a
+//! resource is fixed the moment they are submitted: a job demanding `w`
+//! units finishes exactly when the resource has delivered `w` units *per
+//! active job* since the job entered. Tracking that cumulative per-job
+//! service as a **virtual clock** `V_r` (advanced by `share · dt` on every
+//! time advance) turns completion prediction into a single number computed
+//! once at submit — virtual finish `V_r + w` — and the completion index
+//! into a per-resource min-heap keyed by virtual finish. Submits,
+//! completions and cancellations each cost O(log n); advancing time costs
+//! O(resources) plus O(log n) per completion. No per-job rate rescans,
+//! ever. This is the dslab `fair_fast_with_cancel` construction
+//! (SNIPPETS.md §1; `/root/related/` is absent in this container).
+//!
+//! Jobs the uniform model cannot index this way — multi-resource routes
+//! and rate-capped jobs, where the rate is `min(cap, min_r share_r)` and
+//! changes whenever *any* route resource's population changes — are
+//! handled as **custom** jobs: each keeps `(remaining, rate, anchor)` and
+//! an absolute completion prediction that is re-anchored only when a route
+//! resource's membership changes. With `k` such jobs sharing a resource, a
+//! membership change costs O(k · log n); the serving workloads this engine
+//! exists for are dominated by single-resource uncapped flows, where k is
+//! tiny.
+//!
+//! # Divergence from the oracle
+//!
+//! The uniform share `capacity / n_active` is a *lower bound* on the exact
+//! max-min rate (progressive filling can only redistribute unused
+//! capacity, never take a job below its bottleneck share), so predictions
+//! here are never optimistic: completion times are exact when every job on
+//! a resource is uncapped and single-resource, and conservative (late by a
+//! bounded amount) when caps or multi-resource routes leave capacity the
+//! uniform model does not redistribute. The progressive-filling
+//! [`crate::oracle`] engine remains the equivalence oracle; the
+//! differential proptests in `tests/differential.rs` pin both regimes.
+
+use crate::engine::{completion_eps, Completion, JobId};
+use crate::error::SimError;
+use crate::resource::{ResourceId, ResourceSpec, ResourceStats};
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// Virtual-finish heap key with a total order (`f64::total_cmp`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct VKey(f64);
+
+impl Eq for VKey {}
+
+impl PartialOrd for VKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Tolerance (in work units) for deciding a virtual finish has been
+/// reached: mirrors `completion_eps`, scaled to the magnitude of the
+/// virtual clock so that accumulated summation drift never strands a job.
+fn vtol(vfinish: f64, vt: f64) -> f64 {
+    1e-9 + 1e-12 * vfinish.abs().max(vt.abs())
+}
+
+#[derive(Debug, Clone)]
+enum JobKind {
+    /// Single-resource, uncapped: fully described by its virtual finish on
+    /// the resource's clock. Never re-predicted.
+    Simple { vfinish: f64 },
+    /// Multi-resource route and/or rate-capped: explicit rate, re-anchored
+    /// whenever a route resource's membership changes.
+    Custom {
+        remaining: f64,
+        rate: f64,
+        /// Instant at which `remaining` was last materialized; progress
+        /// since then is implicit (`rate · (now − anchor)`).
+        anchor: SimTime,
+        /// Absolute predicted completion under the current rate.
+        pred: SimTime,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct FairJob {
+    seq: u64,
+    demand: f64,
+    route: Vec<ResourceId>,
+    rate_cap: Option<f64>,
+    kind: JobKind,
+}
+
+#[derive(Debug)]
+struct FairResource {
+    spec: ResourceSpec,
+    stats: ResourceStats,
+    /// Jobs crossing this resource (simple + custom).
+    n_active: u32,
+    /// Simple jobs riding this resource's virtual clock.
+    n_simple: u32,
+    /// Virtual clock: cumulative per-job service delivered, in work units.
+    vt: f64,
+    /// Min-heap of `(virtual finish, seq, slot)` for simple jobs. Entries
+    /// are lazily invalidated on completion/cancel and compacted when
+    /// stale entries outnumber live jobs 2:1.
+    heap: BinaryHeap<Reverse<(VKey, u64, u32)>>,
+    /// Slots of custom jobs crossing this resource.
+    custom_members: Vec<u32>,
+    /// Sum of current custom rates on this resource (for stats).
+    custom_rate_sum: f64,
+}
+
+impl FairResource {
+    fn share(&self) -> f64 {
+        debug_assert!(self.n_active > 0);
+        self.spec.capacity() / self.n_active as f64
+    }
+}
+
+fn simple_valid(jobs: &[Option<FairJob>], slot: u32, seq: u64, vf: f64) -> bool {
+    matches!(
+        jobs.get(slot as usize).and_then(Option::as_ref),
+        Some(j) if j.seq == seq
+            && matches!(j.kind, JobKind::Simple { vfinish } if vfinish.to_bits() == vf.to_bits())
+    )
+}
+
+fn custom_valid(jobs: &[Option<FairJob>], slot: u32, seq: u64, at: SimTime) -> bool {
+    matches!(
+        jobs.get(slot as usize).and_then(Option::as_ref),
+        Some(j) if j.seq == seq && matches!(j.kind, JobKind::Custom { pred, .. } if pred == at)
+    )
+}
+
+/// Virtual-time fair-sharing engine (the fast path).
+#[derive(Debug, Default)]
+pub(crate) struct FairEngine {
+    resources: Vec<FairResource>,
+    jobs: Vec<Option<FairJob>>,
+    free_slots: Vec<u32>,
+    next_seq: u64,
+    now: SimTime,
+    active_jobs: usize,
+    custom_count: usize,
+    /// Min-heap of `(predicted completion, seq, slot)` for custom jobs,
+    /// lazily invalidated like the per-resource simple heaps.
+    custom_heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+}
+
+impl FairEngine {
+    pub(crate) fn new() -> Self {
+        FairEngine::default()
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn active_jobs(&self) -> usize {
+        self.active_jobs
+    }
+
+    pub(crate) fn add_resource(&mut self, spec: ResourceSpec) -> ResourceId {
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(FairResource {
+            spec,
+            stats: ResourceStats::default(),
+            n_active: 0,
+            n_simple: 0,
+            vt: 0.0,
+            heap: BinaryHeap::new(),
+            custom_members: Vec::new(),
+            custom_rate_sum: 0.0,
+        });
+        id
+    }
+
+    pub(crate) fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    pub(crate) fn resource(&self, id: ResourceId) -> &ResourceSpec {
+        &self.resources[id.index()].spec
+    }
+
+    pub(crate) fn stats(&self, id: ResourceId) -> ResourceStats {
+        self.resources[id.index()].stats
+    }
+
+    pub(crate) fn stats_snapshot(&self) -> Vec<ResourceStats> {
+        self.resources.iter().map(|r| r.stats).collect()
+    }
+
+    pub(crate) fn completion_index_len(&self) -> usize {
+        self.resources.iter().map(|r| r.heap.len()).sum::<usize>() + self.custom_heap.len()
+    }
+
+    pub(crate) fn submit(
+        &mut self,
+        route: &[ResourceId],
+        amount: f64,
+        rate_cap: Option<f64>,
+    ) -> Result<JobId, SimError> {
+        if route.is_empty() {
+            return Err(SimError::EmptyRoute);
+        }
+        for r in route {
+            if r.index() >= self.resources.len() {
+                return Err(SimError::UnknownResource(r.index()));
+            }
+        }
+        if !amount.is_finite() || amount < 0.0 {
+            return Err(SimError::InvalidAmount(amount));
+        }
+        if let Some(cap) = rate_cap {
+            if !cap.is_finite() || cap <= 0.0 {
+                return Err(SimError::InvalidAmount(cap));
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.jobs.push(None);
+                (self.jobs.len() - 1) as u32
+            }
+        };
+        let simple = route.len() == 1 && rate_cap.is_none();
+        for r in route {
+            let res = &mut self.resources[r.index()];
+            res.n_active += 1;
+            if simple {
+                res.n_simple += 1;
+            } else {
+                res.custom_members.push(slot);
+            }
+        }
+        let kind = if simple {
+            let res = &mut self.resources[route[0].index()];
+            let vfinish = res.vt + amount;
+            res.heap.push(Reverse((VKey(vfinish), seq, slot)));
+            JobKind::Simple { vfinish }
+        } else {
+            let mut rate = rate_cap.unwrap_or(f64::INFINITY);
+            for r in route {
+                rate = rate.min(self.resources[r.index()].share());
+            }
+            let pred = if amount <= completion_eps(amount) {
+                self.now
+            } else {
+                self.now + SimTime::from_secs_f64_ceil(amount / rate)
+            };
+            for r in route {
+                self.resources[r.index()].custom_rate_sum += rate;
+            }
+            self.custom_heap.push(Reverse((pred, seq, slot)));
+            self.custom_count += 1;
+            JobKind::Custom { remaining: amount, rate, anchor: self.now, pred }
+        };
+        self.jobs[slot as usize] =
+            Some(FairJob { seq, demand: amount, route: route.to_vec(), rate_cap, kind });
+        self.active_jobs += 1;
+        // The new member shrinks the share on every route resource; custom
+        // jobs crossing those resources must re-anchor. (The new job itself
+        // is skipped: its rate already reflects the post-submit shares.)
+        self.reanchor_customs_on(route, Some(slot));
+        Ok(JobId { slot, seq })
+    }
+
+    /// Removes a job before it completes, returning its remaining demand.
+    /// Returns `None` if the job is not active. Freed share redistributes
+    /// immediately: the route resources' virtual clocks accelerate and
+    /// custom jobs crossing them re-anchor.
+    pub(crate) fn cancel(&mut self, id: JobId) -> Option<f64> {
+        let found = matches!(
+            self.jobs.get(id.slot as usize)?,
+            Some(j) if j.seq == id.seq
+        );
+        if !found {
+            return None;
+        }
+        let job = self.jobs[id.slot as usize].take().unwrap();
+        let remaining = match &job.kind {
+            JobKind::Simple { vfinish } => {
+                let vt = self.resources[job.route[0].index()].vt;
+                (vfinish - vt).max(0.0)
+            }
+            JobKind::Custom { remaining, rate, anchor, .. } => {
+                let dt = (self.now - *anchor).as_secs_f64();
+                (remaining - rate * dt).max(0.0)
+            }
+        };
+        self.remove_membership(&job, id.slot);
+        if matches!(job.kind, JobKind::Custom { .. }) {
+            self.custom_count -= 1;
+        }
+        self.free_slots.push(id.slot);
+        self.active_jobs -= 1;
+        self.reanchor_customs_on(&job.route, None);
+        Some(remaining)
+    }
+
+    /// Decrements membership counters and rate sums for a departing job.
+    /// The job's heap entries are left behind as lazily-discarded stale
+    /// entries.
+    fn remove_membership(&mut self, job: &FairJob, slot: u32) {
+        match &job.kind {
+            JobKind::Simple { .. } => {
+                let res = &mut self.resources[job.route[0].index()];
+                res.n_active -= 1;
+                res.n_simple -= 1;
+            }
+            JobKind::Custom { rate, .. } => {
+                for r in &job.route {
+                    let res = &mut self.resources[r.index()];
+                    res.n_active -= 1;
+                    res.custom_rate_sum -= rate;
+                    if let Some(pos) = res.custom_members.iter().position(|&s| s == slot) {
+                        res.custom_members.swap_remove(pos);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-anchors every custom job crossing any of `rs` (each at most
+    /// once), except `skip`. Jobs whose rate is bit-unchanged keep their
+    /// anchor and prediction — progress is linear, so the absolute
+    /// prediction stays exact and no stale heap entry is created.
+    fn reanchor_customs_on(&mut self, rs: &[ResourceId], skip: Option<u32>) {
+        if self.custom_count == 0 {
+            return;
+        }
+        let mut slots: Vec<u32> = Vec::new();
+        for r in rs {
+            slots.extend_from_slice(&self.resources[r.index()].custom_members);
+        }
+        slots.sort_unstable();
+        slots.dedup();
+        for slot in slots {
+            if Some(slot) != skip {
+                self.reanchor(slot);
+            }
+        }
+    }
+
+    fn reanchor(&mut self, slot: u32) {
+        let Some(job) = self.jobs.get(slot as usize).and_then(Option::as_ref) else {
+            return;
+        };
+        let JobKind::Custom { rate: old_rate, .. } = job.kind else {
+            return;
+        };
+        let mut new_rate = job.rate_cap.unwrap_or(f64::INFINITY);
+        for r in &job.route {
+            new_rate = new_rate.min(self.resources[r.index()].share());
+        }
+        if new_rate.to_bits() == old_rate.to_bits() {
+            return;
+        }
+        let now = self.now;
+        let route = job.route.clone();
+        let (seq, demand) = (job.seq, job.demand);
+        let job = self.jobs[slot as usize].as_mut().unwrap();
+        let JobKind::Custom { remaining, rate, anchor, pred } = &mut job.kind else {
+            unreachable!("checked above");
+        };
+        let dt = (now - *anchor).as_secs_f64();
+        if dt > 0.0 {
+            *remaining = (*remaining - *rate * dt).max(0.0);
+        }
+        *anchor = now;
+        *rate = new_rate;
+        let p = if *remaining <= completion_eps(demand) {
+            now
+        } else {
+            now + SimTime::from_secs_f64_ceil(*remaining / new_rate)
+        };
+        *pred = p;
+        for r in &route {
+            self.resources[r.index()].custom_rate_sum += new_rate - old_rate;
+        }
+        self.custom_heap.push(Reverse((p, seq, slot)));
+    }
+
+    /// Compacts any completion heap whose stale entries outnumber live
+    /// jobs 2:1 (same policy as the oracle's `pred_heap`).
+    fn maybe_compact(&mut self) {
+        for ri in 0..self.resources.len() {
+            if self.resources[ri].heap.len() > 2 * self.resources[ri].n_simple as usize + 64 {
+                let mut entries = std::mem::take(&mut self.resources[ri].heap).into_vec();
+                entries.retain(|&Reverse((VKey(vf), seq, slot))| {
+                    simple_valid(&self.jobs, slot, seq, vf)
+                });
+                self.resources[ri].heap = BinaryHeap::from(entries);
+            }
+        }
+        if self.custom_heap.len() > 2 * self.custom_count + 64 {
+            let mut entries = std::mem::take(&mut self.custom_heap).into_vec();
+            entries.retain(|&Reverse((at, seq, slot))| custom_valid(&self.jobs, slot, seq, at));
+            self.custom_heap = BinaryHeap::from(entries);
+        }
+    }
+
+    pub(crate) fn next_completion_time(&mut self) -> Option<SimTime> {
+        if self.active_jobs == 0 {
+            return None;
+        }
+        self.maybe_compact();
+        let mut best: Option<SimTime> = None;
+        for ri in 0..self.resources.len() {
+            while let Some(&Reverse((VKey(vf), seq, slot))) = self.resources[ri].heap.peek() {
+                if !simple_valid(&self.jobs, slot, seq, vf) {
+                    self.resources[ri].heap.pop();
+                    continue;
+                }
+                let res = &self.resources[ri];
+                let gap = vf - res.vt;
+                let t = if gap <= vtol(vf, res.vt) {
+                    self.now
+                } else {
+                    self.now + SimTime::from_secs_f64_ceil(gap / res.share())
+                };
+                best = Some(best.map_or(t, |b| b.min(t)));
+                break;
+            }
+        }
+        while let Some(&Reverse((at, seq, slot))) = self.custom_heap.peek() {
+            if !custom_valid(&self.jobs, slot, seq, at) {
+                self.custom_heap.pop();
+                continue;
+            }
+            let t = at.max(self.now);
+            best = Some(best.map_or(t, |b| b.min(t)));
+            break;
+        }
+        best
+    }
+
+    /// O(n) reference: predicts every active job directly. Kept for the
+    /// crossover benchmark and equivalence tests, mirroring the oracle's
+    /// `next_completion_time_scan`.
+    pub(crate) fn next_completion_time_scan(&mut self) -> Option<SimTime> {
+        if self.active_jobs == 0 {
+            return None;
+        }
+        let mut best: Option<SimTime> = None;
+        for j in self.jobs.iter().flatten() {
+            let t = match &j.kind {
+                JobKind::Simple { vfinish } => {
+                    let res = &self.resources[j.route[0].index()];
+                    let gap = vfinish - res.vt;
+                    if gap <= vtol(*vfinish, res.vt) {
+                        self.now
+                    } else {
+                        self.now + SimTime::from_secs_f64_ceil(gap / res.share())
+                    }
+                }
+                JobKind::Custom { pred, .. } => (*pred).max(self.now),
+            };
+            best = Some(best.map_or(t, |b| b.min(t)));
+        }
+        best
+    }
+
+    pub(crate) fn advance_to(&mut self, t: SimTime) -> Result<Vec<Completion>, SimError> {
+        if t < self.now {
+            return Err(SimError::TimeReversal { now: self.now, requested: t });
+        }
+        let dt = (t - self.now).as_secs_f64();
+
+        // Advance virtual clocks and accumulate statistics. Membership is
+        // constant over the window: submits and cancels happen at `now`,
+        // completions are materialized at `t` below.
+        if dt > 0.0 {
+            for res in &mut self.resources {
+                let cap = res.spec.capacity();
+                let mut alloc = res.custom_rate_sum.max(0.0);
+                if res.n_active > 0 {
+                    let share = cap / res.n_active as f64;
+                    alloc += res.n_simple as f64 * share;
+                    res.vt += share * dt;
+                }
+                let rate = alloc.min(cap);
+                res.stats.units_served += rate * dt;
+                res.stats.busy_seconds += (rate / cap) * dt;
+                res.stats.observed_seconds += dt;
+            }
+        }
+        self.now = t;
+
+        // Pop every job whose virtual finish (or absolute prediction) has
+        // been reached.
+        let mut done: Vec<(u64, JobId)> = Vec::new();
+        for ri in 0..self.resources.len() {
+            while let Some(&Reverse((VKey(vf), seq, slot))) = self.resources[ri].heap.peek() {
+                if !simple_valid(&self.jobs, slot, seq, vf) {
+                    self.resources[ri].heap.pop();
+                    continue;
+                }
+                let vt = self.resources[ri].vt;
+                if vf <= vt + vtol(vf, vt) {
+                    self.resources[ri].heap.pop();
+                    done.push((seq, JobId { slot, seq }));
+                } else {
+                    break;
+                }
+            }
+        }
+        while let Some(&Reverse((at, seq, slot))) = self.custom_heap.peek() {
+            if !custom_valid(&self.jobs, slot, seq, at) {
+                self.custom_heap.pop();
+                continue;
+            }
+            if at <= t {
+                self.custom_heap.pop();
+                done.push((seq, JobId { slot, seq }));
+            } else {
+                break;
+            }
+        }
+        done.sort_by_key(|(seq, _)| *seq);
+        // A custom job whose rate changed back and forth can have two
+        // *valid* heap entries with identical predictions; keep one.
+        done.dedup_by_key(|(seq, _)| *seq);
+
+        let mut completions = Vec::with_capacity(done.len());
+        let mut changed: Vec<ResourceId> = Vec::new();
+        for (_, id) in done {
+            let job = self.jobs[id.slot as usize].take().expect("validated above");
+            self.remove_membership(&job, id.slot);
+            if matches!(job.kind, JobKind::Custom { .. }) {
+                self.custom_count -= 1;
+            }
+            changed.extend_from_slice(&job.route);
+            self.free_slots.push(id.slot);
+            self.active_jobs -= 1;
+            completions.push(Completion { job: id, at: t });
+        }
+        if !completions.is_empty() {
+            changed.sort_unstable();
+            changed.dedup();
+            self.reanchor_customs_on(&changed, None);
+        }
+        Ok(completions)
+    }
+
+    pub(crate) fn run_to_idle(&mut self) -> Result<SimTime, SimError> {
+        while self.active_jobs > 0 {
+            // Shares are always strictly positive, so every active job has
+            // a valid prediction: `Stalled` is unreachable here.
+            let t = self.next_completion_time().ok_or(SimError::Stalled)?;
+            self.advance_to(t)?;
+        }
+        Ok(self.now)
+    }
+
+    pub(crate) fn job_rate(&mut self, id: JobId) -> Option<f64> {
+        match self.jobs.get(id.slot as usize)? {
+            Some(j) if j.seq == id.seq => Some(match &j.kind {
+                JobKind::Simple { .. } => self.resources[j.route[0].index()].share(),
+                JobKind::Custom { rate, .. } => *rate,
+            }),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn job_remaining(&self, id: JobId) -> Option<f64> {
+        match self.jobs.get(id.slot as usize)? {
+            Some(j) if j.seq == id.seq => Some(match &j.kind {
+                JobKind::Simple { vfinish } => {
+                    (vfinish - self.resources[j.route[0].index()].vt).max(0.0)
+                }
+                JobKind::Custom { remaining, rate, anchor, .. } => {
+                    let dt = (self.now - *anchor).as_secs_f64();
+                    (remaining - rate * dt).max(0.0)
+                }
+            }),
+            _ => None,
+        }
+    }
+}

@@ -229,6 +229,55 @@ impl TaskGraph {
         self.tasks[id.index()].deps.extend_from_slice(deps);
     }
 
+    /// Grafts an independently-built sub-graph onto this graph.
+    ///
+    /// The first `externals.len()` tasks of `sub` must be
+    /// [`TaskKind::Milestone`] placeholders standing for the given
+    /// existing tasks of `self`, in order; they are dropped, not copied.
+    /// Every remaining task of `sub` is appended in insertion order with
+    /// its dependencies remapped (placeholders to the external tasks,
+    /// internal ids to their new positions). Returns the new ids of the
+    /// appended tasks, in `sub` insertion order.
+    ///
+    /// This is what makes sub-graphs buildable in parallel: each worker
+    /// assembles its fragment against local ids, and grafting in a fixed
+    /// order reproduces, task for task, the graph a serial build would
+    /// have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub` has fewer tasks than `externals`, if a placeholder
+    /// is not a milestone, or if an external id is out of range for
+    /// `self`.
+    pub fn graft(&mut self, sub: TaskGraph, externals: &[TaskId]) -> Vec<TaskId> {
+        assert!(sub.tasks.len() >= externals.len(), "sub-graph smaller than its placeholder set");
+        for e in externals {
+            assert!(e.index() < self.tasks.len(), "external task {e} out of range");
+        }
+        let n_ext = externals.len();
+        let mut map: Vec<TaskId> = Vec::with_capacity(sub.tasks.len());
+        let mut appended = Vec::with_capacity(sub.tasks.len() - n_ext);
+        for (i, mut task) in sub.tasks.into_iter().enumerate() {
+            if i < n_ext {
+                assert!(
+                    matches!(task.kind, TaskKind::Milestone),
+                    "placeholder {i} must be a milestone, got {:?}",
+                    task.kind
+                );
+                map.push(externals[i]);
+                continue;
+            }
+            for d in &mut task.deps {
+                *d = map[d.index()];
+            }
+            let id = TaskId(self.tasks.len() as u32);
+            self.tasks.push(task);
+            map.push(id);
+            appended.push(id);
+        }
+        appended
+    }
+
     /// Total bytes across all transfer tasks (useful for traffic analyses).
     pub fn total_transfer_bytes(&self) -> f64 {
         self.tasks
@@ -296,6 +345,36 @@ mod tests {
         assert_eq!(g.total_transfer_bytes(), 150.0);
         assert_eq!(g.transfer_bytes_through(r0), 150.0);
         assert_eq!(g.transfer_bytes_through(r1), 50.0);
+    }
+
+    #[test]
+    fn graft_reproduces_a_serial_build() {
+        // Serial build: root, then two "device" fragments of two tasks.
+        let link = ResourceId(0);
+        let mut serial = TaskGraph::new();
+        let root = serial.milestone("root", &[]);
+        for d in 0..2 {
+            let a = serial.transfer(format!("in:d{d}"), 10.0, vec![link], &[root]);
+            serial.compute(format!("work:d{d}"), 1e6, link, &[a]);
+        }
+
+        // Parallel-style build: each fragment against a local placeholder.
+        let mut grafted = TaskGraph::new();
+        let root2 = grafted.milestone("root", &[]);
+        let subs: Vec<TaskGraph> = (0..2)
+            .map(|d| {
+                let mut sub = TaskGraph::new();
+                let ext = sub.milestone("ext:root", &[]);
+                let a = sub.transfer(format!("in:d{d}"), 10.0, vec![link], &[ext]);
+                sub.compute(format!("work:d{d}"), 1e6, link, &[a]);
+                sub
+            })
+            .collect();
+        for sub in subs {
+            let ids = grafted.graft(sub, &[root2]);
+            assert_eq!(ids.len(), 2);
+        }
+        assert_eq!(serial, grafted);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Differential equivalence between the virtual-time fast engine and the
+//! progressive-filling oracle.
+//!
+//! Both engines are driven in lockstep through random interleavings of
+//! submits, partial advances, completion-boundary advances and
+//! cancellations, always advancing to the same instants. Two regimes:
+//!
+//! * **Uniform** (single-resource, uncapped jobs): the uniform share
+//!   `capacity / n` *is* the max-min rate, so the engines must agree on
+//!   completion times to within rounding tolerance and must never
+//!   strongly invert a completion pair.
+//! * **Mixed** (multi-resource routes, rate caps, zero-amount jobs): the
+//!   virtual-time engine's rates are a lower bound on max-min rates, so
+//!   its completion times must be *conservative* — never earlier than the
+//!   oracle's beyond tolerance — and both engines must still drain.
+
+use hilos_sim::{
+    FlowEngine, FlowEngineImpl, JobId, ResourceId, ResourceKind, ResourceSpec, SimTime,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+struct TrackedJob {
+    oracle_id: JobId,
+    fair_id: JobId,
+    demand: f64,
+    done_oracle: Option<SimTime>,
+    done_fair: Option<SimTime>,
+    cancelled: bool,
+}
+
+/// Picosecond tolerance on a completion at absolute time `t`: one
+/// microsecond absolute plus 1e-6 relative, covering the fair engine's
+/// virtual-clock pop tolerance and the oracle's per-event rounding.
+fn tol_ps(t: SimTime) -> u64 {
+    1_000_000 + t.as_picos() / 1_000_000
+}
+
+fn fail(msg: String) -> TestCaseError {
+    TestCaseError::Fail(msg)
+}
+
+/// Runs one random interleaving against both engines. `mixed` enables
+/// multi-resource routes, rate caps and zero-amount jobs (the regime
+/// where the fast engine is conservative rather than exact).
+fn drive(seed: u64, n_ops: usize, mixed: bool) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_links = rng.random_range(1..5usize);
+    let bws: Vec<f64> = (0..n_links).map(|_| rng.random_range(1.0e8..1.0e10)).collect();
+
+    let mut oracle = FlowEngine::new();
+    let mut fair = FlowEngine::with_impl(FlowEngineImpl::VirtualTime);
+    let links: Vec<ResourceId> = bws
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let spec = ResourceSpec::new(format!("l{i}"), ResourceKind::Link, b);
+            let id = oracle.add_resource(spec.clone());
+            let fid = fair.add_resource(spec);
+            assert_eq!(id, fid, "engines must assign identical resource ids");
+            id
+        })
+        .collect();
+
+    let mut jobs: Vec<TrackedJob> = Vec::new();
+    let mut by_seq: HashMap<u64, usize> = HashMap::new();
+
+    let submit = |oracle: &mut FlowEngine,
+                  fair: &mut FlowEngine,
+                  jobs: &mut Vec<TrackedJob>,
+                  by_seq: &mut HashMap<u64, usize>,
+                  rng: &mut StdRng|
+     -> Result<(), TestCaseError> {
+        let amount = if mixed && rng.random_range(0..10u32) == 0 {
+            0.0
+        } else {
+            rng.random_range(1.0e6..1.0e9)
+        };
+        let route: Vec<ResourceId> = if mixed && n_links >= 2 && rng.random_range(0..4u32) == 0 {
+            let a = rng.random_range(0..n_links);
+            let b = (a + 1 + rng.random_range(0..n_links - 1)) % n_links;
+            vec![links[a], links[b]]
+        } else {
+            vec![links[rng.random_range(0..n_links)]]
+        };
+        let cap = if mixed && rng.random_range(0..4u32) == 0 {
+            Some(rng.random_range(1.0e6..1.0e9))
+        } else {
+            None
+        };
+        let o =
+            oracle.submit(&route, amount, cap).map_err(|e| fail(format!("oracle submit: {e}")))?;
+        let f = fair.submit(&route, amount, cap).map_err(|e| fail(format!("fair submit: {e}")))?;
+        prop_assert_eq!(o.sequence(), f.sequence(), "sequence numbers must stay in lockstep");
+        by_seq.insert(o.sequence(), jobs.len());
+        jobs.push(TrackedJob {
+            oracle_id: o,
+            fair_id: f,
+            demand: amount,
+            done_oracle: None,
+            done_fair: None,
+            cancelled: false,
+        });
+        Ok(())
+    };
+
+    let advance_both = |oracle: &mut FlowEngine,
+                        fair: &mut FlowEngine,
+                        jobs: &mut Vec<TrackedJob>,
+                        by_seq: &HashMap<u64, usize>,
+                        t: SimTime|
+     -> Result<(), TestCaseError> {
+        for c in oracle.advance_to(t).map_err(|e| fail(format!("oracle advance: {e}")))? {
+            let idx = by_seq[&c.job.sequence()];
+            prop_assert!(jobs[idx].done_oracle.is_none(), "oracle double completion");
+            jobs[idx].done_oracle = Some(c.at);
+        }
+        for c in fair.advance_to(t).map_err(|e| fail(format!("fair advance: {e}")))? {
+            let idx = by_seq[&c.job.sequence()];
+            prop_assert!(jobs[idx].done_fair.is_none(), "fair double completion");
+            jobs[idx].done_fair = Some(c.at);
+        }
+        Ok(())
+    };
+
+    let next_common = |oracle: &mut FlowEngine, fair: &mut FlowEngine| -> Option<SimTime> {
+        match (oracle.next_completion_time(), fair.next_completion_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    };
+
+    for _ in 0..n_ops {
+        match rng.random_range(0..10u32) {
+            0..=4 => submit(&mut oracle, &mut fair, &mut jobs, &mut by_seq, &mut rng)?,
+            5..=6 => {
+                if let Some(t) = next_common(&mut oracle, &mut fair) {
+                    advance_both(&mut oracle, &mut fair, &mut jobs, &by_seq, t)?;
+                }
+            }
+            7..=8 => {
+                // Partial advance: both engines move to the same instant,
+                // usually short of any completion.
+                let dt = SimTime::from_secs_f64_ceil(rng.random_range(1.0e-6..1.0e-2));
+                let t = oracle.now() + dt;
+                prop_assert_eq!(oracle.now(), fair.now(), "engines drifted apart in time");
+                advance_both(&mut oracle, &mut fair, &mut jobs, &by_seq, t)?;
+            }
+            _ => {
+                // Cancel a job that is comfortably in flight in both
+                // engines (not within tolerance of its completion, where
+                // membership may legitimately differ for a picosecond).
+                let candidates: Vec<usize> = jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, j)| {
+                        !j.cancelled && j.done_oracle.is_none() && j.done_fair.is_none()
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let idx = candidates[rng.random_range(0..candidates.len())];
+                let j = &jobs[idx];
+                let (ro, rf) = (oracle.job_remaining(j.oracle_id), fair.job_remaining(j.fair_id));
+                let (Some(ro), Some(rf)) = (ro, rf) else { continue };
+                if ro <= 0.05 * j.demand || rf <= 0.05 * j.demand {
+                    continue;
+                }
+                let co = oracle.cancel(j.oracle_id);
+                let cf = fair.cancel(j.fair_id);
+                prop_assert!(co.is_some() && cf.is_some(), "cancel must succeed in both engines");
+                let (co, cf) = (co.unwrap(), cf.unwrap());
+                let slack = 1.0e-6 * j.demand + 10.0;
+                if mixed {
+                    // Conservative: the fair engine never progressed the
+                    // job faster than the oracle.
+                    prop_assert!(
+                        cf >= co - slack,
+                        "fair remaining {cf} below oracle remaining {co} at cancel"
+                    );
+                } else {
+                    prop_assert!(
+                        (co - cf).abs() <= slack,
+                        "cancel remaining diverged: oracle {co} vs fair {cf}"
+                    );
+                }
+                jobs[idx].cancelled = true;
+            }
+        }
+    }
+
+    // Drain both engines.
+    let mut guard = 0;
+    while oracle.active_jobs() > 0 || fair.active_jobs() > 0 {
+        let t = next_common(&mut oracle, &mut fair)
+            .ok_or_else(|| fail("active jobs but no next completion".into()))?;
+        advance_both(&mut oracle, &mut fair, &mut jobs, &by_seq, t)?;
+        guard += 1;
+        prop_assert!(guard < 20_000, "engines failed to drain");
+    }
+
+    // Every job either was cancelled or completed in both engines.
+    for (i, j) in jobs.iter().enumerate() {
+        if j.cancelled {
+            prop_assert!(
+                j.done_oracle.is_none() && j.done_fair.is_none(),
+                "job {i} completed after cancellation"
+            );
+            continue;
+        }
+        let (Some(to), Some(tf)) = (j.done_oracle, j.done_fair) else {
+            return Err(fail(format!(
+                "job {i} incomplete: oracle {:?} fair {:?}",
+                j.done_oracle, j.done_fair
+            )));
+        };
+        let tol = tol_ps(to.max(tf));
+        if mixed {
+            prop_assert!(
+                tf.as_picos() + tol >= to.as_picos(),
+                "job {i}: fair completed at {tf} — earlier than oracle {to} beyond tolerance"
+            );
+        } else {
+            prop_assert!(
+                to.as_picos().abs_diff(tf.as_picos()) <= tol,
+                "job {i}: completion diverged, oracle {to} vs fair {tf}"
+            );
+        }
+    }
+
+    // Uniform regime: completion order is invariant — no pair may be
+    // strongly inverted (clearly ordered one way by the oracle, the other
+    // way by the fast engine).
+    if !mixed {
+        let completed: Vec<(SimTime, SimTime)> = jobs
+            .iter()
+            .filter(|j| !j.cancelled)
+            .map(|j| (j.done_oracle.unwrap(), j.done_fair.unwrap()))
+            .collect();
+        for i in 0..completed.len() {
+            for k in (i + 1)..completed.len() {
+                let (oi, fi) = completed[i];
+                let (ok, fk) = completed[k];
+                let tol = tol_ps(oi.max(ok));
+                let oracle_before = oi.as_picos() + tol < ok.as_picos();
+                let fair_after = fi.as_picos() > fk.as_picos() + tol;
+                prop_assert!(
+                    !(oracle_before && fair_after),
+                    "completion order inverted: oracle {oi} < {ok}, fair {fi} > {fk}"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_engine_exact_on_uniform_workloads(seed in any::<u64>(), n_ops in 10usize..60) {
+        drive(seed, n_ops, false)?;
+    }
+
+    #[test]
+    fn fast_engine_conservative_on_mixed_workloads(seed in any::<u64>(), n_ops in 10usize..60) {
+        drive(seed, n_ops, true)?;
+    }
+}
