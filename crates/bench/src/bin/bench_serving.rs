@@ -1,6 +1,6 @@
 //! `bench_serving` — the request-level serving smoke bench.
 //!
-//! Six measurements, recorded into `BENCH_serving.json` (current
+//! Eight measurements, recorded into `BENCH_serving.json` (current
 //! directory, or the path given as the first argument):
 //!
 //! 1. **Engine indexing** — a serving-shaped event loop on the raw
@@ -35,18 +35,29 @@
 //!    the decode-gap tail (per-emission ITL p95/p99/max) improves.
 //! 6. **Overload shedding** — plain deadline-EDF vs EDF with shedding on
 //!    the overloaded seeded trace; CI gates the SLO-goodput lift.
+//! 7. **Prefix KV-cache reuse** — the seeded shared-prefix long-context
+//!    trace (8192-token shared document prefix, 60% session follow-ups)
+//!    served with the cache off and on. Hits skip their prefix's prefill
+//!    chunks and pay the residency ladder's recall I/O instead; the
+//!    `cache-smoke` CI job gates the claim exactly: TTFT p95 improves
+//!    >= 2x while every request generates the same tokens.
+//! 8. **Ledger admission aggregates** — `can_allocate` answered from the
+//!    [`KvShardLedger`]'s O(1) cached aggregates vs the O(devices)
+//!    reference scan on a 4096-device array; CI gates >= 2x.
 //!
 //! ```text
 //! Usage: bench_serving [output.json]
 //! ```
 
 use hilos_core::{
-    ChunkMode, DeadlineEdf, Fifo, HilosConfig, HilosSystem, PriorityPreempt, SchedulingPolicy,
-    ServeConfig, ServeEngine,
+    ChunkMode, DeadlineEdf, Fifo, HilosConfig, HilosSystem, PrefixCacheConfig, PriorityPreempt,
+    SchedulingPolicy, ServeConfig, ServeEngine,
 };
-use hilos_llm::{presets, RequestClass, TraceConfig};
+use hilos_llm::{presets, RequestClass, SharedPrefixConfig, TraceConfig};
 use hilos_platform::SystemSpec;
 use hilos_sim::{FlowEngine, FlowEngineImpl, ResourceId, ResourceKind, ResourceSpec, SimTime};
+use hilos_storage::{KvShardLedger, ShardSpec};
+use std::hint::black_box;
 use std::time::Instant;
 
 /// Concurrent jobs sustained in the engine benchmark.
@@ -416,6 +427,88 @@ fn main() {
     })
     .collect();
 
+    // -- 6: prefix KV-cache reuse on the shared-prefix trace --
+    // Mirrors the acceptance test in `tests/serving.rs`: prompts
+    // stretched 8x into the long-context regime, every fresh
+    // conversation opening with the same 8192-token document prefix, 60%
+    // of arrivals continuing a cached session, and arrivals light enough
+    // that TTFT is prefill-bound.
+    let shared = SharedPrefixConfig {
+        system_prompt_tokens: 8192,
+        follow_up_fraction: 0.6,
+        follow_up_tokens: 256,
+        max_turns: 8,
+    };
+    let prefix_trace = TraceConfig::long_context(192, 42, 8)
+        .with_mean_interarrival(100)
+        .with_shared_prefix(shared)
+        .generate()
+        .expect("valid trace config");
+    let cache_run = |cache: Option<PrefixCacheConfig>| {
+        let mut cfg = ServeConfig::new(16);
+        if let Some(pc) = cache {
+            cfg = cfg.with_prefix_cache(pc);
+        }
+        let r = ServeEngine::new(hilos_system(8), cfg).unwrap().run_trace(&prefix_trace).unwrap();
+        assert_eq!(r.outcomes.len(), prefix_trace.len(), "prefix trace must complete");
+        r
+    };
+    let cache_off = cache_run(None);
+    let cache_on = cache_run(Some(PrefixCacheConfig::default()));
+    assert_eq!(
+        cache_on.generated_tokens, cache_off.generated_tokens,
+        "cache must not change what is served"
+    );
+    let (ttft_off, ttft_on) = (cache_off.ttft_stats(), cache_on.ttft_stats());
+    let pc = &cache_on.prefix;
+    eprintln!(
+        "prefix cache: TTFT p95 {:.1}s -> {:.1}s ({:.2}x), hit rate {:.1}%, \
+         {} prefill tokens saved, {} demoted / {} recalled bytes",
+        ttft_off.p95,
+        ttft_on.p95,
+        ttft_off.p95 / ttft_on.p95,
+        pc.hit_rate() * 100.0,
+        pc.saved_prefill_tokens,
+        pc.demoted_bytes(),
+        pc.recalled_bytes(),
+    );
+
+    // -- 7: ledger admission-aggregate micro-benchmark --
+    // A 4096-device KV shard ledger at partial occupancy, probed with the
+    // admission question every queued request asks each step: the O(1)
+    // cached-aggregate path vs the O(devices) reference scan.
+    const LEDGER_DEVICES: usize = 4096;
+    const LEDGER_PROBES: usize = 100_000;
+    let mut ledger = KvShardLedger::new(vec![
+        ShardSpec { capacity_bytes: 1 << 30, weight: 1.0 };
+        LEDGER_DEVICES
+    ]);
+    for id in 0..512u64 {
+        ledger.allocate(id, (1 + id % 7) << 22).unwrap();
+    }
+    let probe_bytes = |i: usize| ((1 + i % 13) as u64) << 20;
+    let cached_s = best_of(REPS, || {
+        let mut admitted = 0usize;
+        for i in 0..LEDGER_PROBES {
+            admitted += usize::from(ledger.can_allocate(black_box(probe_bytes(i))));
+        }
+        black_box(admitted);
+    });
+    let scan_s = best_of(REPS, || {
+        let mut admitted = 0usize;
+        for i in 0..LEDGER_PROBES {
+            admitted += usize::from(ledger.can_allocate_scan(black_box(probe_bytes(i))));
+        }
+        black_box(admitted);
+    });
+    let cached_ns = cached_s / LEDGER_PROBES as f64 * 1e9;
+    let scan_ns = scan_s / LEDGER_PROBES as f64 * 1e9;
+    let ledger_x = scan_ns / cached_ns;
+    eprintln!(
+        "ledger@{LEDGER_DEVICES}: cached {cached_ns:.1}ns/probe, \
+         scan {scan_ns:.1}ns/probe ({ledger_x:.0}x)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"serving\",\n  \"note\": \"heap-indexed vs linear-scan \
          next_completion_time on a serving-shaped event loop ({CONCURRENT} concurrent jobs, \
@@ -432,7 +525,18 @@ fn main() {
          \"policies\": [\n    {}\n  ],\n  \
          \"chunked\": {{\n    \"requests\": {}, \"prompt_scale\": 8, \
          \"off_golden_fnv\": \"{off_fnv:#018x}\",\n    \"modes\": [\n      {}\n    ]\n  }},\n  \
-         \"shedding\": [\n    {}\n  ]\n}}\n",
+         \"shedding\": [\n    {}\n  ],\n  \
+         \"prefix_cache\": {{\n    \"requests\": {}, \"system_prompt_tokens\": 8192, \
+         \"follow_up_fraction\": 0.6, \"prompt_scale\": 8,\n    \
+         \"generated_tokens_off\": {}, \"generated_tokens_on\": {},\n    \
+         \"off\": {{\"ttft_p50_seconds\": {:.4}, \"ttft_p95_seconds\": {:.4}, \"hits\": {}}},\n    \
+         \"on\": {{\"ttft_p50_seconds\": {:.4}, \"ttft_p95_seconds\": {:.4}, \"lookups\": {}, \
+         \"hits\": {}, \"hit_rate\": {:.4}, \"saved_prefill_tokens\": {}, \
+         \"recall_seconds\": {:.4}, \"demoted_bytes\": {}, \"recalled_bytes\": {}}},\n    \
+         \"ttft_p50_off_vs_on\": {:.3}, \"ttft_p95_off_vs_on\": {:.3}\n  }},\n  \
+         \"ledger_admission\": {{\"devices\": {LEDGER_DEVICES}, \"probes\": {LEDGER_PROBES}, \
+         \"cached_ns_per_probe\": {cached_ns:.2}, \"scan_ns_per_probe\": {scan_ns:.2}, \
+         \"cached_vs_scan\": {ledger_x:.3}}}\n}}\n",
         crossover_rows.join(",\n    "),
         trace.len(),
         report.steps,
@@ -444,6 +548,23 @@ fn main() {
         long_trace.len(),
         chunk_rows.join(",\n      "),
         shed_rows.join(",\n    "),
+        prefix_trace.len(),
+        cache_off.generated_tokens,
+        cache_on.generated_tokens,
+        ttft_off.p50,
+        ttft_off.p95,
+        cache_off.prefix.hits,
+        ttft_on.p50,
+        ttft_on.p95,
+        pc.lookups,
+        pc.hits,
+        pc.hit_rate(),
+        pc.saved_prefill_tokens,
+        pc.recall_seconds,
+        pc.demoted_bytes(),
+        pc.recalled_bytes(),
+        ttft_off.p50 / ttft_on.p50,
+        ttft_off.p95 / ttft_on.p95,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("{json}");

@@ -139,6 +139,12 @@ pub struct DeploymentView {
     /// drowning in prefill backlog pays for every queued chunk ahead of
     /// it before its first token.
     pub prefill_backlog_tokens: u64,
+    /// Lifetime prefix KV-cache hit rate of the deployment's engine,
+    /// `[0, 1]` — `0.0` with the cache off (or before any probe), so
+    /// cache-off routing scores are untouched. A warm cache makes a
+    /// deployment *more* attractive for prefix-sharing traffic: hits
+    /// skip prefill work entirely.
+    pub prefix_hit_rate: f64,
 }
 
 impl DeploymentView {
@@ -264,7 +270,14 @@ impl LedgerPressure {
     }
 
     fn score(d: &DeploymentView) -> f64 {
-        d.placeable_free_bytes as f64 * d.bandwidth_weight / (1.0 + d.load() as f64)
+        let mut s = d.placeable_free_bytes as f64 * d.bandwidth_weight / (1.0 + d.load() as f64);
+        // Cache affinity: a warm prefix cache turns prompt tokens into
+        // free admissions, worth up to 2× in the score. Inert (branch
+        // untaken) with the cache off — hit rate is exactly 0.0.
+        if d.prefix_hit_rate > 0.0 {
+            s *= 1.0 + d.prefix_hit_rate;
+        }
+        s
     }
 }
 
@@ -312,6 +325,7 @@ mod tests {
             device_count: 4,
             dispatched: 0,
             prefill_backlog_tokens: 0,
+            prefix_hit_rate: 0.0,
         }
     }
 
@@ -387,6 +401,23 @@ mod tests {
         let picks: Vec<usize> = (0..32).map(|i| lp.route(&req(i), &snap)).collect();
         let to_idle = picks.iter().filter(|&&p| p == 1).count();
         assert!(to_idle > 16, "most dispatches should shed to the idle deployment: {picks:?}");
+    }
+
+    #[test]
+    fn ledger_pressure_prefers_warm_prefix_caches() {
+        // Identical capacity and load; the warm cache breaks the tie.
+        let cold = view(0, 0, 0, 1 << 30, 10.0);
+        let warm = DeploymentView { prefix_hit_rate: 0.5, ..view(1, 0, 0, 1 << 30, 10.0) };
+        assert!(LedgerPressure::score(&warm) > LedgerPressure::score(&cold));
+        assert!(
+            (LedgerPressure::score(&warm) - 1.5 * LedgerPressure::score(&cold)).abs() < 1e-6,
+            "a 0.5 hit rate is worth exactly 1.5x"
+        );
+        // Zero hit rate (cache off) takes no branch: score unchanged.
+        assert_eq!(
+            LedgerPressure::score(&cold),
+            LedgerPressure::score(&view(2, 0, 0, 1 << 30, 10.0))
+        );
     }
 
     #[test]

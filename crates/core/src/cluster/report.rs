@@ -3,7 +3,7 @@
 //! [`hilos_metrics`] primitives the single-deployment layer uses.
 
 use crate::serve::{class_breakdown_of, RequestOutcome, TraceReport};
-use hilos_metrics::{goodput, ClassReport, LatencyStats, PrefillBreakdown};
+use hilos_metrics::{goodput, ClassReport, LatencyStats, PrefillBreakdown, PrefixCacheStats};
 
 /// Everything one cluster trace run reports.
 ///
@@ -87,6 +87,13 @@ impl ClusterReport {
     /// the token-budgeted serving step.
     pub fn prefill_breakdown(&self) -> PrefillBreakdown {
         self.deployments.iter().fold(PrefillBreakdown::default(), |acc, d| acc.merged(&d.prefill))
+    }
+
+    /// Merged prefix KV-cache accounting across the deployments: cluster
+    /// hit rate, saved prefill tokens, and the residency ladders'
+    /// demote/recall traffic. All-zero with the cache off everywhere.
+    pub fn prefix_cache(&self) -> PrefixCacheStats {
+        self.deployments.iter().fold(PrefixCacheStats::default(), |acc, d| acc.merged(&d.prefix))
     }
 
     /// Simulated busy seconds of the slowest deployment — the cluster's
@@ -211,6 +218,12 @@ mod tests {
             },
             step_latency_s: vec![],
             wasted_prefill_tokens: 3,
+            prefix: PrefixCacheStats {
+                lookups: 4,
+                hits: 2,
+                saved_prefill_tokens: 128,
+                ..PrefixCacheStats::default()
+            },
         }
     }
 
@@ -229,6 +242,12 @@ mod tests {
         assert_eq!(r.preemptions(), 2);
         assert_eq!(r.shed_len(), 0);
         assert_eq!(r.wasted_prefill_tokens(), 6);
+        // Prefix-cache accounting merges across deployments.
+        let pc = r.prefix_cache();
+        assert_eq!(pc.lookups, 8);
+        assert_eq!(pc.hits, 4);
+        assert_eq!(pc.saved_prefill_tokens, 256);
+        assert!((pc.hit_rate() - 0.5).abs() < 1e-12);
         // Prefill breakdowns merge element-wise across deployments.
         let pf = r.prefill_breakdown();
         assert_eq!(pf.chunks, 4);

@@ -129,6 +129,7 @@ impl ClusterEngine {
                     device_count: ledger.device_count(),
                     dispatched: d,
                     prefill_backlog_tokens: st.prefill_backlog_tokens(),
+                    prefix_hit_rate: eng.prefix_hit_rate(),
                 }
             })
             .collect();
@@ -212,6 +213,11 @@ impl ClusterEngine {
                     let target = self.route(&states, &dispatched, gstep, view);
                     if target != d {
                         redispatches += 1;
+                        // Demoted KV is parked in the *source* deployment's
+                        // ladder; a migrated victim cannot recall it from
+                        // another deployment — drop it there and let the
+                        // target recompute (booked as wasted prefill).
+                        self.engines[d].forget_demoted(&mut states[d], entry.req.id);
                         // Deployment clocks are independent busy-time
                         // axes (idle gaps are skipped, so they diverge
                         // freely); an absolute timestamp from one domain

@@ -84,9 +84,9 @@ pub use scheduler::{
 };
 pub use serve::{
     class_breakdown_of, outcome_lifecycle_fnv, throughput_of, token_goodput_of, ttft_stats_of,
-    ChunkMode, DeadlineEdf, Fifo, InFlightView, PriorityPreempt, QueuedView, RequestOutcome,
-    SchedDecision, SchedSnapshot, SchedulingPolicy, ServeConfig, ServeEngine, ShedOutcome,
-    TraceReport,
+    ChunkMode, DeadlineEdf, Fifo, InFlightView, PrefixCacheConfig, PriorityPreempt, QueuedView,
+    RequestOutcome, SchedDecision, SchedSnapshot, SchedulingPolicy, ServeConfig, ServeEngine,
+    ShedOutcome, TraceReport,
 };
 pub use step::{AlphaSelector, DecodeStepExecutor, StepOutcome};
 pub use writeback::{spill_nand_bytes_per_token, SpillDecision, WritebackManager};

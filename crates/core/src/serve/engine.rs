@@ -20,9 +20,9 @@ use crate::scheduler::{weight_source, WeightSource};
 use crate::step::{AlphaSelector, DecodeStepExecutor};
 use crate::writeback::{SpillDecision, WritebackManager};
 use hilos_llm::{DeploymentId, ModelConfig, Request};
-use hilos_metrics::PrefillBreakdown;
+use hilos_metrics::{PrefillBreakdown, PrefixCacheStats};
 use hilos_sim::FlowEngineImpl;
-use hilos_storage::KvShardLedger;
+use hilos_storage::{KvShardLedger, KvTier, KvTierLadder, PrefixCacheIndex, SsdSpec, TierTraffic};
 use std::collections::{HashMap, VecDeque};
 
 /// Context quantum of the chunk-path prefill memoization. Chunk cursors
@@ -92,6 +92,29 @@ impl ChunkMode {
     }
 }
 
+/// Sizing of the prefix KV cache and its HBM→DRAM→SSD residency ladder.
+///
+/// The SSD rung's capacity comes from the deployment's own device array
+/// (one [`SsdSpec::smartssd_nvme`] per shard-ledger device); only the two
+/// hot rungs are sized here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixCacheConfig {
+    /// HBM rung capacity reserved for cached prefix KV, bytes.
+    pub hbm_bytes: u64,
+    /// Host-DRAM staging rung capacity, bytes.
+    pub dram_bytes: u64,
+    /// Prefix block granularity in tokens: probes hit whole blocks only,
+    /// and published prefixes round down to the block grid.
+    pub block_tokens: u64,
+}
+
+impl Default for PrefixCacheConfig {
+    /// 4 GiB of HBM and 32 GiB of DRAM over 64-token blocks.
+    fn default() -> Self {
+        PrefixCacheConfig { hbm_bytes: 4 << 30, dram_bytes: 32 << 30, block_tokens: 64 }
+    }
+}
+
 /// Configuration of the serving loop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -117,6 +140,13 @@ pub struct ServeConfig {
     /// pinned by a determinism test — so this is purely a wall-clock
     /// knob. Defaults to 1 (serial).
     pub step_threads: usize,
+    /// Prefix KV-cache reuse over a tiered residency ladder: admissions
+    /// probe for cached shared prefixes and skip that much prefill, and
+    /// preemption victims demote their KV down the ladder instead of
+    /// discarding it. `None` (the default) disables the cache entirely —
+    /// the engine is then bit-identical to the pre-cache loop
+    /// (golden-pinned).
+    pub prefix_cache: Option<PrefixCacheConfig>,
 }
 
 impl ServeConfig {
@@ -135,6 +165,7 @@ impl ServeConfig {
             chunk_mode: ChunkMode::Off,
             flow_impl: FlowEngineImpl::default(),
             step_threads: 1,
+            prefix_cache: None,
         }
     }
 
@@ -177,6 +208,17 @@ impl ServeConfig {
     pub fn with_step_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker");
         self.step_threads = threads;
+        self
+    }
+
+    /// Enables prefix KV-cache reuse with the given ladder sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block granularity is zero.
+    pub fn with_prefix_cache(mut self, cache: PrefixCacheConfig) -> Self {
+        assert!(cache.block_tokens > 0, "prefix blocks must be positive");
+        self.prefix_cache = Some(cache);
         self
     }
 }
@@ -224,6 +266,45 @@ struct InFlight {
     /// Lifetime prefill tokens executed (carried across preemptions;
     /// reported on the outcome).
     prefill_charged: u64,
+}
+
+/// A preemption victim's ingested KV parked in the residency ladder,
+/// awaiting recall on re-admission.
+#[derive(Debug, Clone, Copy)]
+struct DemotedKv {
+    /// Prefill tokens the parked KV re-materializes.
+    tokens: u64,
+    /// Ladder bytes the parked KV occupies.
+    bytes: u64,
+    /// Which rung holds it.
+    tier: KvTier,
+}
+
+/// Live prefix-cache state of one deployment, present only when
+/// [`ServeConfig::prefix_cache`] is set. Persists across runs (like the
+/// step caches); per-run reporting subtracts the [`CacheBaseline`]
+/// captured at run start.
+#[derive(Debug)]
+struct PrefixCacheState {
+    index: PrefixCacheIndex,
+    ladder: KvTierLadder,
+    /// Request id → the prefix key it acquired at admission; released on
+    /// eviction or preemption (exactly once, the index enforces it).
+    held: HashMap<u64, u64>,
+    /// Request id → preempted-victim KV parked in the ladder.
+    demoted: HashMap<u64, DemotedKv>,
+    /// KV footprint per cached token, from the model.
+    bytes_per_token: u64,
+}
+
+/// Index/ladder counter values at run start — the cache outlives a run,
+/// the [`TraceReport`] wants this run's deltas.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CacheBaseline {
+    lookups: u64,
+    hits: u64,
+    saved_tokens: u64,
+    traffic: [TierTraffic; 3],
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -308,6 +389,12 @@ pub(crate) struct RunState {
     /// already-ingested tokens (context held by a decode victim, executed
     /// chunks of a prefilling victim).
     wasted_prefill_tokens: u64,
+    /// Event-sourced prefix-cache accounting (victim demotions/recalls,
+    /// recall seconds charged to the clock); the index/ladder deltas are
+    /// folded in at [`ServeEngine::finish`]. All-zero with the cache off.
+    prefix: PrefixCacheStats,
+    /// Cache counter values at run start (the cache outlives runs).
+    cache_base: CacheBaseline,
     kv_placed: Vec<f64>,
     /// Memoized snapshot footprint estimates (see the snapshot build).
     footprint_estimates: HashMap<u64, u64>,
@@ -401,6 +488,8 @@ pub struct ServeEngine {
     max_placeable: u64,
     step_cache: HashMap<StepKey, CachedStep>,
     prefill_cache: HashMap<(u64, u64), f64>,
+    /// Prefix KV cache over the tiered residency ladder (`None` = off).
+    cache: Option<PrefixCacheState>,
 }
 
 impl ServeEngine {
@@ -442,6 +531,21 @@ impl ServeEngine {
             })?;
         }
         let max_placeable = ledger.placeable_free();
+        let cache = config.prefix_cache.map(|pc| {
+            let bytes_per_token = model.kv_bytes_per_token().max(1);
+            PrefixCacheState {
+                index: PrefixCacheIndex::new(pc.block_tokens, bytes_per_token),
+                ladder: KvTierLadder::new(
+                    pc.hbm_bytes,
+                    pc.dram_bytes,
+                    SsdSpec::smartssd_nvme(),
+                    ledger.device_count(),
+                ),
+                held: HashMap::new(),
+                demoted: HashMap::new(),
+                bytes_per_token,
+            }
+        });
         Ok(ServeEngine {
             system,
             config,
@@ -454,6 +558,7 @@ impl ServeEngine {
             max_placeable,
             step_cache: HashMap::new(),
             prefill_cache: HashMap::new(),
+            cache,
         })
     }
 
@@ -481,6 +586,134 @@ impl ServeEngine {
     /// Assigns the engine its cluster slot (outcomes record it).
     pub(crate) fn set_deployment(&mut self, id: DeploymentId) {
         self.deployment = id;
+    }
+
+    /// The prefix cache's lifetime hit rate on this deployment (`0.0`
+    /// with the cache off or before any probe) — a routing signal: a
+    /// deployment that keeps hitting shares more prefixes with the
+    /// traffic already routed to it.
+    pub fn prefix_hit_rate(&self) -> f64 {
+        match &self.cache {
+            Some(cs) if cs.index.lookups() > 0 => {
+                cs.index.hits() as f64 / cs.index.lookups() as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Drops the ref the request's admission pinned on its prefix entry.
+    fn release_prefix_hold(&mut self, id: u64) {
+        if let Some(cs) = self.cache.as_mut() {
+            if let Some(key) = cs.held.remove(&id) {
+                let _ = cs.index.release(key);
+            }
+        }
+    }
+
+    /// Parks a preemption victim's ingested KV (`tokens` worth) in the
+    /// residency ladder — DRAM if it fits, else the SSD rung — instead of
+    /// discarding it, and drops the victim's prefix pin. Returns whether
+    /// the ladder took the bytes; `false` (always, with the cache off)
+    /// means the caller books the tokens as wasted re-materialization
+    /// debt exactly as the pre-cache engine did.
+    fn demote_victim(&mut self, st: &mut RunState, id: u64, tokens: u64) -> bool {
+        let Some(cs) = self.cache.as_mut() else {
+            return false;
+        };
+        if let Some(key) = cs.held.remove(&id) {
+            let _ = cs.index.release(key);
+        }
+        if tokens == 0 {
+            return false;
+        }
+        let bytes = tokens * cs.bytes_per_token;
+        for tier in [KvTier::Dram, KvTier::Ssd] {
+            if cs.ladder.place(tier, bytes).is_ok() {
+                // The ladder's own traffic counters only track index
+                // moves; victim KV enters from the serving shards, so
+                // its demote I/O is booked here.
+                let seconds = cs.ladder.demote_seconds(tier, bytes);
+                let t = &mut st.prefix.tiers[tier.index()];
+                t.demoted_bytes += bytes;
+                t.demote_seconds += seconds;
+                st.prefix.victim_demotions += 1;
+                cs.demoted.insert(id, DemotedKv { tokens, bytes, tier });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drops the parked KV of a victim that will never be re-admitted on
+    /// this deployment (shed, unplaceable, or re-dispatched to another
+    /// deployment): the ladder bytes are freed and the tokens become the
+    /// wasted re-materialization debt they would have been without the
+    /// cache.
+    pub(crate) fn forget_demoted(&mut self, st: &mut RunState, id: u64) {
+        if let Some(cs) = self.cache.as_mut() {
+            if let Some(d) = cs.demoted.remove(&id) {
+                let _ = cs.ladder.evict(d.tier, d.bytes);
+                st.wasted_prefill_tokens += d.tokens;
+            }
+        }
+    }
+
+    /// Reuses cached KV for an admission: a preempted victim's demoted
+    /// ladder bytes recall in full, else a shared-prefix probe against
+    /// the index skips the cached blocks (pinning the entry for the
+    /// request's lifetime). Returns `(reused_tokens, recall_seconds)` —
+    /// `(0, 0.0)` with the cache off or on a miss.
+    fn reuse_cached_kv(
+        &mut self,
+        st: &mut RunState,
+        entry: &QueueEntry,
+        pf_ctx: u64,
+    ) -> (u64, f64) {
+        let Some(cs) = self.cache.as_mut() else {
+            return (0, 0.0);
+        };
+        if let Some(d) = cs.demoted.remove(&entry.req.id) {
+            let seconds = cs.ladder.recall(d.tier, d.bytes).expect("demoted bytes are resident");
+            let tokens = d.tokens.min(pf_ctx);
+            st.prefix.victim_recalls += 1;
+            st.prefix.recalled_prefill_tokens += tokens;
+            return (tokens, seconds);
+        }
+        if entry.req.prefix_key == 0 {
+            return (0, 0.0);
+        }
+        let Some((hit, _tier)) = cs.index.probe(entry.req.prefix_key, entry.req.prefix_tokens)
+        else {
+            return (0, 0.0);
+        };
+        let seconds = cs.index.recall(entry.req.prefix_key, hit, &mut cs.ladder);
+        cs.index.acquire(entry.req.prefix_key).expect("probe just hit this key");
+        cs.held.insert(entry.req.id, entry.req.prefix_key);
+        (hit.min(pf_ctx), seconds)
+    }
+
+    /// On eviction, drops the request's prefix pin and publishes its
+    /// context into the index: the class/system prefix under
+    /// `prefix_key`, and the whole finished conversation under
+    /// `publish_key` (the entry the session's next turn will hit). No-op
+    /// with the cache off.
+    fn publish_finished(&mut self, r: &InFlight) {
+        let Some(cs) = self.cache.as_mut() else {
+            return;
+        };
+        if let Some(key) = cs.held.remove(&r.req.id) {
+            let _ = cs.index.release(key);
+        }
+        if r.req.publish_key != 0 {
+            // The session's full served context — for a follow-up turn
+            // this *extends* the entry the next turn will probe.
+            cs.index.publish(r.req.publish_key, r.req.prompt_len + r.emitted, &mut cs.ladder);
+        }
+        if r.req.prefix_key != 0 && r.req.prefix_key != r.req.publish_key {
+            // The class/system prefix this request consumed (fresh
+            // conversations share it with every sibling session).
+            cs.index.publish(r.req.prefix_key, r.req.prefix_tokens, &mut cs.ladder);
+        }
     }
 
     /// Rounds a context to the nearest step-cache bucket. The quantum
@@ -581,6 +814,15 @@ impl ServeEngine {
 
     /// A fresh run state sized for this deployment.
     pub(crate) fn new_run_state(&self) -> RunState {
+        let cache_base = match &self.cache {
+            Some(cs) => CacheBaseline {
+                lookups: cs.index.lookups(),
+                hits: cs.index.hits(),
+                saved_tokens: cs.index.saved_tokens(),
+                traffic: KvTier::ALL.map(|t| cs.ladder.traffic(t)),
+            },
+            None => CacheBaseline::default(),
+        };
         RunState {
             queue: VecDeque::new(),
             prefilling: Vec::new(),
@@ -610,6 +852,8 @@ impl ServeEngine {
             prefill_chunk_tokens: 0,
             step_latency: Vec::new(),
             wasted_prefill_tokens: 0,
+            prefix: PrefixCacheStats::default(),
+            cache_base,
             kv_placed: vec![0.0; self.ledger.device_count()],
             footprint_estimates: HashMap::new(),
             wb: WritebackManager::new(self.system.config().spill_interval()),
@@ -712,6 +956,15 @@ impl ServeEngine {
                         f
                     }
                 };
+                // Surface parked (demoted) KV so a policy can weigh
+                // recall-vs-recompute when ordering re-admissions.
+                let (demoted_tokens, recall_cost_s) = match &self.cache {
+                    Some(cs) => match cs.demoted.get(&q.req.id) {
+                        Some(d) => (d.tokens, cs.ladder.recall_seconds(d.tier, d.bytes)),
+                        None => (0, 0.0),
+                    },
+                    None => (0, 0.0),
+                };
                 queue_views.push(QueuedView {
                     id: q.req.id,
                     class: q.req.class,
@@ -723,6 +976,8 @@ impl ServeEngine {
                     emitted: q.emitted,
                     preemptions: q.preemptions,
                     footprint_bytes,
+                    demoted_tokens,
+                    recall_cost_s,
                 });
             }
             let flight_views: Vec<InFlightView> = st
@@ -758,9 +1013,13 @@ impl ServeEngine {
                         let r = st.running.remove(pos);
                         self.ledger.release(r.req.id).expect("running request holds allocation");
                         st.preemptions += 1;
-                        // Re-materialization debt: the context the victim
-                        // had ingested must be prefilled again.
-                        st.wasted_prefill_tokens += r.req.prompt_len + r.emitted;
+                        // Demote the victim's ingested KV down the
+                        // residency ladder; only what the ladder cannot
+                        // hold becomes re-materialization debt (all of
+                        // it, with the cache off).
+                        if !self.demote_victim(st, r.req.id, r.req.prompt_len + r.emitted) {
+                            st.wasted_prefill_tokens += r.req.prompt_len + r.emitted;
+                        }
                         st.composition_changed = true;
                         st.requeue_victim(r);
                     } else if inline {
@@ -771,7 +1030,9 @@ impl ServeEngine {
                         let p = st.prefilling.remove(pos);
                         self.ledger.release(p.req.id).expect("prefilling request holds allocation");
                         st.preemptions += 1;
-                        st.wasted_prefill_tokens += p.prefill_done;
+                        if !self.demote_victim(st, p.req.id, p.prefill_done) {
+                            st.wasted_prefill_tokens += p.prefill_done;
+                        }
                         st.requeue_victim(p);
                     }
                 }
@@ -791,6 +1052,7 @@ impl ServeEngine {
                         continue;
                     }
                     let entry = st.queue.remove(pos).expect("position came from a live scan");
+                    self.forget_demoted(st, entry.req.id);
                     st.shed.push(ShedOutcome {
                         id: entry.req.id,
                         class: entry.req.class,
@@ -849,6 +1111,7 @@ impl ServeEngine {
                         }
                     };
                     if footprint > self.max_placeable {
+                        self.forget_demoted(st, entry.req.id);
                         drop_unplaceable(entry, &mut st.outcomes, &mut st.rejected, st.clock);
                         st.queue.remove(pos);
                         continue;
@@ -865,6 +1128,7 @@ impl ServeEngine {
                                 // (e.g. a stripe member filled by static
                                 // reservations): the request can never be
                                 // admitted.
+                                self.forget_demoted(st, entry.req.id);
                                 drop_unplaceable(
                                     entry,
                                     &mut st.outcomes,
@@ -883,25 +1147,47 @@ impl ServeEngine {
                     // A re-admitted preemption victim re-materializes the
                     // KV of its generated progress too.
                     let pf_ctx = entry.req.prompt_len + entry.emitted;
+                    // Prefix-cache probe: recall a demoted victim's parked
+                    // KV, or a published prefix hit, and start the chunk
+                    // cursor past the reused tokens. Both legs are inert
+                    // with the cache off (`reused == 0`, `recall_s == 0`),
+                    // keeping the golden-pinned path untouched.
+                    let (reused, recall_s) = self.reuse_cached_kv(st, &entry, pf_ctx);
+                    if recall_s > 0.0 {
+                        // Recall I/O is critical-path: it delays this
+                        // step's clock (and thus the hit's TTFT) just as
+                        // the paper's recovery reads do.
+                        st.clock += recall_s;
+                        st.prefix.recall_seconds += recall_s;
+                    }
                     // Side-prefill (ChunkMode::Off) simulates the whole
                     // prefill now and joins on the clock; the inline
                     // modes leave joining to the chunk cursor.
                     let join_s = if inline {
                         f64::INFINITY
                     } else {
-                        match self.prefill_seconds(pf_ctx, admit_alpha) {
+                        // A cache hit pays only the un-cached suffix; the
+                        // miss path keeps the adaptive-quantum rounding of
+                        // `prefill_seconds` bit-identical to the pins.
+                        let pf = if reused == 0 {
+                            self.prefill_seconds(pf_ctx, admit_alpha)
+                        } else {
+                            self.prefill_chunk_seconds(reused, pf_ctx - reused, admit_alpha)
+                        };
+                        match pf {
                             Ok(pf) => st.clock + pf,
                             Err(e) => {
-                                // Don't leak the shard allocation on a
-                                // failed prefill simulation — the engine
-                                // stays reusable.
+                                // Don't leak the shard allocation (or the
+                                // prefix pin) on a failed prefill
+                                // simulation — the engine stays reusable.
                                 let _ = self.ledger.release(entry.req.id);
+                                self.release_prefix_hold(entry.req.id);
                                 return Err(e);
                             }
                         }
                     };
-                    st.prefill_payload +=
-                        footprint as f64 * pf_ctx as f64 / entry.req.total_tokens() as f64;
+                    st.prefill_payload += footprint as f64 * (pf_ctx - reused) as f64
+                        / entry.req.total_tokens() as f64;
                     admissions_executed += 1;
                     st.prefilling.push(InFlight {
                         req: entry.req,
@@ -911,12 +1197,14 @@ impl ServeEngine {
                         first_token_s: entry.first_token_s,
                         emitted: entry.emitted,
                         preemptions: entry.preemptions,
-                        prefill_done: 0,
+                        prefill_done: reused,
                         prefill_total: pf_ctx,
                         admit_alpha,
                         // The lump side-prefill executes in full right
-                        // here; chunks charge as they run.
-                        prefill_charged: entry.prefill_tokens + if inline { 0 } else { pf_ctx },
+                        // here; chunks charge as they run — reused tokens
+                        // are charged to neither (that is the saving).
+                        prefill_charged: entry.prefill_tokens
+                            + if inline { 0 } else { pf_ctx - reused },
                     });
                 }
             }
@@ -1067,6 +1355,11 @@ impl ServeEngine {
             }
             if r.emitted >= r.req.output_budget {
                 self.ledger.release(r.req.id).expect("running request holds allocation");
+                // A finished request's prefix KV is worth keeping:
+                // release its read pin and publish the prefix (and the
+                // session's full context, if keyed) into the ladder for
+                // later arrivals to reuse.
+                self.publish_finished(&r);
                 st.evictions += 1;
                 st.outcomes.push(RequestOutcome {
                     id: r.req.id,
@@ -1093,6 +1386,25 @@ impl ServeEngine {
 
     /// Seals a finished run state into its [`TraceReport`].
     pub(crate) fn finish(&self, st: RunState) -> TraceReport {
+        // The index and ladder persist across runs (that is the point of
+        // a cache) — report this run's activity as the delta against the
+        // baseline captured when the run state was created. The victim
+        // demote/recall fields were event-sourced live into `st.prefix`.
+        let mut prefix = st.prefix;
+        if let Some(cs) = &self.cache {
+            let base = &st.cache_base;
+            prefix.lookups += cs.index.lookups() - base.lookups;
+            prefix.hits += cs.index.hits() - base.hits;
+            prefix.saved_prefill_tokens += cs.index.saved_tokens() - base.saved_tokens;
+            for (tier, slot) in KvTier::ALL.iter().zip(prefix.tiers.iter_mut()) {
+                let now = cs.ladder.traffic(*tier);
+                let was = &base.traffic[tier.index()];
+                slot.demoted_bytes += now.demoted_bytes - was.demoted_bytes;
+                slot.recalled_bytes += now.recalled_bytes - was.recalled_bytes;
+                slot.demote_seconds += now.demote_seconds - was.demote_seconds;
+                slot.recall_seconds += now.recall_seconds - was.recall_seconds;
+            }
+        }
         TraceReport {
             policy: self.policy.name().to_string(),
             outcomes: st.outcomes,
@@ -1126,6 +1438,7 @@ impl ServeEngine {
             },
             step_latency_s: st.step_latency,
             wasted_prefill_tokens: st.wasted_prefill_tokens,
+            prefix,
         }
     }
 
@@ -1591,5 +1904,94 @@ mod tests {
             Err(CoreError::SchedulerStalled { queued }) => assert_eq!(queued, 4),
             other => panic!("expected SchedulerStalled, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cache_off_reports_idle_prefix_stats() {
+        // A shared-prefix trace through a cache-less engine: the prefix
+        // keys are ignored, and the report's cache section is all-zero.
+        let trace = TraceConfig::shared_prefix_mix(48, 9).generate().unwrap();
+        let mut eng = ServeEngine::new(system(8), ServeConfig::new(8)).unwrap();
+        let report = eng.run_trace(&trace).unwrap();
+        assert_eq!(report.outcomes.len(), 48);
+        assert_eq!(report.prefix, PrefixCacheStats::default());
+        assert_eq!(eng.prefix_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn prefix_hits_skip_prefill_and_conserve_outputs() {
+        let trace = TraceConfig::shared_prefix_mix(96, 9).generate().unwrap();
+        let run = |cache: Option<PrefixCacheConfig>| {
+            let mut cfg = ServeConfig::new(8);
+            if let Some(pc) = cache {
+                cfg = cfg.with_prefix_cache(pc);
+            }
+            ServeEngine::new(system(8), cfg).unwrap().run_trace(&trace).unwrap()
+        };
+        let off = run(None);
+        let on = run(Some(PrefixCacheConfig::default()));
+        // Reuse does not change *what* is served, only how fast: the
+        // same requests complete with the same token counts.
+        assert_eq!(on.outcomes.len(), off.outcomes.len());
+        assert_eq!(on.generated_tokens, off.generated_tokens);
+        // Completion *order* may change (hits finish sooner); the served
+        // set and per-request token counts may not.
+        let served = |r: &TraceReport| {
+            let mut v: Vec<(u64, u64)> = r.outcomes.iter().map(|o| (o.id, o.output_len)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(served(&on), served(&off));
+        // The trace shares prefixes aggressively; the cache must hit.
+        assert!(on.prefix.lookups > 0, "every keyed admission probes");
+        assert!(on.prefix.hits > 0, "shared-prefix trace never hit");
+        assert!(on.prefix.saved_prefill_tokens > 0);
+        assert!(on.prefix.hit_rate() > 0.0 && on.prefix.hit_rate() <= 1.0);
+        // Hits charge their recall I/O but skip whole prefill chunks:
+        // prefill-side work must strictly drop.
+        let charged_on: u64 = on.outcomes.iter().map(|o| o.prefill_tokens).sum();
+        let charged_off: u64 = off.outcomes.iter().map(|o| o.prefill_tokens).sum();
+        assert_eq!(
+            charged_off - charged_on,
+            on.prefix.saved_prefill_tokens,
+            "every saved token is a prefill token never charged"
+        );
+        assert_eq!(off.prefix, PrefixCacheStats::default());
+        // Deterministic with the cache on, too.
+        assert_eq!(on, run(Some(PrefixCacheConfig::default())));
+    }
+
+    #[test]
+    fn preemption_demotes_and_recalls_instead_of_discarding() {
+        // Same contended setup as preemption_fires_and_preserves_every_request,
+        // with the residency ladder catching the victims.
+        let trace = TraceConfig { mean_interarrival_steps: 40, ..TraceConfig::azure_mix(96, 33) }
+            .generate()
+            .unwrap();
+        let run = |cache: Option<PrefixCacheConfig>| {
+            let mut cfg = ServeConfig::new(4);
+            if let Some(pc) = cache {
+                cfg = cfg.with_prefix_cache(pc);
+            }
+            ServeEngine::with_policy(system(8), cfg, Box::new(PriorityPreempt::new()))
+                .unwrap()
+                .run_trace(&trace)
+                .unwrap()
+        };
+        let off = run(None);
+        let on = run(Some(PrefixCacheConfig::default()));
+        assert!(off.preemptions > 0, "contended trace should preempt");
+        assert_eq!(on.outcomes.len(), off.outcomes.len());
+        assert!(on.prefix.victim_demotions > 0, "victims must park in the ladder");
+        assert!(on.prefix.victim_recalls > 0, "re-admissions must recall, not recompute");
+        assert!(on.prefix.recalled_prefill_tokens > 0);
+        assert!(on.prefix.demoted_bytes() > 0);
+        assert!(
+            on.wasted_prefill_tokens < off.wasted_prefill_tokens,
+            "demote-instead-of-discard must cut re-materialization debt: \
+             {} !< {}",
+            on.wasted_prefill_tokens,
+            off.wasted_prefill_tokens
+        );
     }
 }

@@ -91,13 +91,14 @@ pub(crate) mod engine;
 pub mod policy;
 mod snapshot;
 
-pub use engine::{ChunkMode, ServeConfig, ServeEngine};
+pub use engine::{ChunkMode, PrefixCacheConfig, ServeConfig, ServeEngine};
 pub use policy::{DeadlineEdf, Fifo, PriorityPreempt, SchedDecision, SchedulingPolicy};
 pub use snapshot::{InFlightView, QueuedView, SchedSnapshot};
 
 use hilos_llm::{DeploymentId, RequestClass};
 use hilos_metrics::{
     class_breakdown, goodput, ClassReport, ClassSample, LatencyStats, PrefillBreakdown,
+    PrefixCacheStats,
 };
 
 /// Lifecycle record of one completed request.
@@ -331,8 +332,13 @@ pub struct TraceReport {
     /// Prefill re-materialization debt left by preemptions: tokens whose
     /// ingested KV was discarded (a decode victim's whole context, a
     /// prefilling victim's executed chunks) — the groundwork for
-    /// cost-aware victim selection.
+    /// cost-aware victim selection. With the prefix cache on, demoted
+    /// victims do not count here (their KV survives in the ladder).
     pub wasted_prefill_tokens: u64,
+    /// Prefix KV-cache activity of this run: probe hit rate, prefill
+    /// tokens reuse skipped, and the ladder's demote/recall traffic.
+    /// All-zero with the cache off (the default).
+    pub prefix: PrefixCacheStats,
 }
 
 impl TraceReport {
@@ -468,6 +474,7 @@ mod tests {
             prefill: PrefillBreakdown::default(),
             step_latency_s: vec![],
             wasted_prefill_tokens: 0,
+            prefix: PrefixCacheStats::default(),
         };
         assert_eq!(empty.token_goodput(), 0.0);
         assert!(!empty.token_goodput().is_nan());
@@ -507,6 +514,7 @@ mod tests {
             prefill: PrefillBreakdown::default(),
             step_latency_s: vec![],
             wasted_prefill_tokens: 0,
+            prefix: PrefixCacheStats::default(),
         };
         assert_eq!(report.slo_hit_rate(), 0.5);
         assert!((report.slo_token_goodput() - 10.0 / 50.0).abs() < 1e-12);

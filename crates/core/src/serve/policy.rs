@@ -364,6 +364,8 @@ mod tests {
             emitted: 0,
             preemptions: 0,
             footprint_bytes: 1000,
+            demoted_tokens: 0,
+            recall_cost_s: 0.0,
         }
     }
 

@@ -38,6 +38,14 @@ pub struct QueuedView {
     /// admission would select). The engine re-derives the exact value at
     /// execution time; policies use this to judge headroom.
     pub footprint_bytes: u64,
+    /// Tokens of this request's preempted KV parked in the residency
+    /// ladder (zero with the prefix cache off, or for requests that were
+    /// never preempted-and-demoted) — admission recalls them instead of
+    /// recomputing.
+    pub demoted_tokens: u64,
+    /// Priced critical-path seconds of recalling that parked KV — the
+    /// recall-vs-recompute signal for re-admission ordering.
+    pub recall_cost_s: f64,
 }
 
 /// An in-flight (prefilling or decoding) request as the policy sees it.

@@ -6,10 +6,10 @@ use hilos_core::cluster::{
 };
 use hilos_core::{
     paper_alpha_mha, spill_nand_bytes_per_token, AlphaModel, AlphaPolicy, ChunkMode, DeadlineEdf,
-    Fifo, HilosConfig, HilosSystem, PriorityPreempt, SchedulingPolicy, ServeConfig, ServeEngine,
-    WritebackManager, ALPHA_CANDIDATES,
+    Fifo, HilosConfig, HilosSystem, PrefixCacheConfig, PriorityPreempt, SchedulingPolicy,
+    ServeConfig, ServeEngine, WritebackManager, ALPHA_CANDIDATES,
 };
-use hilos_llm::{presets, TraceConfig};
+use hilos_llm::{presets, SharedPrefixConfig, TraceConfig};
 use hilos_platform::SystemSpec;
 use proptest::prelude::*;
 
@@ -231,6 +231,77 @@ proptest! {
             (a - b).abs() <= 1e-9 * a.max(1.0),
             "chunked prefill total {b}s diverged from lump {a}s (chunk {chunk})"
         );
+    }
+
+    /// Prefix-cache serving conservation: with the cache on — any chunk
+    /// mode, any load, any shared-prefix shape, a deliberately tiny HBM
+    /// rung forcing constant demotion cascades — every request still
+    /// finishes exactly once, the shard ledger returns to its initial
+    /// state, and the cache's books balance: hits never exceed lookups,
+    /// victims recall at most what was demoted, and under FIFO (no
+    /// preemptions) the prefill tokens actually charged equal the
+    /// prompts minus exactly the saved tokens.
+    #[test]
+    fn prefix_cache_serving_conserves_requests_and_work(
+        n in 8usize..32,
+        seed in 0u64..1_000_000,
+        gap in 0u64..64,
+        chunk_idx in 0usize..3,
+        policy_idx in 0usize..2,
+        sys_pow in 7u32..12,
+        fu_pct in 0u32..95,
+    ) {
+        let shared = SharedPrefixConfig {
+            system_prompt_tokens: 1 << sys_pow,
+            follow_up_fraction: fu_pct as f64 / 100.0,
+            follow_up_tokens: 96,
+            max_turns: 6,
+        };
+        let trace = TraceConfig { mean_interarrival_steps: gap, ..TraceConfig::azure_mix(n, seed) }
+            .with_shared_prefix(shared)
+            .generate()
+            .unwrap();
+        let chunk_mode = match chunk_idx {
+            0 => ChunkMode::Off,
+            1 => ChunkMode::Lump,
+            _ => ChunkMode::chunked(),
+        };
+        let policy: Box<dyn SchedulingPolicy> = if policy_idx == 0 {
+            Box::new(Fifo)
+        } else {
+            Box::new(PriorityPreempt::new())
+        };
+        let cache = PrefixCacheConfig {
+            hbm_bytes: 64 << 20, // tiny on purpose: publish must cascade
+            dram_bytes: 1 << 30,
+            block_tokens: 64,
+        };
+        let config = ServeConfig::new(4).with_chunk_mode(chunk_mode).with_prefix_cache(cache);
+        let mut eng = ServeEngine::with_policy(serve_system(), config, policy).unwrap();
+        let free_before = eng.ledger().free_by_device();
+        let report = eng.run_trace(&trace).unwrap();
+
+        // Exactly-once and shard-ledger conservation, cache on.
+        prop_assert_eq!(report.outcomes.len() + report.rejected.len(), n);
+        prop_assert_eq!(eng.ledger().live_requests(), 0, "leaked shard allocations");
+        prop_assert_eq!(eng.ledger().free_by_device(), free_before, "per-device free drifted");
+
+        // The cache's books balance.
+        let pc = &report.prefix;
+        prop_assert!(pc.hits <= pc.lookups, "{} hits > {} lookups", pc.hits, pc.lookups);
+        prop_assert!(pc.hit_rate() <= 1.0);
+        prop_assert!(pc.victim_recalls <= pc.victim_demotions, "recalled more than parked");
+        if policy_idx == 0 {
+            // FIFO never preempts: charged prefill = prompts - saved.
+            prop_assert_eq!(report.preemptions, 0);
+            prop_assert_eq!(pc.victim_demotions, 0);
+            let charged: u64 = report.outcomes.iter().map(|o| o.prefill_tokens).sum();
+            let prompts: u64 = report.outcomes.iter().map(|o| o.prompt_len).sum();
+            prop_assert_eq!(
+                charged + pc.saved_prefill_tokens, prompts,
+                "saved tokens must be exactly the prefill never charged"
+            );
+        }
     }
 }
 

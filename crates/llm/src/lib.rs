@@ -25,6 +25,8 @@ mod workload;
 
 pub use config::{presets, MlpKind, ModelConfig, MoeConfig, FP16_BYTES};
 pub use footprint::{footprint, Footprint};
-pub use request::{DeploymentId, Priority, Request, Slo, TraceConfig, TraceError};
+pub use request::{
+    DeploymentId, Priority, Request, SharedPrefixConfig, Slo, TraceConfig, TraceError,
+};
 pub use synthetic::{RetrievalTask, RetrievalTaskConfig};
 pub use workload::{BatchSpec, RequestClass};

@@ -173,6 +173,17 @@ pub struct Request {
     /// The request's service-level objective (deadline + priority),
     /// consumed by deadline/priority-aware scheduling policies.
     pub slo: Slo,
+    /// Content key of the shared prefix this prompt opens with (`0` =
+    /// nothing shared): a hashed identity for a per-class system prompt
+    /// or the running conversation of a multi-turn session. A prefix
+    /// cache probes this key to skip prefill work.
+    pub prefix_key: u64,
+    /// How many leading prompt tokens `prefix_key` covers.
+    pub prefix_tokens: u64,
+    /// Key under which this request's *full* context (prompt + output)
+    /// becomes reusable once served (`0` = never reused): the session
+    /// identity its follow-up turns probe.
+    pub publish_key: u64,
 }
 
 impl Request {
@@ -202,7 +213,26 @@ impl Request {
             output_budget,
             class,
             slo: Slo::for_class(class),
+            prefix_key: 0,
+            prefix_tokens: 0,
+            publish_key: 0,
         })
+    }
+
+    /// Stamps the shared-prefix identity: the first `tokens` prompt
+    /// tokens are the content keyed by `key`. The token count is clamped
+    /// to the prompt length.
+    pub fn with_prefix(mut self, key: u64, tokens: u64) -> Self {
+        self.prefix_key = key;
+        self.prefix_tokens = tokens.min(self.prompt_len);
+        self
+    }
+
+    /// Stamps the key under which the request's full served context
+    /// becomes reusable (its conversation's identity).
+    pub fn with_publish_key(mut self, key: u64) -> Self {
+        self.publish_key = key;
+        self
     }
 
     /// Replaces the SLO.
@@ -240,6 +270,48 @@ impl fmt::Display for Request {
     }
 }
 
+/// Seeded shared-prefix structure layered onto a trace: per-class system
+/// prompts and multi-turn conversation sessions.
+///
+/// Applied as a post-pass over the base trace with an *independent* RNG
+/// stream, so configs without shared prefixes generate bit-identical
+/// traces to older versions. Every request either **opens a session**
+/// (its prompt begins with its class's system prompt, keyed per class)
+/// or, with probability [`follow_up_fraction`](Self::follow_up_fraction),
+/// **continues an open session** of its class: its prompt becomes the
+/// conversation so far plus fresh user tokens, and its shared prefix is
+/// the predecessor's full served context. Follow-ups arrive later in the
+/// trace but not necessarily after the predecessor *finishes* — whether
+/// the reused prefix is actually cached by then is the serving layer's
+/// problem, exactly as in production.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedPrefixConfig {
+    /// Tokens of the per-class system prompt every prompt opens with.
+    pub system_prompt_tokens: u64,
+    /// Probability, in `[0, 1]`, that an arrival continues an open
+    /// session of its class instead of opening a new one.
+    pub follow_up_fraction: f64,
+    /// Mean fresh user tokens appended per follow-up turn (jittered
+    /// uniformly in `1..=2·mean`).
+    pub follow_up_tokens: u64,
+    /// Maximum turns per session before it closes.
+    pub max_turns: u32,
+}
+
+impl SharedPrefixConfig {
+    /// A chat-shaped default: 512-token system prompts, 60% of arrivals
+    /// continue a conversation, ~96 fresh tokens per turn, sessions up
+    /// to 8 turns.
+    pub fn chat() -> Self {
+        SharedPrefixConfig {
+            system_prompt_tokens: 512,
+            follow_up_fraction: 0.6,
+            follow_up_tokens: 96,
+            max_turns: 8,
+        }
+    }
+}
+
 /// Configuration of a seeded heterogeneous request trace.
 ///
 /// # Examples
@@ -274,6 +346,10 @@ pub struct TraceConfig {
     /// Per-class SLOs stamped onto generated requests, in
     /// [`RequestClass::all`] order. Defaults to [`Slo::for_class`].
     pub class_slos: [Slo; 3],
+    /// Shared-prefix structure (system prompts + multi-turn sessions).
+    /// `None` (the default) leaves the trace prefix-free and
+    /// bit-identical to pre-prefix versions of this crate.
+    pub shared_prefix: Option<SharedPrefixConfig>,
 }
 
 impl TraceConfig {
@@ -293,6 +369,7 @@ impl TraceConfig {
                 Slo::for_class(RequestClass::Medium),
                 Slo::for_class(RequestClass::Long),
             ],
+            shared_prefix: None,
         }
     }
 
@@ -317,6 +394,20 @@ impl TraceConfig {
     pub fn with_mean_interarrival(mut self, steps: u64) -> Self {
         self.mean_interarrival_steps = steps;
         self
+    }
+
+    /// Layers seeded shared-prefix structure (per-class system prompts +
+    /// multi-turn sessions) onto the trace. See [`SharedPrefixConfig`].
+    pub fn with_shared_prefix(mut self, shared: SharedPrefixConfig) -> Self {
+        self.shared_prefix = Some(shared);
+        self
+    }
+
+    /// The Azure mix with chat-shaped shared prefixes
+    /// ([`SharedPrefixConfig::chat`]) — the canonical trace for measuring
+    /// prefix-cache reuse.
+    pub fn shared_prefix_mix(requests: usize, seed: u64) -> Self {
+        TraceConfig::azure_mix(requests, seed).with_shared_prefix(SharedPrefixConfig::chat())
     }
 
     /// Generates the trace: `requests` requests in arrival order,
@@ -365,7 +456,58 @@ impl TraceConfig {
                     .with_slo(self.class_slos[class_idx])?,
             );
         }
+        if let Some(shared) = self.shared_prefix {
+            self.apply_shared_prefix(&mut out, shared);
+        }
         Ok(out)
+    }
+
+    /// Stamps shared-prefix identities onto a generated trace. Uses an
+    /// RNG stream independent of [`TraceConfig::generate`]'s (the seed
+    /// salted by a fixed constant), so the base trace — arrivals, classes,
+    /// jitters — is untouched and prefix-free configs stay bit-identical.
+    fn apply_shared_prefix(&self, out: &mut [Request], shared: SharedPrefixConfig) {
+        const PREFIX_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+        const CLASS_KEY_BASE: u64 = 0xc1a5_5000_0000_0000;
+        const SESSION_KEY_BASE: u64 = 0x5e55_0000_0000_0000;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ PREFIX_SALT);
+        // Open sessions per class: (session key, served context so far,
+        // turns taken).
+        let mut sessions: [Vec<(u64, u64, u32)>; 3] = Default::default();
+        for r in out.iter_mut() {
+            let ci = RequestClass::all().iter().position(|c| *c == r.class).unwrap_or(0);
+            let roll = rng.random::<f64>();
+            let follow_up = !sessions[ci].is_empty() && roll < shared.follow_up_fraction;
+            if follow_up {
+                let si = rng.random_range(0..sessions[ci].len() as u64) as usize;
+                let (key, context, turns) = sessions[ci][si];
+                let fresh = 1 + rng.random_range(0..2 * shared.follow_up_tokens.max(1));
+                // The prompt is the conversation so far plus fresh user
+                // tokens; the whole served context is the shared prefix.
+                r.prompt_len = context + fresh;
+                r.prefix_key = key;
+                r.prefix_tokens = context;
+                r.publish_key = key;
+                if turns + 1 >= shared.max_turns.max(1) {
+                    sessions[ci].swap_remove(si);
+                } else {
+                    sessions[ci][si] = (key, r.prompt_len + r.output_budget, turns + 1);
+                }
+            } else {
+                // A fresh conversation: the prompt opens with the class
+                // system prompt (shared with every other session of the
+                // class) and the session's own context becomes reusable
+                // under its session key.
+                let session_key = SESSION_KEY_BASE | r.id;
+                r.prompt_len = r.prompt_len.max(shared.system_prompt_tokens + 1);
+                r.prefix_key = CLASS_KEY_BASE | ci as u64;
+                r.prefix_tokens = shared.system_prompt_tokens.min(r.prompt_len);
+                r.publish_key = session_key;
+                if shared.max_turns > 1 {
+                    sessions[ci].push((session_key, r.prompt_len + r.output_budget, 1));
+                }
+            }
+        }
     }
 }
 
@@ -467,6 +609,65 @@ mod tests {
             .generate()
             .unwrap();
         assert!(zero_gap.iter().all(|r| r.arrival_step == 0));
+    }
+
+    #[test]
+    fn shared_prefix_traces_are_seed_deterministic_and_structured() {
+        let a = TraceConfig::shared_prefix_mix(400, 21).generate().unwrap();
+        let b = TraceConfig::shared_prefix_mix(400, 21).generate().unwrap();
+        assert_eq!(a, b, "same seed, same shared-prefix trace");
+        assert_ne!(a, TraceConfig::shared_prefix_mix(400, 22).generate().unwrap());
+        let shared = SharedPrefixConfig::chat();
+        let follow_ups: Vec<&Request> =
+            a.iter().filter(|r| r.publish_key == r.prefix_key).collect();
+        assert!(
+            follow_ups.len() > 100 && follow_ups.len() < 350,
+            "~60% of 400 arrivals should continue sessions, got {}",
+            follow_ups.len()
+        );
+        for r in &a {
+            // Every request opens with a shared prefix strictly inside
+            // its prompt, and publishes its session context.
+            assert!(r.prefix_key != 0 && r.publish_key != 0, "{r}");
+            assert!(r.prefix_tokens > 0 && r.prefix_tokens < r.prompt_len, "{r}");
+            if r.publish_key != r.prefix_key {
+                // A session opener shares exactly the class system prompt.
+                assert_eq!(r.prefix_tokens, shared.system_prompt_tokens, "{r}");
+            }
+        }
+        for f in &follow_ups {
+            // A follow-up's shared prefix is its predecessor's served
+            // context: the predecessor publishes under the same key and
+            // its prompt+output covers the follow-up's prefix.
+            let pred = a
+                .iter()
+                .filter(|p| p.publish_key == f.prefix_key && p.id < f.id)
+                .max_by_key(|p| p.id)
+                .expect("follow-up has a predecessor");
+            assert!(pred.arrival_step <= f.arrival_step);
+            assert_eq!(pred.prompt_len + pred.output_budget, f.prefix_tokens, "{f}");
+            assert_eq!(pred.class, f.class, "sessions stay within a class");
+        }
+    }
+
+    #[test]
+    fn shared_prefix_post_pass_preserves_the_base_stream() {
+        // The prefix-free fields of a shared-prefix trace that the
+        // post-pass does not touch (arrivals, classes, output budgets, and
+        // the prompts of never-rewritten requests) match the plain trace
+        // bit for bit: the prefix structure draws from an independent RNG.
+        let plain = TraceConfig::azure_mix(300, 42).generate().unwrap();
+        let shared = TraceConfig::shared_prefix_mix(300, 42).generate().unwrap();
+        for (p, s) in plain.iter().zip(shared.iter()) {
+            assert_eq!((p.id, p.arrival_step, p.class), (s.id, s.arrival_step, s.class));
+            assert_eq!(p.output_budget, s.output_budget);
+        }
+        // And a config with `shared_prefix: None` is the plain trace.
+        let none = TraceConfig { shared_prefix: None, ..TraceConfig::shared_prefix_mix(300, 42) }
+            .generate()
+            .unwrap();
+        assert_eq!(plain, none);
+        assert!(plain.iter().all(|r| r.prefix_key == 0 && r.publish_key == 0));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`PrefillBreakdown`] — where the token-budgeted serving step's time
 //!   went: decode, prefill-chunk interference with the running batch, or
 //!   prefill stall with nothing decoding,
+//! * [`PrefixCacheStats`] — prefix KV-cache reuse accounting: hit rate,
+//!   saved prefill tokens, and per-tier demote/recall traffic of the
+//!   HBM→DRAM→SSD residency ladder,
 //! * [`Table`] — plain-text table rendering used by the `repro` harness.
 
 #![forbid(unsafe_code)]
@@ -23,6 +26,7 @@ mod endurance;
 mod energy;
 mod latency;
 mod prefill;
+mod prefix_cache;
 mod report;
 
 pub use cost::{normalized_cost_efficiency, tokens_per_second_per_dollar};
@@ -30,4 +34,5 @@ pub use endurance::EnduranceModel;
 pub use energy::{energy, joules_per_token, ActivitySnapshot, EnergyBreakdown};
 pub use latency::{class_breakdown, fmt_seconds, goodput, ClassReport, ClassSample, LatencyStats};
 pub use prefill::PrefillBreakdown;
+pub use prefix_cache::{PrefixCacheStats, TierTrafficStats};
 pub use report::{fmt_bytes, fmt_ratio, Table};

@@ -1,0 +1,146 @@
+//! Prefix KV-cache accounting: reuse hits, saved prefill work, and the
+//! demote/recall traffic of the tiered residency ladder.
+
+/// Demote/recall traffic of one residency tier, as carried into a trace
+/// report (mirrors `hilos-storage`'s per-tier accounting without the
+/// dependency).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TierTrafficStats {
+    /// Bytes demoted *into* this tier from the rung above.
+    pub demoted_bytes: u64,
+    /// Bytes recalled *out of* this tier toward the hot end.
+    pub recalled_bytes: u64,
+    /// Seconds of side-channel demote I/O into this tier.
+    pub demote_seconds: f64,
+    /// Seconds of critical-path recall I/O out of this tier.
+    pub recall_seconds: f64,
+}
+
+impl TierTrafficStats {
+    /// Sums two tiers' traffic (cluster-level aggregation).
+    pub fn merged(&self, other: &TierTrafficStats) -> TierTrafficStats {
+        TierTrafficStats {
+            demoted_bytes: self.demoted_bytes + other.demoted_bytes,
+            recalled_bytes: self.recalled_bytes + other.recalled_bytes,
+            demote_seconds: self.demote_seconds + other.demote_seconds,
+            recall_seconds: self.recall_seconds + other.recall_seconds,
+        }
+    }
+}
+
+/// What the prefix KV cache did for one serving run: probe outcomes, the
+/// prefill work that reuse skipped, the recall seconds charged into
+/// TTFT, and the per-tier demote/recall traffic of the residency ladder.
+/// All-zero (the [`Default`]) when the cache is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrefixCacheStats {
+    /// Admission probes against the prefix index.
+    pub lookups: u64,
+    /// Probes that hit a cached prefix.
+    pub hits: u64,
+    /// Prefill tokens skipped by hits — work the engine never did.
+    pub saved_prefill_tokens: u64,
+    /// Critical-path seconds spent recalling cached or demoted KV back
+    /// to the hot tier (charged into the hitting requests' TTFT).
+    pub recall_seconds: f64,
+    /// Preempted victims whose KV was demoted down the ladder instead of
+    /// discarded.
+    pub victim_demotions: u64,
+    /// Preempted victims re-admitted by recalling their demoted KV —
+    /// prefill work that would otherwise have been recomputed.
+    pub victim_recalls: u64,
+    /// Prefill tokens restored by victim recalls (recompute debt repaid
+    /// from the ladder instead of the compute pipeline).
+    pub recalled_prefill_tokens: u64,
+    /// Demote/recall traffic per tier, hottest first (HBM, DRAM, SSD).
+    pub tiers: [TierTrafficStats; 3],
+}
+
+impl PrefixCacheStats {
+    /// Hit rate over probes, `0.0` for an idle (or disabled) cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Total bytes demoted down the ladder across tiers.
+    pub fn demoted_bytes(&self) -> u64 {
+        self.tiers.iter().map(|t| t.demoted_bytes).sum()
+    }
+
+    /// Total bytes recalled toward the hot end across tiers.
+    pub fn recalled_bytes(&self) -> u64 {
+        self.tiers.iter().map(|t| t.recalled_bytes).sum()
+    }
+
+    /// Sums two runs' cache accounting (cluster-level aggregation).
+    pub fn merged(&self, other: &PrefixCacheStats) -> PrefixCacheStats {
+        PrefixCacheStats {
+            lookups: self.lookups + other.lookups,
+            hits: self.hits + other.hits,
+            saved_prefill_tokens: self.saved_prefill_tokens + other.saved_prefill_tokens,
+            recall_seconds: self.recall_seconds + other.recall_seconds,
+            victim_demotions: self.victim_demotions + other.victim_demotions,
+            victim_recalls: self.victim_recalls + other.victim_recalls,
+            recalled_prefill_tokens: self.recalled_prefill_tokens + other.recalled_prefill_tokens,
+            tiers: [
+                self.tiers[0].merged(&other.tiers[0]),
+                self.tiers[1].merged(&other.tiers[1]),
+                self.tiers[2].merged(&other.tiers[2]),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_idle_and_guarded() {
+        let s = PrefixCacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.demoted_bytes(), 0);
+        assert_eq!(s.recalled_bytes(), 0);
+        assert_eq!(s.merged(&s), s);
+    }
+
+    #[test]
+    fn merged_sums_every_field() {
+        let a = PrefixCacheStats {
+            lookups: 10,
+            hits: 4,
+            saved_prefill_tokens: 4096,
+            recall_seconds: 1.5,
+            victim_demotions: 2,
+            victim_recalls: 1,
+            recalled_prefill_tokens: 512,
+            tiers: [
+                TierTrafficStats::default(),
+                TierTrafficStats {
+                    demoted_bytes: 100,
+                    recalled_bytes: 50,
+                    demote_seconds: 0.5,
+                    recall_seconds: 0.25,
+                },
+                TierTrafficStats { demoted_bytes: 7, ..TierTrafficStats::default() },
+            ],
+        };
+        let m = a.merged(&a);
+        assert_eq!(m.lookups, 20);
+        assert_eq!(m.hits, 8);
+        assert_eq!(m.saved_prefill_tokens, 8192);
+        assert_eq!(m.recall_seconds, 3.0);
+        assert_eq!(m.victim_demotions, 4);
+        assert_eq!(m.victim_recalls, 2);
+        assert_eq!(m.recalled_prefill_tokens, 1024);
+        assert_eq!(m.tiers[1].demoted_bytes, 200);
+        assert_eq!(m.tiers[1].recall_seconds, 0.5);
+        assert_eq!(m.demoted_bytes(), 214);
+        assert_eq!(m.recalled_bytes(), 100);
+        assert!((m.hit_rate() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,6 +1,10 @@
-//! # hilos-storage — SSD and NAND flash model
+//! # hilos-storage — SSD, NAND flash, and tiered KV residency
 //!
-//! The storage substrate of the HILOS reproduction. It provides:
+//! The storage substrate of the HILOS reproduction: the device physics at
+//! the bottom, request-level KV accounting in the middle, and the tiered
+//! prefix-reuse layer on top.
+//!
+//! ## Device models
 //!
 //! * [`SsdSpec`] — datasheet-level device descriptions (bandwidths, page
 //!   size, command latency, endurance budget) with presets for the paper's
@@ -13,12 +17,33 @@
 //!   used to validate the analytic write-amplification model,
 //! * [`Raid0`] — mdadm-style striping across devices (the baselines'
 //!   4-SSD array),
+//! * [`SsdInstance`] — the adapter that materializes a device's read/write
+//!   channels as [`hilos_sim`] resources and emits transfer tasks.
+//!
+//! ## KV accounting and the residency ladder
+//!
 //! * [`KvShardLedger`] — per-device KV shard accounting for request-level
 //!   admission: `allocate`/`release` per request across the striped
 //!   devices, with bandwidth-weighted placement that skews away from
-//!   degraded devices,
-//! * [`SsdInstance`] — the adapter that materializes a device's read/write
-//!   channels as [`hilos_sim`] resources and emits transfer tasks.
+//!   degraded devices. The admission probes
+//!   ([`KvShardLedger::can_allocate`] /
+//!   [`KvShardLedger::placeable_free`]) are O(1), served from cached
+//!   aggregates so a scheduler interrogating the ledger on every decision
+//!   never rescans the device array.
+//! * [`KvTierLadder`] — the HBM → DRAM → near-storage SSD residency
+//!   ladder for *retained* KV. Every rung has explicit capacity, and
+//!   moving bytes between rungs is priced by the device models above:
+//!   DRAM staging at the host-interconnect bandwidth, the SSD rung as a
+//!   [`Raid0`]-striped transfer paying command latency and the NAND
+//!   write amplification of its spill granularity. Demotions are
+//!   side-channel I/O; recalls are critical-path seconds the serving
+//!   layer charges straight into TTFT.
+//! * [`PrefixCacheIndex`] — content-keyed, block-granular prefix KV
+//!   entries over the ladder: refcounted while live requests read them,
+//!   LRU within each tier, demoted rung by rung (and evicted off the
+//!   bottom) under capacity pressure instead of being discarded. A probe
+//!   answers how many prefill tokens a request can skip and what the
+//!   recall of that prefix costs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,12 +52,16 @@ mod device;
 mod ftl;
 mod ledger;
 mod nand;
+mod prefix;
 mod raid;
 mod spec;
+mod tier;
 
 pub use device::{IoCounters, SsdDevice, SsdInstance, WritePattern};
 pub use ftl::{Ftl, FtlConfig, FtlError, FtlStats};
 pub use ledger::{KvShardLedger, LedgerError, ShardSpec};
 pub use nand::NandGeometry;
+pub use prefix::{PrefixCacheIndex, PrefixError};
 pub use raid::{Raid0, RaidError, StripeExtent};
 pub use spec::SsdSpec;
+pub use tier::{KvTier, KvTierLadder, TierError, TierTraffic};

@@ -1,6 +1,10 @@
-//! Property tests for the FTL, RAID and KV shard ledger invariants.
+//! Property tests for the FTL, RAID, KV shard ledger, and prefix-cache
+//! residency-ladder invariants.
 
-use hilos_storage::{Ftl, FtlConfig, KvShardLedger, Raid0, ShardSpec};
+use hilos_storage::{
+    Ftl, FtlConfig, KvShardLedger, KvTier, KvTierLadder, PrefixCacheIndex, Raid0, ShardSpec,
+    SsdSpec,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -137,6 +141,81 @@ proptest! {
                 ledger.occupied_bytes(2),
                 healthy
             );
+        }
+    }
+
+    /// Prefix-cache residency conservation: under any interleaving of
+    /// publishes, probes, pins, releases and recalls, every entry's bytes
+    /// are resident in exactly one tier (per-tier ladder occupancy equals
+    /// the sum of that tier's entries, and never exceeds capacity), and a
+    /// pinned entry survives every make-room demotion cascade. The tiny
+    /// HBM/DRAM rungs force constant cascades into the SSD rung.
+    #[test]
+    fn prefix_ladder_conserves_residency_and_pins(
+        ops in prop::collection::vec((0u8..5, 1u64..12, 1u64..6000), 1..300),
+    ) {
+        const BPT: u64 = 16; // bytes per token -> 1 KiB blocks of 64 tokens
+        let mut ladder = KvTierLadder::new(96 << 10, 384 << 10, SsdSpec::smartssd_nvme(), 2);
+        let mut index = PrefixCacheIndex::new(64, BPT);
+        let mut pins: HashMap<u64, u32> = HashMap::new();
+        for (op, key, tokens) in ops {
+            match op {
+                0 | 1 => {
+                    index.publish(key, tokens, &mut ladder);
+                }
+                2 => {
+                    // A probe can miss on a resident entry (limit below
+                    // one block); pinning is keyed on residency, not hits.
+                    if index.entry(key).is_some() {
+                        index.probe(key, tokens);
+                        index.acquire(key).unwrap();
+                        *pins.entry(key).or_insert(0) += 1;
+                    } else {
+                        prop_assert!(index.acquire(key).is_err(), "acquired a missing entry");
+                    }
+                }
+                3 => {
+                    match pins.get_mut(&key) {
+                        Some(n) if *n > 0 => {
+                            index.release(key).unwrap();
+                            *n -= 1;
+                        }
+                        _ => prop_assert!(
+                            index.release(key).is_err(),
+                            "released an unpinned entry"
+                        ),
+                    }
+                }
+                _ => {
+                    if let Some((hit, _tier)) = index.probe(key, tokens) {
+                        let s = index.recall(key, hit, &mut ladder);
+                        prop_assert!(s >= 0.0 && s.is_finite());
+                    }
+                }
+            }
+            // Conservation: the ladder holds exactly the index's entries,
+            // each in one tier, within capacity.
+            let mut per_tier = [0u64; 3];
+            for k in 0..12 {
+                if let Some((toks, tier, _refs)) = index.entry(k) {
+                    per_tier[tier.index()] += toks * BPT;
+                }
+            }
+            for t in KvTier::ALL {
+                prop_assert_eq!(ladder.occupied(t), per_tier[t.index()], "{} occupancy", t.label());
+                prop_assert!(ladder.occupied(t) <= ladder.capacity(t), "{} overfull", t.label());
+            }
+            prop_assert_eq!(index.resident_bytes(), per_tier.iter().sum::<u64>());
+            // Refcount safety: pinned entries are never evicted by a
+            // cascade, and their refcounts match the model's.
+            for (&k, &n) in &pins {
+                if n > 0 {
+                    let entry = index.entry(k);
+                    prop_assert!(entry.is_some(), "pinned entry {} evicted", k);
+                    prop_assert_eq!(entry.unwrap().2, n, "refcount drifted for {}", k);
+                }
+            }
+            prop_assert!(index.hits() <= index.lookups());
         }
     }
 }
