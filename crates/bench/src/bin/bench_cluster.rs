@@ -15,16 +15,27 @@
 //!    cluster under round-robin routing on a balanced-load trace:
 //!    preempted victims must actually migrate between deployments and
 //!    every request must still complete exactly once.
+//! 3. **Elastic vs reserved fleet** — the seeded flash-crowd trace (384
+//!    requests in 6 bursts separated by long calm gaps) served by an
+//!    elastic 3-slot fleet under cost-normalized routing, autoscaled by
+//!    the reactive target-pressure scaler and by the hybrid-histogram
+//!    keep-alive predictor, against the same fleet statically reserved
+//!    at peak for the whole run. CI gates: the keep-alive fleet beats
+//!    the reserved one on $/1k-goodput-tokens by ≥1.3×, with zero lost
+//!    requests across every scale-up, drain and retire.
 //!
 //! ```text
 //! Usage: bench_cluster [output.json]
 //! ```
 
 use hilos_core::cluster::{
-    ClusterEngine, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
+    AutoscalePolicy, ClusterEngine, CostNormalizedPressure, ElasticClusterEngine, ElasticConfig,
+    HybridHistogramKeepAlive, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
+    TargetPressureScaler,
 };
 use hilos_core::{HilosConfig, HilosSystem, PriorityPreempt, ServeConfig, ServeEngine};
 use hilos_llm::{presets, TraceConfig};
+use hilos_metrics::FleetBill;
 use hilos_platform::SystemSpec;
 use std::time::Instant;
 
@@ -127,6 +138,104 @@ fn main() {
         rd.completed(),
     );
 
+    // -- 3: elastic vs reserved fleet on the bursty trace --
+    const BURSTY_REQUESTS: usize = 512;
+    const BURSTS: u32 = 8;
+    const CALM_GAP: u64 = 2400;
+    let bursty =
+        TraceConfig::flash_crowd_mix(BURSTY_REQUESTS, SEED, BURSTS, CALM_GAP).generate().unwrap();
+    let elastic_slots = || {
+        vec![
+            ServeEngine::new(hilos(8), ServeConfig::new(8)).unwrap(),
+            ServeEngine::new(hilos(6), ServeConfig::new(8)).unwrap(),
+            ServeEngine::new(hilos(4), ServeConfig::new(8)).unwrap(),
+            ServeEngine::new(hilos(4), ServeConfig::new(8)).unwrap(),
+        ]
+    };
+
+    // The reserved baseline: the same fleet, every slot provisioned for
+    // the whole run, same cost-normalized router.
+    let mut fixed = ClusterEngine::new(elastic_slots(), Box::new(CostNormalizedPressure));
+    let fixed_report = fixed.run_trace(&bursty).unwrap();
+    assert_eq!(fixed_report.completed(), bursty.len(), "fixed fleet must complete the trace");
+    let slot_costs: Vec<(f64, f64)> = fixed
+        .deployments()
+        .iter()
+        .map(|e| {
+            let spec = e.system().spec();
+            (spec.total_price_usd(), hilos_metrics::provisioned_power_w(spec))
+        })
+        .collect();
+    let reserved_bill = FleetBill::reserved(&slot_costs, fixed_report.elapsed_s());
+    let fixed_cost_per_1k = reserved_bill.cost_per_1k_tokens(fixed_report.goodput_tokens());
+    eprintln!(
+        "fixed fleet: ${:.4}/1k goodput tokens ({} goodput tokens, makespan {:.0}s, \
+         bill ${:.2})",
+        fixed_cost_per_1k,
+        fixed_report.goodput_tokens(),
+        fixed_report.elapsed_s(),
+        reserved_bill.cost_usd(),
+    );
+
+    let mut hybrid_cost_per_1k = f64::INFINITY;
+    let elastic_rows: Vec<String> = [
+        Box::new(TargetPressureScaler::default()) as Box<dyn AutoscalePolicy>,
+        Box::new(HybridHistogramKeepAlive::new(64)),
+    ]
+    .into_iter()
+    .map(|autoscale| {
+        let name = autoscale.name();
+        let mut elastic = ElasticClusterEngine::new(
+            elastic_slots(),
+            Box::new(CostNormalizedPressure),
+            autoscale,
+            ElasticConfig::new(1),
+        );
+        let start = Instant::now();
+        let r = elastic.run_trace(&bursty).unwrap();
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(r.cluster.completed(), bursty.len(), "{name}: elasticity must lose nothing");
+        assert_eq!(r.lost(), 0, "{name}: zero dropped requests");
+        let cost_per_1k = r.cost_per_1k_goodput_tokens();
+        if name == "hybrid-histogram-keep-alive" {
+            hybrid_cost_per_1k = cost_per_1k;
+        }
+        eprintln!(
+            "elastic {name}: ${:.4}/1k goodput tokens, {} scale-ups, {} drains, {} retires, \
+             {} migrated, peak {} active, {:.0}s billed (+{:.0}s cold start) ({wall:.3}s wall)",
+            cost_per_1k,
+            r.scale_ups,
+            r.drains,
+            r.retires,
+            r.drained_requests,
+            r.peak_active,
+            r.fleet_bill().billed_seconds(),
+            r.cold_start_s_total,
+        );
+        format!(
+            "{{\"autoscale\": \"{name}\", \"cost_per_1k_goodput_usd\": {:.6}, \
+             \"fleet_cost_usd\": {:.6}, \"billed_seconds\": {:.2}, \
+             \"cold_start_seconds\": {:.2}, \"scale_ups\": {}, \"drains\": {}, \
+             \"retires\": {}, \"migrated_requests\": {}, \"peak_active\": {}, \
+             \"completed\": {}, \"lost\": {}, \"slo_hit_rate\": {:.4}}}",
+            cost_per_1k,
+            r.fleet_bill().cost_usd(),
+            r.fleet_bill().billed_seconds(),
+            r.cold_start_s_total,
+            r.scale_ups,
+            r.drains,
+            r.retires,
+            r.drained_requests,
+            r.peak_active,
+            r.cluster.completed(),
+            r.lost(),
+            r.cluster.slo_hit_rate(),
+        )
+    })
+    .collect();
+    let fixed_vs_elastic = fixed_cost_per_1k / hybrid_cost_per_1k;
+    eprintln!("reserved vs keep-alive elastic $/1k-goodput: {fixed_vs_elastic:.3}x");
+
     let json = format!(
         "{{\n  \"bench\": \"cluster\",\n  \"note\": \"one contended seeded trace balanced \
          across 3 heterogeneous deployments (8 healthy / 6 with a half-degraded device / 4 \
@@ -137,12 +246,25 @@ fn main() {
          \"routing\": [\n    {}\n  ],\n  \
          \"ledger_pressure_vs_round_robin_goodput\": {margin_vs_rr:.4},\n  \
          \"redispatch\": {{\"requests\": {}, \"preemptions\": {}, \"cross_deployment\": {}, \
-         \"completed\": {}}}\n}}\n",
+         \"completed\": {}}},\n  \
+         \"elastic\": {{\n    \
+         \"trace\": {{\"requests\": {BURSTY_REQUESTS}, \"bursts\": {BURSTS}, \
+         \"calm_gap_steps\": {CALM_GAP}, \"seed\": {SEED}}},\n    \
+         \"fleet\": {{\"slots\": 4, \"initial_active\": 1, \"routing\": \
+         \"cost-normalized-pressure\"}},\n    \
+         \"policies\": [\n      {}\n    ],\n    \
+         \"fixed\": {{\"cost_per_1k_goodput_usd\": {fixed_cost_per_1k:.6}, \
+         \"fleet_cost_usd\": {:.6}, \"makespan_seconds\": {:.2}, \"completed\": {}}},\n    \
+         \"fixed_vs_elastic_cost_per_1k\": {fixed_vs_elastic:.4}\n  }}\n}}\n",
         policy_rows.join(",\n    "),
         balanced.len(),
         rd.preemptions(),
         rd.redispatches,
         rd.completed(),
+        elastic_rows.join(",\n      "),
+        reserved_bill.cost_usd(),
+        fixed_report.elapsed_s(),
+        fixed_report.completed(),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_cluster.json");
     println!("{json}");

@@ -1,74 +1,89 @@
-//! Cluster serving: one trace balanced across heterogeneous HILOS
-//! deployments by KV shard-ledger pressure.
+//! Cluster serving: one trace balanced — and the fleet itself sized —
+//! across heterogeneous HILOS deployments.
 //!
 //! The paper's cost story is about serving long-context offline
 //! inference on *cheap, heterogeneous* near-storage deployments: arrays
 //! differ in device count, degradation state and therefore KV capacity
-//! and sweep bandwidth. Related cluster-serving work picks the
-//! deployment per request by cost and KV headroom, and the near-storage
-//! literature shows per-deployment storage bandwidth — not queue length —
-//! is the binding resource. This module turns that into a serving layer
-//! one level above [`crate::serve`]:
+//! and sweep bandwidth. This module turns that into two serving layers
+//! above [`crate::serve`] — a **fixed** cluster (how should N
+//! deployments share a trace) and an **elastic** one (how many
+//! deployments should exist at each moment of it).
+//!
+//! # The fixed cluster
 //!
 //! * [`ClusterEngine`] owns N independent deployments (each a complete
 //!   [`ServeEngine`](crate::ServeEngine): its own
 //!   [`HilosSystem`](crate::HilosSystem), its own
 //!   [`SchedulingPolicy`](crate::SchedulingPolicy), its own per-device
 //!   [`KvShardLedger`](hilos_storage::KvShardLedger)) and advances them
-//!   in lockstep under one global arrival cursor. Each deployment's
-//!   [`ServeConfig`](crate::ServeConfig) selects its flow engine via
-//!   [`with_flow_impl`](crate::ServeConfig::with_flow_impl), so a
-//!   cluster can run the O(log n) virtual-time engine
-//!   ([`FlowEngineImpl::VirtualTime`](crate::FlowEngineImpl)) on every
-//!   deployment — cross-deployment migration maps to job cancellation,
-//!   which the fast engine supports natively.
+//!   in lockstep under one global arrival cursor.
 //! * Each arriving [`Request`](hilos_llm::Request) is dispatched through
 //!   a pluggable [`RoutingPolicy`] fed a read-only [`ClusterSnapshot`] —
-//!   per-deployment queue depth, in-flight batch composition, ledger
-//!   pressure
-//!   ([`KvShardLedger::pressure`](hilos_storage::KvShardLedger::pressure)),
-//!   the degradation profile (bandwidth-discounted placement weights),
-//!   and the prefill backlog
-//!   ([`DeploymentView::prefill_backlog_tokens`]): under the
-//!   token-budgeted serving step ([`ChunkMode`](crate::ChunkMode)) a
-//!   deployment's pending prompt-ingestion debt is a first-class load
-//!   signal, so size-aware placement (long prompts to the deployment
-//!   with the least backlog per unit bandwidth) is expressible as a
-//!   routing policy.
-//! * Requests a deployment's scheduling policy preempts are offered back
-//!   to the router, which may **re-dispatch them across deployments**
-//!   with their generated-token progress retained (their KV is
-//!   re-materialized by a prefill over `prompt + progress` wherever they
-//!   land, exactly as local re-admission does).
-//! * A run aggregates into a [`ClusterReport`]: the per-deployment
+//!   queue depth, batch composition, ledger pressure, the degradation
+//!   profile, prefill backlog
+//!   ([`DeploymentView::prefill_backlog_tokens`]), prefix-cache warmth,
+//!   and now each deployment's **lifecycle state and hourly cost**
+//!   ([`DeploymentView::lifecycle`], [`DeploymentView::hourly_cost_usd`]).
+//! * Requests a deployment preempts are offered back to the router,
+//!   which may **re-dispatch them across deployments** with generated
+//!   progress retained.
+//! * A run aggregates into a [`ClusterReport`]: per-deployment
 //!   [`TraceReport`](crate::TraceReport)s plus global TTFT/ITL/goodput
-//!   built on [`hilos_metrics::LatencyStats`] /
-//!   [`hilos_metrics::ClassReport`], the pooled per-emission decode-gap
-//!   distribution ([`ClusterReport::step_itl_stats`]), and the merged
-//!   prefill-interference breakdown
-//!   ([`ClusterReport::prefill_breakdown`] over
-//!   [`hilos_metrics::PrefillBreakdown`]).
+//!   views, including [`ClusterReport::goodput_tokens`], the numerator
+//!   of fleet-cost accounting.
 //!
-//! Three routing policies ship in [`policy`]: [`RoundRobin`] (the
-//! capacity-blind baseline), [`JoinShortestQueue`] (load-aware,
-//! drain-rate-blind) and [`LedgerPressure`] (power-of-two-choices scored
-//! by free KV bytes × aggregate device bandwidth per unit load). On the
-//! seeded contended heterogeneous trace the three order exactly that way
-//! on SLO goodput — recorded in `BENCH_cluster.json` and gated in CI.
+//! Four routing policies ship in [`policy`]: [`RoundRobin`],
+//! [`JoinShortestQueue`], [`LedgerPressure`] (power-of-two-choices on
+//! free KV bytes × bandwidth per unit load) and
+//! [`CostNormalizedPressure`] (the same score per dollar of hourly
+//! provisioning cost — placement by goodput-per-dollar). All of them
+//! route only to [routable](DeploymentView::routable) (Active)
+//! deployments; on a fixed, fully-Active fleet that filter is the
+//! identity.
+//!
+//! # The elastic cluster
+//!
+//! [`elastic`] wraps the same lockstep loop in a fleet-sizing loop.
+//! Every slot carries a [`DeploymentLifecycle`]
+//! (`Provisioning → Warming → Active → Draining → Retired`, with
+//! `Retired → Provisioning` closing the keep-alive cycle); a cold start
+//! is priced by [`ColdStartModel`] from the slot's own model size and
+//! device bandwidth. Once per global step an [`AutoscalePolicy`] (the
+//! reactive [`TargetPressureScaler`], or [`HybridHistogramKeepAlive`],
+//! which learns the inter-burst gap histogram, releases capacity the
+//! moment a burst is confirmed over and pre-warms a cold start ahead of
+//! the predicted next one) sees a [`FleetSnapshot`] and scales the
+//! fleet. A scale-down drains live through the migration machinery:
+//! queued work re-routes at once, in-flight work evacuates a batch per
+//! step with progress retained, parked demoted KV drops at the source,
+//! and the slot retires only once empty. [`ElasticReport`] adds the
+//! lifecycle audit trail and a utilization [`FleetBill`](hilos_metrics::FleetBill)
+//! (busy seconds + paid cold starts per slot) to compare against a
+//! statically-provisioned peak fleet.
+//!
+//! # Determinism
 //!
 //! A cluster of **one** deployment is bit-identical to
 //! [`ServeEngine::run_trace`](crate::ServeEngine::run_trace) on the same
-//! system under any routing policy (golden-pinned down to the FNV hash
-//! of every outcome's lifecycle timestamps): the cluster layer adds no
-//! simulation drift, only dispatch.
+//! system under any routing policy — and an [`ElasticClusterEngine`]
+//! with one slot and the never-scaling [`PinnedFleet`] policy is
+//! bit-identical to both (all golden-pinned down to the FNV hash of
+//! every outcome's lifecycle timestamps): the cluster layers add no
+//! simulation drift, only dispatch and fleet sizing.
 
+pub mod elastic;
 pub mod policy;
 mod report;
 mod router;
 
+pub use elastic::{
+    AutoscalePolicy, ColdStartModel, DeploymentLifecycle, ElasticClusterEngine, ElasticConfig,
+    ElasticReport, FleetSnapshot, HybridHistogramKeepAlive, LifecycleEvent, LifecycleState,
+    PinnedFleet, ScaleDecision, TargetPressureScaler,
+};
 pub use policy::{
-    ClusterSnapshot, DeploymentView, JoinShortestQueue, LedgerPressure, RoundRobin, RouteRequest,
-    RoutingPolicy,
+    ClusterSnapshot, CostNormalizedPressure, DeploymentView, JoinShortestQueue, LedgerPressure,
+    RoundRobin, RouteRequest, RoutingPolicy,
 };
 pub use report::ClusterReport;
 pub use router::ClusterEngine;

@@ -9,7 +9,7 @@
 //! out-of-range index is clamped to the last deployment, so a policy
 //! cannot address a deployment that does not exist.
 //!
-//! Three policies ship:
+//! Four policies ship:
 //!
 //! * [`RoundRobin`] — the capacity-blind baseline: deployments take
 //!   turns regardless of size or health.
@@ -19,6 +19,17 @@
 //!   aggregate device bandwidth per unit of load: the near-storage
 //!   insight that per-deployment storage bandwidth (not queue length) is
 //!   the binding resource, turned into a router.
+//! * [`CostNormalizedPressure`] — the ledger-pressure score divided by
+//!   the deployment's hourly provisioning cost
+//!   ([`DeploymentView::hourly_cost_usd`]): placement by goodput per
+//!   dollar, the fleet-cost story at dispatch granularity.
+//!
+//! Every shipped policy routes only to
+//! [routable](DeploymentView::routable) deployments — under the elastic
+//! engine ([`ElasticClusterEngine`](super::ElasticClusterEngine)) a
+//! Provisioning, Warming, Draining or Retired deployment never receives
+//! traffic. A fixed fleet is always entirely Active, where the filter is
+//! the identity and dispatch stays bit-identical to the golden pins.
 //!
 //! # Implementing your own policy
 //!
@@ -60,6 +71,7 @@
 //! deterministic — [`LedgerPressure`]'s two "random" probes come from a
 //! seeded LCG for exactly this reason.
 
+use super::elastic::LifecycleState;
 use hilos_llm::{Priority, Request, RequestClass};
 use std::fmt;
 
@@ -145,6 +157,20 @@ pub struct DeploymentView {
     /// deployment *more* attractive for prefix-sharing traffic: hits
     /// skip prefill work entirely.
     pub prefix_hit_rate: f64,
+    /// Where the deployment is in its lifecycle. A fixed
+    /// [`ClusterEngine`](super::ClusterEngine) fleet is always
+    /// [`Active`](LifecycleState::Active); under the elastic engine only
+    /// Active deployments may take traffic — the shipped policies skip
+    /// everything else (see [`DeploymentView::routable`]).
+    pub lifecycle: LifecycleState,
+    /// What keeping this deployment provisioned costs per hour: 3-year
+    /// amortized capex plus full-utilization energy
+    /// ([`hilos_metrics::hourly_cost_usd`]). The denominator of
+    /// cost-normalized routing.
+    pub hourly_cost_usd: f64,
+    /// Full-utilization power draw of the deployment's system, watts
+    /// ([`hilos_metrics::provisioned_power_w`]).
+    pub active_power_w: f64,
 }
 
 impl DeploymentView {
@@ -156,6 +182,14 @@ impl DeploymentView {
     /// Total load: queued plus in-flight requests.
     pub fn load(&self) -> usize {
         self.queued + self.in_flight()
+    }
+
+    /// Whether the deployment may take new traffic: only
+    /// [`Active`](LifecycleState::Active) deployments are routable —
+    /// Provisioning/Warming ones cannot serve yet, Draining ones are
+    /// being evacuated, Retired ones are gone.
+    pub fn routable(&self) -> bool {
+        self.lifecycle == LifecycleState::Active
     }
 }
 
@@ -201,8 +235,16 @@ impl RoutingPolicy for RoundRobin {
     }
 
     fn route(&mut self, _request: &RouteRequest, snapshot: &ClusterSnapshot<'_>) -> usize {
-        let d = self.next % snapshot.deployments.len();
-        self.next = (self.next + 1) % snapshot.deployments.len();
+        // Rotate over the *routable* deployments only; with the whole
+        // fleet Active (every fixed cluster) this is the historical
+        // rotation bit for bit.
+        let routable: Vec<&DeploymentView> =
+            snapshot.deployments.iter().filter(|d| d.routable()).collect();
+        if routable.is_empty() {
+            return 0;
+        }
+        let d = routable[self.next % routable.len()].id as usize;
+        self.next = (self.next + 1) % routable.len();
         d
     }
 }
@@ -224,9 +266,10 @@ impl RoutingPolicy for JoinShortestQueue {
         snapshot
             .deployments
             .iter()
+            .filter(|d| d.routable())
             .min_by(|a, b| a.load().cmp(&b.load()).then(a.id.cmp(&b.id)))
-            .expect("a cluster has at least one deployment")
-            .id as usize
+            .map(|d| d.id as usize)
+            .unwrap_or(0)
     }
 }
 
@@ -293,16 +336,82 @@ impl RoutingPolicy for LedgerPressure {
     }
 
     fn route(&mut self, _request: &RouteRequest, snapshot: &ClusterSnapshot<'_>) -> usize {
-        let n = snapshot.deployments.len();
+        // Probe among the routable deployments only — with the whole
+        // fleet Active the probe sequence (and thus the golden-pinned
+        // dispatch) is the historical one bit for bit.
+        let routable: Vec<&DeploymentView> =
+            snapshot.deployments.iter().filter(|d| d.routable()).collect();
+        if routable.is_empty() {
+            return 0;
+        }
+        let n = routable.len();
         let (i, j) = (self.probe(n), self.probe(n));
-        let (a, b) = (&snapshot.deployments[i], &snapshot.deployments[j]);
+        let (a, b) = (routable[i], routable[j]);
         let (sa, sb) = (LedgerPressure::score(a), LedgerPressure::score(b));
         // Ties (including i == j) go to the lower index.
         if sb > sa || (sb == sa && b.id < a.id) {
-            j
+            b.id as usize
         } else {
-            i
+            a.id as usize
         }
+    }
+}
+
+/// Cost-normalized placement: the deployment where a request buys the
+/// most serving capacity per dollar.
+///
+/// Every dispatch scans the routable fleet and places on the deployment
+/// maximizing
+///
+/// ```text
+/// score(d) = free KV bytes(d) × bandwidth weight(d)
+///            / (1 + load(d)) / hourly cost(d)
+/// ```
+///
+/// — the [`LedgerPressure`] capacity-per-load score divided by what
+/// keeping the deployment provisioned costs per hour
+/// ([`DeploymentView::hourly_cost_usd`]: 3-year amortized capex plus
+/// full-utilization energy). Where ledger-pressure maximizes goodput,
+/// this maximizes *goodput per dollar*: a small cheap array wins over a
+/// big expensive one until its load catches up, which is exactly the
+/// packing an elastic fleet wants — expensive capacity is the first to
+/// go idle and be drained. Deterministic (no probe RNG) and O(n) per
+/// dispatch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostNormalizedPressure;
+
+impl CostNormalizedPressure {
+    fn score(d: &DeploymentView) -> f64 {
+        let mut s = d.placeable_free_bytes as f64 * d.bandwidth_weight / (1.0 + d.load() as f64);
+        if d.prefix_hit_rate > 0.0 {
+            s *= 1.0 + d.prefix_hit_rate;
+        }
+        // A zero-cost view (tests, synthetic snapshots) falls back to
+        // the raw capacity score rather than dividing by zero.
+        if d.hourly_cost_usd > 0.0 {
+            s /= d.hourly_cost_usd;
+        }
+        s
+    }
+}
+
+impl RoutingPolicy for CostNormalizedPressure {
+    fn name(&self) -> &'static str {
+        "cost-normalized-pressure"
+    }
+
+    fn route(&mut self, _request: &RouteRequest, snapshot: &ClusterSnapshot<'_>) -> usize {
+        snapshot
+            .deployments
+            .iter()
+            .filter(|d| d.routable())
+            .max_by(|a, b| {
+                CostNormalizedPressure::score(a)
+                    .total_cmp(&CostNormalizedPressure::score(b))
+                    .then(b.id.cmp(&a.id)) // ties to the lower index
+            })
+            .map(|d| d.id as usize)
+            .unwrap_or(0)
     }
 }
 
@@ -326,6 +435,9 @@ mod tests {
             dispatched: 0,
             prefill_backlog_tokens: 0,
             prefix_hit_rate: 0.0,
+            lifecycle: LifecycleState::Active,
+            hourly_cost_usd: 0.0,
+            active_power_w: 0.0,
         }
     }
 
@@ -436,5 +548,82 @@ mod tests {
         let v = DeploymentView { prefilling: 2, ..view(0, 3, 4, 1, 1.0) };
         assert_eq!(v.in_flight(), 6);
         assert_eq!(v.load(), 9);
+    }
+
+    #[test]
+    fn every_shipped_policy_skips_non_routable_deployments() {
+        // Deployment 0 is the obvious winner on every score — but it is
+        // Draining, and 2 is still Provisioning; only 1 may be picked.
+        let views = [
+            DeploymentView { lifecycle: LifecycleState::Draining, ..view(0, 0, 0, 8 << 30, 50.0) },
+            view(1, 4, 2, 1 << 20, 1.0),
+            DeploymentView {
+                lifecycle: LifecycleState::Provisioning,
+                ..view(2, 0, 0, 8 << 30, 50.0)
+            },
+        ];
+        assert!(!views[0].routable() && views[1].routable() && !views[2].routable());
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        let mut policies: Vec<Box<dyn RoutingPolicy>> = vec![
+            Box::new(RoundRobin::new()),
+            Box::new(JoinShortestQueue),
+            Box::new(LedgerPressure::new()),
+            Box::new(CostNormalizedPressure),
+        ];
+        for p in policies.iter_mut() {
+            for i in 0..16 {
+                assert_eq!(p.route(&req(i), &snap), 1, "{} routed to a dead deployment", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_active_filter_is_the_identity_rotation_and_probe() {
+        // With the whole fleet Active the routable filter must not
+        // perturb round-robin order or the seeded probe sequence.
+        let views = [view(0, 0, 0, 1, 1.0), view(1, 0, 0, 1, 1.0), view(2, 0, 0, 1, 1.0)];
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..6).map(|i| rr.route(&req(i), &snap)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        // LedgerPressure over equal deployments: replaying the raw probe
+        // pairs must reproduce the routed picks exactly.
+        let mut lp = LedgerPressure::new();
+        let mut replay = LedgerPressure::new();
+        for i in 0..32 {
+            let routed = lp.route(&req(i), &snap);
+            let (a, b) = (replay.probe(3), replay.probe(3));
+            // Equal scores: ties to the lower index.
+            assert_eq!(routed, a.min(b), "dispatch {i}");
+        }
+    }
+
+    #[test]
+    fn cost_normalized_pressure_prefers_capacity_per_dollar() {
+        // Deployment 1 has twice the capacity but four times the cost:
+        // normalized, 0 wins.
+        let cheap = DeploymentView { hourly_cost_usd: 1.0, ..view(0, 0, 0, 1 << 30, 10.0) };
+        let pricey = DeploymentView { hourly_cost_usd: 4.0, ..view(1, 0, 0, 2 << 30, 10.0) };
+        assert!(
+            CostNormalizedPressure::score(&cheap) > CostNormalizedPressure::score(&pricey),
+            "2x capacity at 4x cost must lose"
+        );
+        let views = [cheap.clone(), pricey.clone()];
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        assert_eq!(CostNormalizedPressure.route(&req(0), &snap), 0);
+        // Load the cheap one up and the expensive capacity earns its
+        // keep: 9 queued requests divide its score by 10.
+        let views = [DeploymentView { queued: 9, ..cheap }, pricey];
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        assert_eq!(CostNormalizedPressure.route(&req(1), &snap), 1);
+        assert_eq!(CostNormalizedPressure.name(), "cost-normalized-pressure");
+    }
+
+    #[test]
+    fn zero_cost_views_fall_back_to_raw_capacity_score() {
+        // Synthetic snapshots without cost wiring must not divide by 0.
+        let v = view(0, 0, 0, 1 << 30, 10.0);
+        assert!(CostNormalizedPressure::score(&v).is_finite());
+        assert_eq!(CostNormalizedPressure::score(&v), LedgerPressure::score(&v));
     }
 }

@@ -113,6 +113,12 @@ impl ClusterReport {
         goodput(self.outcomes().map(|o| (o.met_slo(), o.output_len as f64)), self.elapsed_s())
     }
 
+    /// SLO-met tokens across the cluster — the numerator of the
+    /// fleet-cost metric (USD per 1k goodput tokens).
+    pub fn goodput_tokens(&self) -> u64 {
+        self.outcomes().filter(|o| o.met_slo()).map(|o| o.output_len).sum()
+    }
+
     /// Fraction of completed requests that met their own SLO deadline.
     pub fn slo_hit_rate(&self) -> f64 {
         let total = self.completed();
@@ -258,6 +264,7 @@ mod tests {
         assert_eq!(r.elapsed_s(), 20.0);
         assert!((r.tokens_per_second() - 180.0 / 20.0).abs() < 1e-12);
         // Goodput counts SLO-met tokens only, over the makespan.
+        assert_eq!(r.goodput_tokens(), 130);
         assert!((r.slo_token_goodput() - 130.0 / 20.0).abs() < 1e-12);
         assert!((r.slo_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(r.ttft_stats().count, 3);

@@ -2,12 +2,55 @@
 //! under one global arrival cursor, with dispatch through a
 //! [`RoutingPolicy`].
 
+use super::elastic::LifecycleState;
 use super::policy::{ClusterSnapshot, DeploymentView, RouteRequest, RoutingPolicy};
 use super::report::ClusterReport;
 use crate::runner::CoreError;
 use crate::serve::engine::{QueueEntry, RunState, StepProgress};
 use crate::serve::ServeEngine;
 use hilos_llm::{DeploymentId, Request};
+
+/// Hourly provisioning price of one deployment: `(hourly cost USD,
+/// full-utilization watts)`. Computed once per engine — the system spec
+/// never changes mid-run — and stamped into every routing view.
+pub(crate) fn provisioning_cost(eng: &ServeEngine) -> (f64, f64) {
+    let spec = eng.system().spec();
+    let power_w = hilos_metrics::provisioned_power_w(spec);
+    (hilos_metrics::hourly_cost_usd(spec.total_price_usd(), power_w), power_w)
+}
+
+/// One deployment's routing view — the single construction point shared
+/// by the fixed [`ClusterEngine`] (always
+/// [`Active`](LifecycleState::Active)) and the elastic engine (which
+/// passes each slot's actual lifecycle state).
+pub(crate) fn deployment_view(
+    eng: &ServeEngine,
+    st: &RunState,
+    dispatched: u64,
+    lifecycle: LifecycleState,
+    cost: (f64, f64),
+) -> DeploymentView {
+    let ledger = eng.ledger();
+    DeploymentView {
+        id: eng.deployment().0,
+        queued: st.queued_len(),
+        prefilling: st.prefilling_len(),
+        decoding: st.decoding_len(),
+        max_batch: eng.config().max_batch,
+        clock_s: st.clock,
+        pressure: ledger.pressure(),
+        device_pressure: ledger.pressure_by_device(),
+        placeable_free_bytes: ledger.placeable_free(),
+        bandwidth_weight: ledger.total_weight(),
+        device_count: ledger.device_count(),
+        dispatched,
+        prefill_backlog_tokens: st.prefill_backlog_tokens(),
+        prefix_hit_rate: eng.prefix_hit_rate(),
+        lifecycle,
+        hourly_cost_usd: cost.0,
+        active_power_w: cost.1,
+    }
+}
 
 /// A multi-deployment cluster: one trace balanced across heterogeneous
 /// HILOS deployments.
@@ -66,6 +109,8 @@ use hilos_llm::{DeploymentId, Request};
 pub struct ClusterEngine {
     engines: Vec<ServeEngine>,
     routing: Box<dyn RoutingPolicy>,
+    /// Per-deployment `(hourly cost USD, watts)`, in deployment order.
+    costs: Vec<(f64, f64)>,
 }
 
 impl ClusterEngine {
@@ -81,7 +126,8 @@ impl ClusterEngine {
         for (i, d) in deployments.iter_mut().enumerate() {
             d.set_deployment(DeploymentId(i as u32));
         }
-        ClusterEngine { engines: deployments, routing }
+        let costs = deployments.iter().map(provisioning_cost).collect();
+        ClusterEngine { engines: deployments, routing, costs }
     }
 
     /// Number of deployments.
@@ -112,25 +158,11 @@ impl ClusterEngine {
             .engines
             .iter()
             .zip(states)
-            .zip(dispatched)
-            .map(|((eng, st), &d)| {
-                let ledger = eng.ledger();
-                DeploymentView {
-                    id: eng.deployment().0,
-                    queued: st.queued_len(),
-                    prefilling: st.prefilling_len(),
-                    decoding: st.decoding_len(),
-                    max_batch: eng.config().max_batch,
-                    clock_s: st.clock,
-                    pressure: ledger.pressure(),
-                    device_pressure: ledger.pressure_by_device(),
-                    placeable_free_bytes: ledger.placeable_free(),
-                    bandwidth_weight: ledger.total_weight(),
-                    device_count: ledger.device_count(),
-                    dispatched: d,
-                    prefill_backlog_tokens: st.prefill_backlog_tokens(),
-                    prefix_hit_rate: eng.prefix_hit_rate(),
-                }
+            .zip(dispatched.iter().zip(&self.costs))
+            .map(|((eng, st), (&d, &cost))| {
+                // A fixed fleet is permanently Active — the lifecycle
+                // field only varies under the elastic engine.
+                deployment_view(eng, st, d, LifecycleState::Active, cost)
             })
             .collect();
         let snapshot = ClusterSnapshot { step, deployments: &views };

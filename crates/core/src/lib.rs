@@ -70,8 +70,11 @@ mod xcache;
 
 pub use campaign::{CampaignSummary, ServingCampaign};
 pub use cluster::{
-    ClusterEngine, ClusterReport, ClusterSnapshot, DeploymentView, JoinShortestQueue,
-    LedgerPressure, RoundRobin, RouteRequest, RoutingPolicy,
+    AutoscalePolicy, ClusterEngine, ClusterReport, ClusterSnapshot, ColdStartModel,
+    CostNormalizedPressure, DeploymentView, ElasticClusterEngine, ElasticConfig, ElasticReport,
+    FleetSnapshot, HybridHistogramKeepAlive, JoinShortestQueue, LedgerPressure, LifecycleEvent,
+    LifecycleState, PinnedFleet, RoundRobin, RouteRequest, RoutingPolicy, ScaleDecision,
+    TargetPressureScaler,
 };
 pub use config::{AlphaPolicy, HilosConfig};
 pub use functional::FunctionalBlock;

@@ -577,6 +577,20 @@ impl ServeEngine {
         &self.config
     }
 
+    /// The deployment's underlying [`HilosSystem`] (spec, model,
+    /// configuration) — the cost and cold-start models read it.
+    pub fn system(&self) -> &HilosSystem {
+        &self.system
+    }
+
+    /// Preemption victims whose ingested KV is currently parked in the
+    /// residency ladder awaiting recall (always 0 with the prefix cache
+    /// off). A drained deployment must report zero — parked KV cannot
+    /// follow a request to another deployment.
+    pub fn parked_victim_kv(&self) -> usize {
+        self.cache.as_ref().map_or(0, |cs| cs.demoted.len())
+    }
+
     /// Which deployment this engine is ([`DeploymentId`] `0` outside a
     /// cluster). Stamped onto every [`RequestOutcome`].
     pub fn deployment(&self) -> DeploymentId {
@@ -881,6 +895,75 @@ impl ServeEngine {
     /// clocks are independent busy-time axes.
     pub(crate) fn requeue(&self, st: &mut RunState, entry: QueueEntry) {
         st.queue.push_back(entry);
+    }
+
+    /// Drain hook (queue half): removes *every* queued request for
+    /// re-dispatch to another deployment. Parked demoted KV of the
+    /// evacuees stays behind by construction — it is dropped at the
+    /// source (and booked as wasted re-materialization debt) exactly as
+    /// the cross-deployment preemption path does.
+    pub(crate) fn evacuate_queued(&mut self, st: &mut RunState) -> Vec<QueueEntry> {
+        let drained: Vec<QueueEntry> = st.queue.drain(..).collect();
+        for e in &drained {
+            self.forget_demoted(st, e.req.id);
+        }
+        drained
+    }
+
+    /// Drain hook (pause/evacuate half): removes up to `max` in-flight
+    /// requests — prefilling first (only ingested chunks are lost), then
+    /// decoding, oldest first — and returns them as [`QueueEntry`]s with
+    /// their generated progress retained, for re-dispatch to another
+    /// deployment. Each evacuation releases the victim's shard-ledger
+    /// allocation and prefix pin and counts as a preemption; its
+    /// already-ingested KV cannot follow it off the deployment, so the
+    /// tokens are booked as wasted re-materialization debt (the target
+    /// re-runs prefill over `prompt + progress`, exactly like a
+    /// cross-deployment preemption re-dispatch).
+    ///
+    /// The cap makes draining *stepwise*: a draining deployment keeps
+    /// serving what it still holds while the cluster moves `max` requests
+    /// per step, rather than dumping its whole batch at once.
+    pub(crate) fn evacuate_in_flight(&mut self, st: &mut RunState, max: usize) -> Vec<QueueEntry> {
+        let inline = self.config.chunk_mode.is_inline();
+        let mut out = Vec::new();
+        while out.len() < max && !st.prefilling.is_empty() {
+            let p = st.prefilling.remove(0);
+            self.ledger.release(p.req.id).expect("prefilling request holds allocation");
+            self.release_prefix_hold(p.req.id);
+            st.preemptions += 1;
+            // An inline (chunked) prefill has ingested `prefill_done`
+            // tokens; a side-prefill charged its whole context at
+            // admission — either way the work is lost with the shards.
+            st.wasted_prefill_tokens += if inline { p.prefill_done } else { p.prefill_total };
+            out.push(QueueEntry {
+                req: p.req,
+                arrival_s: p.arrival_s,
+                emitted: p.emitted,
+                first_token_s: p.first_token_s,
+                first_admitted_s: Some(p.admitted_s),
+                preemptions: p.preemptions + 1,
+                prefill_tokens: p.prefill_charged,
+            });
+        }
+        while out.len() < max && !st.running.is_empty() {
+            let r = st.running.remove(0);
+            self.ledger.release(r.req.id).expect("running request holds allocation");
+            self.release_prefix_hold(r.req.id);
+            st.preemptions += 1;
+            st.wasted_prefill_tokens += r.req.prompt_len + r.emitted;
+            st.composition_changed = true;
+            out.push(QueueEntry {
+                req: r.req,
+                arrival_s: r.arrival_s,
+                emitted: r.emitted,
+                first_token_s: r.first_token_s,
+                first_admitted_s: Some(r.admitted_s),
+                preemptions: r.preemptions + 1,
+                prefill_tokens: r.prefill_charged,
+            });
+        }
+        out
     }
 
     /// Runs one serving iteration over `st`: scheduling, prefill joins,

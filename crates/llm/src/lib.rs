@@ -26,7 +26,8 @@ mod workload;
 pub use config::{presets, MlpKind, ModelConfig, MoeConfig, FP16_BYTES};
 pub use footprint::{footprint, Footprint};
 pub use request::{
-    DeploymentId, Priority, Request, SharedPrefixConfig, Slo, TraceConfig, TraceError,
+    ArrivalProcess, DeploymentId, Priority, Request, SharedPrefixConfig, Slo, TraceConfig,
+    TraceError,
 };
 pub use synthetic::{RetrievalTask, RetrievalTaskConfig};
 pub use workload::{BatchSpec, RequestClass};

@@ -312,6 +312,59 @@ impl SharedPrefixConfig {
     }
 }
 
+/// How a generated trace lays out its arrival steps — the temporal
+/// shape autoscaling has to chase.
+///
+/// The default [`Uniform`](ArrivalProcess::Uniform) process keeps the
+/// historical behavior (one uniform draw per arrival off
+/// [`TraceConfig::mean_interarrival_steps`]) and leaves every existing
+/// trace bit-identical. The non-uniform processes rewrite the arrival
+/// steps in a deterministic post-pass driven by an RNG stream
+/// independent of the base generation (the seed salted by a fixed
+/// constant), so prompt lengths, classes and jitters are untouched —
+/// only *when* requests arrive changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// One uniform inter-arrival draw per request in
+    /// `0..=2·mean_interarrival_steps` — the default, bit-identical to
+    /// pre-elastic versions of this crate.
+    Uniform,
+    /// Deterministic flash crowds: the trace splits into `bursts`
+    /// equal contiguous groups; inside a group arrivals are packed
+    /// tightly (uniform gaps in `0..=2·burst_interarrival_steps`), and
+    /// consecutive groups are separated by a fixed calm gap of
+    /// `calm_gap_steps`. The sharpest scale-up/scale-down stimulus: load
+    /// slams from zero to a whole burst and back.
+    FlashCrowd {
+        /// Number of flash crowds the trace splits into (min 1).
+        bursts: u32,
+        /// Mean inter-arrival gap *inside* a burst, in steps.
+        burst_interarrival_steps: u64,
+        /// Idle steps between consecutive bursts.
+        calm_gap_steps: u64,
+    },
+    /// Sinusoidal (diurnal) rate: the instantaneous mean inter-arrival
+    /// gap swings between `peak_interarrival_steps` (fastest, at the
+    /// start of each period) and `trough_interarrival_steps` (slowest,
+    /// half a period later) following a cosine of period `period_steps`.
+    /// The smooth day/night load curve keep-alive predictors are built
+    /// for.
+    Diurnal {
+        /// Steps per full rate cycle (min 1).
+        period_steps: u64,
+        /// Mean inter-arrival gap at the peak (fastest) point.
+        peak_interarrival_steps: u64,
+        /// Mean inter-arrival gap at the trough (slowest) point.
+        trough_interarrival_steps: u64,
+    },
+}
+
+impl Default for ArrivalProcess {
+    fn default() -> Self {
+        ArrivalProcess::Uniform
+    }
+}
+
 /// Configuration of a seeded heterogeneous request trace.
 ///
 /// # Examples
@@ -350,6 +403,11 @@ pub struct TraceConfig {
     /// `None` (the default) leaves the trace prefix-free and
     /// bit-identical to pre-prefix versions of this crate.
     pub shared_prefix: Option<SharedPrefixConfig>,
+    /// Temporal shape of the arrivals. [`ArrivalProcess::Uniform`] (the
+    /// default) keeps the historical uniform draws bit-identical; the
+    /// bursty/diurnal processes rewrite arrival steps in a seeded
+    /// post-pass.
+    pub arrival: ArrivalProcess,
 }
 
 impl TraceConfig {
@@ -370,6 +428,7 @@ impl TraceConfig {
                 Slo::for_class(RequestClass::Long),
             ],
             shared_prefix: None,
+            arrival: ArrivalProcess::Uniform,
         }
     }
 
@@ -408,6 +467,23 @@ impl TraceConfig {
     /// prefix-cache reuse.
     pub fn shared_prefix_mix(requests: usize, seed: u64) -> Self {
         TraceConfig::azure_mix(requests, seed).with_shared_prefix(SharedPrefixConfig::chat())
+    }
+
+    /// Replaces the arrival process (see [`ArrivalProcess`]).
+    pub fn with_arrival_process(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// The Azure mix arriving as deterministic flash crowds: `bursts`
+    /// tight clumps (mean gap 1 step inside a burst) separated by
+    /// `calm_gap_steps` of silence — the canonical autoscaling stimulus.
+    pub fn flash_crowd_mix(requests: usize, seed: u64, bursts: u32, calm_gap_steps: u64) -> Self {
+        TraceConfig::azure_mix(requests, seed).with_arrival_process(ArrivalProcess::FlashCrowd {
+            bursts,
+            burst_interarrival_steps: 1,
+            calm_gap_steps,
+        })
     }
 
     /// Generates the trace: `requests` requests in arrival order,
@@ -456,10 +532,61 @@ impl TraceConfig {
                     .with_slo(self.class_slos[class_idx])?,
             );
         }
+        if self.arrival != ArrivalProcess::Uniform {
+            self.apply_arrival_process(&mut out);
+        }
         if let Some(shared) = self.shared_prefix {
             self.apply_shared_prefix(&mut out, shared);
         }
         Ok(out)
+    }
+
+    /// Rewrites the trace's arrival steps to the configured
+    /// non-[`Uniform`](ArrivalProcess::Uniform) process. Uses an RNG
+    /// stream independent of [`TraceConfig::generate`]'s (the seed
+    /// salted by a fixed constant), so classes, lengths and jitters are
+    /// untouched and [`Uniform`](ArrivalProcess::Uniform) traces stay
+    /// bit-identical. Steps remain non-decreasing in id order.
+    fn apply_arrival_process(&self, out: &mut [Request]) {
+        const ARRIVAL_SALT: u64 = 0xa221_7a1f_00d5_ca1e;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ARRIVAL_SALT);
+        match self.arrival {
+            ArrivalProcess::Uniform => {}
+            ArrivalProcess::FlashCrowd { bursts, burst_interarrival_steps, calm_gap_steps } => {
+                let per = out.len().div_ceil((bursts.max(1)) as usize).max(1);
+                let mut step = 0u64;
+                for (i, r) in out.iter_mut().enumerate() {
+                    if i > 0 {
+                        if i % per == 0 {
+                            // A new flash crowd after the calm.
+                            step += calm_gap_steps.max(1);
+                        } else {
+                            step += rng.random_range(0..=2 * burst_interarrival_steps);
+                        }
+                    }
+                    r.arrival_step = step;
+                }
+            }
+            ArrivalProcess::Diurnal {
+                period_steps,
+                peak_interarrival_steps,
+                trough_interarrival_steps,
+            } => {
+                let period = period_steps.max(1) as f64;
+                let peak = peak_interarrival_steps as f64;
+                let trough = trough_interarrival_steps as f64;
+                let mut step = 0u64;
+                for r in out.iter_mut() {
+                    r.arrival_step = step;
+                    // Cosine rate curve: fastest (peak) at the start of
+                    // each period, slowest (trough) half a period in.
+                    let phase = (step as f64 % period) / period;
+                    let swing = 0.5 - 0.5 * (std::f64::consts::TAU * phase).cos();
+                    let mean = peak + (trough - peak) * swing;
+                    step += rng.random_range(0..=(2.0 * mean) as u64);
+                }
+            }
+        }
     }
 
     /// Stamps shared-prefix identities onto a generated trace. Uses an
@@ -701,5 +828,63 @@ mod tests {
                 (b.prompt_len, b.output_budget, b.arrival_step)
             );
         }
+    }
+
+    #[test]
+    fn uniform_arrival_process_is_bit_identical_to_default() {
+        // Explicitly setting Uniform must not touch the RNG stream or
+        // the steps — the golden-pinned traces depend on it.
+        let base = TraceConfig::azure_mix(128, 42).generate().unwrap();
+        let explicit = TraceConfig::azure_mix(128, 42)
+            .with_arrival_process(ArrivalProcess::Uniform)
+            .generate()
+            .unwrap();
+        assert_eq!(base, explicit);
+    }
+
+    #[test]
+    fn flash_crowd_rewrites_only_arrival_steps() {
+        let base = TraceConfig::azure_mix(96, 7).generate().unwrap();
+        let bursty = TraceConfig::flash_crowd_mix(96, 7, 4, 1000).generate().unwrap();
+        assert_eq!(bursty.len(), base.len());
+        for (a, b) in base.iter().zip(&bursty) {
+            // Classes, lengths and SLOs come from the unsalted stream.
+            assert_eq!((a.class, a.prompt_len, a.output_budget), (b.class, b.prompt_len, b.output_budget));
+        }
+        // Deterministic in the seed.
+        assert_eq!(bursty, TraceConfig::flash_crowd_mix(96, 7, 4, 1000).generate().unwrap());
+        // Sorted, and shaped: exactly 3 inter-burst gaps >= the calm gap,
+        // everything else tightly packed.
+        assert!(bursty.windows(2).all(|w| w[0].arrival_step <= w[1].arrival_step));
+        let gaps: Vec<u64> =
+            bursty.windows(2).map(|w| w[1].arrival_step - w[0].arrival_step).collect();
+        assert_eq!(gaps.iter().filter(|&&g| g >= 1000).count(), 3);
+        assert!(gaps.iter().filter(|&&g| g < 1000).all(|&g| g <= 2));
+    }
+
+    #[test]
+    fn diurnal_rate_swings_between_peak_and_trough() {
+        let cfg = TraceConfig::azure_mix(400, 11).with_arrival_process(ArrivalProcess::Diurnal {
+            period_steps: 4000,
+            peak_interarrival_steps: 1,
+            trough_interarrival_steps: 40,
+        });
+        let trace = cfg.generate().unwrap();
+        assert_eq!(trace, cfg.generate().unwrap(), "deterministic in the seed");
+        assert!(trace.windows(2).all(|w| w[0].arrival_step <= w[1].arrival_step));
+        // Arrivals inside the first tenth of a period (peak rate) must be
+        // denser than arrivals near the trough half a period in.
+        let density = |lo: u64, hi: u64| {
+            trace.iter().filter(|r| {
+                let ph = r.arrival_step % 4000;
+                ph >= lo && ph < hi
+            }).count()
+        };
+        let peak = density(0, 400);
+        let trough = density(1800, 2200);
+        assert!(
+            peak > 3 * trough.max(1),
+            "peak window should be much denser: peak={peak} trough={trough}"
+        );
     }
 }

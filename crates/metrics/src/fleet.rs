@@ -1,0 +1,190 @@
+//! Fleet-level cost reporting: what a set of deployments *bills* for a
+//! serving run, under utilization (elastic) or reserved (static)
+//! accounting.
+//!
+//! The per-system capex model ([`tokens_per_second_per_dollar`]) prices
+//! one deployment in isolation; an elastic cluster needs the next layer:
+//! each deployment slot bills for the seconds it was actually
+//! provisioned — cold-start included — at an hourly rate that amortizes
+//! its purchase price and adds its energy draw. A statically-provisioned
+//! fleet bills every slot for the whole run, idle or not; the gap
+//! between the two bills is the autoscaler's value.
+//!
+//! [`tokens_per_second_per_dollar`]: crate::tokens_per_second_per_dollar
+
+use hilos_platform::SystemSpec;
+
+use crate::energy::{energy, ActivitySnapshot};
+
+/// Capex amortization horizon used by [`hourly_capex_usd`], in years —
+/// the paper's cost-efficiency comparisons assume hardware is written
+/// off over a standard 3-year serving lifetime.
+pub const AMORTIZATION_YEARS: f64 = 3.0;
+
+/// Electricity price used by [`hourly_cost_usd`], in USD per kWh
+/// (US industrial average).
+pub const ENERGY_USD_PER_KWH: f64 = 0.12;
+
+/// Purchase price amortized to an hourly rate over
+/// [`AMORTIZATION_YEARS`].
+pub fn hourly_capex_usd(price_usd: f64) -> f64 {
+    price_usd / (AMORTIZATION_YEARS * 365.25 * 24.0)
+}
+
+/// The system's full-utilization power draw in watts — every component
+/// of the [`energy`] model (CPU, DRAM, GPU, storage devices) at
+/// utilization 1.0. The conservative provisioning figure: a billed
+/// deployment is billed as if busy.
+pub fn provisioned_power_w(spec: &SystemSpec) -> f64 {
+    let one_second = ActivitySnapshot { seconds: 1.0, gpu: 1.0, cpu: 1.0, dram: 1.0, ssd: 1.0 };
+    energy(spec, &one_second).total()
+}
+
+/// Hourly cost of keeping one deployment provisioned: amortized capex
+/// plus energy at `power_w` ([`ENERGY_USD_PER_KWH`]).
+pub fn hourly_cost_usd(price_usd: f64, power_w: f64) -> f64 {
+    hourly_capex_usd(price_usd) + power_w / 1000.0 * ENERGY_USD_PER_KWH
+}
+
+/// One deployment slot's bill for a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotBill {
+    /// The slot's cluster index.
+    pub deployment: u32,
+    /// Purchase price of the slot's system.
+    pub price_usd: f64,
+    /// Provisioned power draw, watts ([`provisioned_power_w`]).
+    pub power_w: f64,
+    /// Seconds the slot billed: provisioned time under utilization
+    /// accounting (busy seconds + cold start), or the whole run under
+    /// reserved accounting.
+    pub billed_seconds: f64,
+}
+
+impl SlotBill {
+    /// This slot's cost: [`hourly_cost_usd`] × billed hours.
+    pub fn cost_usd(&self) -> f64 {
+        hourly_cost_usd(self.price_usd, self.power_w) * self.billed_seconds / 3600.0
+    }
+}
+
+/// A whole fleet's bill: one [`SlotBill`] per deployment slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetBill {
+    /// Per-slot bills, in deployment order.
+    pub slots: Vec<SlotBill>,
+}
+
+impl FleetBill {
+    /// The reserved (statically-provisioned) bill: every slot billed for
+    /// the full `seconds` — the peak fleet paid for whether it served or
+    /// idled. `slots` are `(price_usd, power_w)` pairs in deployment
+    /// order.
+    pub fn reserved(slots: &[(f64, f64)], seconds: f64) -> Self {
+        FleetBill {
+            slots: slots
+                .iter()
+                .enumerate()
+                .map(|(i, &(price_usd, power_w))| SlotBill {
+                    deployment: i as u32,
+                    price_usd,
+                    power_w,
+                    billed_seconds: seconds,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total billed seconds across the fleet.
+    pub fn billed_seconds(&self) -> f64 {
+        self.slots.iter().map(|s| s.billed_seconds).sum()
+    }
+
+    /// Total fleet cost in USD.
+    pub fn cost_usd(&self) -> f64 {
+        self.slots.iter().map(SlotBill::cost_usd).sum()
+    }
+
+    /// The fleet-scale cost-efficiency metric: USD per 1000 goodput
+    /// tokens (zero tokens reports an infinite cost, never a NaN).
+    pub fn cost_per_1k_tokens(&self, goodput_tokens: u64) -> f64 {
+        if goodput_tokens == 0 {
+            return f64::INFINITY;
+        }
+        self.cost_usd() / (goodput_tokens as f64 / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hourly_capex_amortizes_over_three_years() {
+        let hours = AMORTIZATION_YEARS * 365.25 * 24.0;
+        assert!((hourly_capex_usd(70_400.0) - 70_400.0 / hours).abs() < 1e-12);
+        // Paying the hourly rate for the whole horizon repays the price.
+        assert!((hourly_capex_usd(70_400.0) * hours - 70_400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn provisioned_power_sums_components() {
+        let spec = SystemSpec::a100_smartssd(8);
+        let w = provisioned_power_w(&spec);
+        // At least the GPU's active draw, and storage scales with count.
+        assert!(w > 250.0, "full-utilization draw too small: {w}");
+        let w16 = provisioned_power_w(&SystemSpec::a100_smartssd(16));
+        assert!(w16 > w, "more devices must draw more power");
+    }
+
+    #[test]
+    fn energy_term_raises_hourly_cost() {
+        let capex_only = hourly_cost_usd(70_400.0, 0.0);
+        let with_power = hourly_cost_usd(70_400.0, 1000.0);
+        assert!((capex_only - hourly_capex_usd(70_400.0)).abs() < 1e-12);
+        assert!((with_power - capex_only - ENERGY_USD_PER_KWH).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reserved_bill_charges_every_slot_the_makespan() {
+        let bill = FleetBill::reserved(&[(70_400.0, 1200.0), (51_200.0, 900.0)], 7200.0);
+        assert_eq!(bill.slots.len(), 2);
+        assert_eq!(bill.billed_seconds(), 14_400.0);
+        let expected =
+            hourly_cost_usd(70_400.0, 1200.0) * 2.0 + hourly_cost_usd(51_200.0, 900.0) * 2.0;
+        assert!((bill.cost_usd() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_per_1k_tokens_guards_zero() {
+        let bill = FleetBill::reserved(&[(70_400.0, 1200.0)], 3600.0);
+        assert!(bill.cost_per_1k_tokens(0).is_infinite());
+        let per_1k = bill.cost_per_1k_tokens(2000);
+        assert!((per_1k - bill.cost_usd() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_bill_beats_reserved_when_slots_idle() {
+        // Two identical slots; the elastic one billed 1/4 of the run on
+        // slot 1. Cost ratio must reflect exactly the billed-seconds gap.
+        let reserved = FleetBill::reserved(&[(70_400.0, 1200.0), (70_400.0, 1200.0)], 4000.0);
+        let elastic = FleetBill {
+            slots: vec![
+                SlotBill {
+                    deployment: 0,
+                    price_usd: 70_400.0,
+                    power_w: 1200.0,
+                    billed_seconds: 4000.0,
+                },
+                SlotBill {
+                    deployment: 1,
+                    price_usd: 70_400.0,
+                    power_w: 1200.0,
+                    billed_seconds: 1000.0,
+                },
+            ],
+        };
+        let ratio = reserved.cost_usd() / elastic.cost_usd();
+        assert!((ratio - 8000.0 / 5000.0).abs() < 1e-9);
+    }
+}

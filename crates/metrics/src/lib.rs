@@ -5,6 +5,9 @@
 //! * [`energy`] / [`EnergyBreakdown`] — per-component energy integration
 //!   (Fig. 17a),
 //! * [`tokens_per_second_per_dollar`] — cost efficiency (Fig. 16a),
+//! * [`FleetBill`] — fleet-scale billing: reserved vs utilization
+//!   accounting and USD per 1k goodput tokens, the elastic-cluster
+//!   comparison metric,
 //! * [`EnduranceModel`] — PBW-budget endurance and serviceable requests
 //!   (Fig. 16b),
 //! * [`LatencyStats`] / [`goodput`] — request-level latency order
@@ -24,6 +27,7 @@
 mod cost;
 mod endurance;
 mod energy;
+mod fleet;
 mod latency;
 mod prefill;
 mod prefix_cache;
@@ -32,6 +36,10 @@ mod report;
 pub use cost::{normalized_cost_efficiency, tokens_per_second_per_dollar};
 pub use endurance::EnduranceModel;
 pub use energy::{energy, joules_per_token, ActivitySnapshot, EnergyBreakdown};
+pub use fleet::{
+    hourly_capex_usd, hourly_cost_usd, provisioned_power_w, FleetBill, SlotBill,
+    AMORTIZATION_YEARS, ENERGY_USD_PER_KWH,
+};
 pub use latency::{class_breakdown, fmt_seconds, goodput, ClassReport, ClassSample, LatencyStats};
 pub use prefill::PrefillBreakdown;
 pub use prefix_cache::{PrefixCacheStats, TierTrafficStats};

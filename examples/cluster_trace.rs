@@ -11,13 +11,15 @@
 //! ```
 
 use hilos::core::cluster::{
-    ClusterEngine, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
+    AutoscalePolicy, ClusterEngine, CostNormalizedPressure, ElasticClusterEngine, ElasticConfig,
+    HybridHistogramKeepAlive, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
+    TargetPressureScaler,
 };
 use hilos::core::{
     ChunkMode, HilosConfig, HilosSystem, PrefixCacheConfig, ServeConfig, ServeEngine,
 };
 use hilos::llm::{presets, SharedPrefixConfig, TraceConfig};
-use hilos::metrics::{fmt_seconds, Table};
+use hilos::metrics::{fmt_seconds, provisioned_power_w, FleetBill, Table};
 use hilos::platform::SystemSpec;
 
 fn deployment_with(n: usize, degraded: Option<(usize, f64)>, chunk_mode: ChunkMode) -> ServeEngine {
@@ -212,7 +214,100 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "Each deployment only reuses prefixes it has served before, so the router's\n\
          cache-affinity term matters: warm deployments drain shared-prefix arrivals\n\
-         faster than cold ones for the same queue depth."
+         faster than cold ones for the same queue depth.\n"
+    );
+
+    // -- Elastic vs reserved fleet on a bursty trace ---------------------
+    // The fleet-sizing layer: a flash-crowd trace (short dense bursts,
+    // long calm gaps) served by a 4-slot fleet. The reserved baseline
+    // keeps every slot provisioned for the whole run and is billed
+    // slot-price x makespan; the elastic cluster starts one slot, pays
+    // every cold start it causes (container provision + weight load at
+    // SSD bandwidth), drains live through the migration machinery on
+    // scale-down, and is billed per-slot busy seconds.
+    let bursty = TraceConfig::flash_crowd_mix(512, 42, 8, 2400).generate()?;
+    let fleet = || {
+        vec![
+            deployment(8, None),
+            deployment(6, None),
+            deployment(4, None),
+            deployment(4, None),
+        ]
+    };
+    println!(
+        "Elastic vs reserved: {} requests in 8 bursts across a 4-slot fleet,\n\
+         cost-normalized routing\n",
+        bursty.len(),
+    );
+
+    let mut t = Table::new(vec![
+        "fleet",
+        "$ / 1k goodput tok",
+        "fleet bill",
+        "SLO hit rate",
+        "scale-ups",
+        "retires",
+        "peak active",
+    ]);
+    let mut fixed = ClusterEngine::new(fleet(), Box::new(CostNormalizedPressure));
+    let fr = fixed.run_trace(&bursty)?;
+    assert_eq!(fr.completed(), bursty.len(), "every request completes");
+    let slot_costs: Vec<(f64, f64)> = fixed
+        .deployments()
+        .iter()
+        .map(|e| {
+            let spec = e.system().spec();
+            (spec.total_price_usd(), provisioned_power_w(spec))
+        })
+        .collect();
+    let reserved = FleetBill::reserved(&slot_costs, fr.elapsed_s());
+    let fixed_cost = reserved.cost_per_1k_tokens(fr.goodput_tokens());
+    t.row(vec![
+        "reserved (always-on)".into(),
+        format!("${fixed_cost:.4}"),
+        format!("${:.2}", reserved.cost_usd()),
+        format!("{:.1}%", fr.slo_hit_rate() * 100.0),
+        "-".into(),
+        "-".into(),
+        "4".into(),
+    ]);
+    let mut hybrid_cost = f64::INFINITY;
+    for autoscale in [
+        Box::new(TargetPressureScaler::default()) as Box<dyn AutoscalePolicy>,
+        Box::new(HybridHistogramKeepAlive::new(64)),
+    ] {
+        let name = autoscale.name();
+        let mut elastic = ElasticClusterEngine::new(
+            fleet(),
+            Box::new(CostNormalizedPressure),
+            autoscale,
+            ElasticConfig::new(1),
+        );
+        let r = elastic.run_trace(&bursty)?;
+        assert_eq!(r.cluster.completed(), bursty.len(), "elasticity loses nothing");
+        assert_eq!(r.lost(), 0, "zero dropped requests");
+        let cost = r.cost_per_1k_goodput_tokens();
+        if name == "hybrid-histogram-keep-alive" {
+            hybrid_cost = cost;
+        }
+        t.row(vec![
+            format!("elastic ({name})"),
+            format!("${cost:.4}"),
+            format!("${:.2}", r.fleet_bill().cost_usd()),
+            format!("{:.1}%", r.cluster.slo_hit_rate() * 100.0),
+            r.scale_ups.to_string(),
+            r.retires.to_string(),
+            r.peak_active.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "The reactive scaler eats a full cold start on every burst and serves the\n\
+         burst head under-provisioned; the keep-alive predictor learns the inter-burst\n\
+         gap histogram, releases capacity once a burst is confirmed over, and has the\n\
+         slots warm again before the next one lands -- {:.2}x cheaper per goodput\n\
+         token than the always-on fleet, with zero lost requests.",
+        fixed_cost / hybrid_cost,
     );
     Ok(())
 }
