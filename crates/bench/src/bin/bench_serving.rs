@@ -1,6 +1,6 @@
 //! `bench_serving` — the request-level serving smoke bench.
 //!
-//! Eight measurements, recorded into `BENCH_serving.json` (current
+//! Nine measurements, recorded into `BENCH_serving.json` (current
 //! directory, or the path given as the first argument):
 //!
 //! 1. **Engine indexing** — a serving-shaped event loop on the raw
@@ -44,6 +44,12 @@
 //! 8. **Ledger admission aggregates** — `can_allocate` answered from the
 //!    [`KvShardLedger`]'s O(1) cached aggregates vs the O(devices)
 //!    reference scan on a 4096-device array; CI gates >= 2x.
+//! 9. **Lifecycle tracing** — the shared-prefix trace re-run with the
+//!    event ring on: the deterministic stream FNV (the `trace-smoke` CI
+//!    job's pin), event conservation, the exact additive latency
+//!    attribution, and a schema-checked Perfetto export. The 1M-request
+//!    trace in (3) runs with tracing off and asserts its 60 s wall-clock
+//!    budget inline — the `NullSink` fast path must stay free.
 //!
 //! ```text
 //! Usage: bench_serving [output.json]
@@ -262,6 +268,11 @@ fn main() {
             .unwrap();
     let wall = start.elapsed().as_secs_f64();
     assert_eq!(report.outcomes.len(), trace.len(), "trace must complete");
+    // Tracing is off here, so every emission site takes the NullSink
+    // fast path (one predictable branch); the 1M-request budget doubles
+    // as the zero-cost guard for the instrumented engine.
+    assert!(wall < 60.0, "1M-request trace blew its wall-clock budget: {wall:.1}s");
+    assert!(report.events.is_empty(), "tracing off must retain no events");
     let rps = trace.len() as f64 / wall;
     eprintln!(
         "trace: {} requests in {wall:.3}s wall ({rps:.0} req/s), {} steps, \
@@ -509,6 +520,48 @@ fn main() {
          scan {scan_ns:.1}ns/probe ({ledger_x:.0}x)"
     );
 
+    // -- 8: deterministic lifecycle tracing --
+    // The shared-prefix trace once more with the event ring on: the
+    // stream FNV is the pin the `trace-smoke` CI job gates, conservation
+    // must hold, the attribution must decompose every completed
+    // request's e2e exactly, and the Perfetto export must parse with
+    // properly nested spans.
+    use hilos_core::trace::{
+        check_conservation, events_fnv, perfetto_json, spans_nest, validate_json,
+        LatencyAttribution,
+    };
+    let traced = ServeEngine::new(
+        hilos_system(8),
+        ServeConfig::new(16)
+            .with_chunk_mode(ChunkMode::chunked())
+            .with_prefix_cache(PrefixCacheConfig::default())
+            .with_tracing(1 << 20),
+    )
+    .unwrap()
+    .run_trace(&prefix_trace)
+    .unwrap();
+    assert_eq!(traced.events_dropped, 0, "event ring must not wrap");
+    let stream_fnv = events_fnv(&traced.events);
+    let rings = [traced.events.as_slice()];
+    let cons = check_conservation(&rings);
+    assert!(cons.holds(), "event conservation violated: {cons:?}");
+    let attr = LatencyAttribution::analyze(&rings);
+    assert_eq!(attr.rows.len(), traced.outcomes.len(), "one attribution row per completion");
+    assert!(
+        attr.rows.iter().all(|r| r.components_sum() == r.e2e_s),
+        "attribution must sum to e2e bit-exactly"
+    );
+    let doc = perfetto_json(&rings);
+    validate_json(&doc).expect("Perfetto export must be valid JSON");
+    let nested = spans_nest(&doc).expect("request and phase spans must nest");
+    eprintln!(
+        "tracing: {} events (0 dropped), stream FNV {stream_fnv:#018x}, \
+         {} requests conserved, {} attribution rows, {nested} nested spans",
+        traced.events.len(),
+        cons.arrived,
+        attr.rows.len(),
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"serving\",\n  \"note\": \"heap-indexed vs linear-scan \
          next_completion_time on a serving-shaped event loop ({CONCURRENT} concurrent jobs, \
@@ -536,7 +589,11 @@ fn main() {
          \"ttft_p50_off_vs_on\": {:.3}, \"ttft_p95_off_vs_on\": {:.3}\n  }},\n  \
          \"ledger_admission\": {{\"devices\": {LEDGER_DEVICES}, \"probes\": {LEDGER_PROBES}, \
          \"cached_ns_per_probe\": {cached_ns:.2}, \"scan_ns_per_probe\": {scan_ns:.2}, \
-         \"cached_vs_scan\": {ledger_x:.3}}}\n}}\n",
+         \"cached_vs_scan\": {ledger_x:.3}}},\n  \
+         \"tracing\": {{\"requests\": {}, \"events\": {}, \"events_dropped\": 0, \
+         \"event_stream_fnv\": \"{stream_fnv:#018x}\", \"conserved_arrivals\": {}, \
+         \"attribution_rows\": {}, \"attribution_exact\": true, \"json_valid\": true, \
+         \"nested_spans\": {nested}, \"untraced_wall_seconds\": {wall:.4}}}\n}}\n",
         crossover_rows.join(",\n    "),
         trace.len(),
         report.steps,
@@ -565,6 +622,10 @@ fn main() {
         pc.recalled_bytes(),
         ttft_off.p50 / ttft_on.p50,
         ttft_off.p95 / ttft_on.p95,
+        prefix_trace.len(),
+        traced.events.len(),
+        cons.arrived,
+        attr.rows.len(),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
     println!("{json}");

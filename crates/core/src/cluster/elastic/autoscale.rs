@@ -196,7 +196,9 @@ impl AutoscalePolicy for TargetPressureScaler {
             }
         }
         let pressure = snap.pressure();
-        if pressure > self.high && snap.retired_available() > 0 && snap.provisioning_or_warming() == 0
+        if pressure > self.high
+            && snap.retired_available() > 0
+            && snap.provisioning_or_warming() == 0
         {
             self.last_action = Some(snap.step);
             return ScaleDecision::ScaleUp { count: 1 };
@@ -459,7 +461,8 @@ mod tests {
 
     #[test]
     fn pinned_fleet_always_holds() {
-        let views = [slot(0, 100, 8, LifecycleState::Active), slot(1, 0, 0, LifecycleState::Retired)];
+        let views =
+            [slot(0, 100, 8, LifecycleState::Active), slot(1, 0, 0, LifecycleState::Retired)];
         let s = snap(0, 50, &views);
         let mut p = PinnedFleet;
         assert_eq!(p.decide(&s), ScaleDecision::Hold);
@@ -525,7 +528,7 @@ mod tests {
         let mut p = HybridHistogramKeepAlive::new(32);
         let two = [slot(0, 0, 2, LifecycleState::Active), slot(1, 0, 1, LifecycleState::Active)];
         p.decide(&snap(100, 3, &two)); // arrival: burst_target = 2
-        // 33 idle steps later, fully drained: release down to the floor.
+                                       // 33 idle steps later, fully drained: release down to the floor.
         let idle = [slot(0, 0, 0, LifecycleState::Active), slot(1, 0, 0, LifecycleState::Active)];
         // The engine idle-jumps between bursts, so the policy must *ask*
         // to be woken at the release point — otherwise it would still be

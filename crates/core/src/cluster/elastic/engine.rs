@@ -12,6 +12,20 @@ use crate::serve::engine::{QueueEntry, RunState, StepProgress};
 use crate::serve::ServeEngine;
 use hilos_llm::{DeploymentId, Request};
 use hilos_metrics::{FleetBill, SlotBill};
+use hilos_trace::{EventKind, NO_REQUEST};
+
+/// The trace-event kind a lifecycle transition lands as in the slot's
+/// event ring (the full [`LifecycleEvent`] audit trail is reported
+/// separately; the ring carries the serving-interleaved view).
+fn lifecycle_kind(to: LifecycleState) -> EventKind {
+    match to {
+        LifecycleState::Provisioning => EventKind::ScaleUp,
+        LifecycleState::Warming => EventKind::Warming,
+        LifecycleState::Active => EventKind::Activated,
+        LifecycleState::Draining => EventKind::Drain,
+        LifecycleState::Retired => EventKind::Retired,
+    }
+}
 
 /// Fleet-elasticity knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -253,12 +267,8 @@ impl ElasticClusterEngine {
         let n = self.engines.len();
         let hint = self.config.step_seconds_hint;
         let min_active = self.config.min_active;
-        let cold_start_steps = self
-            .lifecycles
-            .iter()
-            .map(|lc| lc.cold_start().total_steps(hint))
-            .max()
-            .unwrap_or(1);
+        let cold_start_steps =
+            self.lifecycles.iter().map(|lc| lc.cold_start().total_steps(hint)).max().unwrap_or(1);
 
         let mut states: Vec<RunState> = self.engines.iter().map(|e| e.new_run_state()).collect();
         let mut dispatched = vec![0u64; n];
@@ -277,8 +287,11 @@ impl ElasticClusterEngine {
         loop {
             // 1: lifecycle transits — cold starts whose thresholds have
             // passed turn Warming/Active.
-            for d in 0..n {
-                events.extend(self.lifecycles[d].tick(gstep, d as u32));
+            for (d, st) in states.iter_mut().enumerate().take(n) {
+                for ev in self.lifecycles[d].tick(gstep, d as u32) {
+                    st.emit(DeploymentId(d as u32), NO_REQUEST, lifecycle_kind(ev.to));
+                    events.push(ev);
+                }
             }
             let active_now =
                 self.lifecycles.iter().filter(|l| l.state() == LifecycleState::Active).count();
@@ -311,6 +324,11 @@ impl ElasticClusterEngine {
                             if let Some(ev) =
                                 self.lifecycles[d].begin_provision(gstep, hint, d as u32)
                             {
+                                states[d].emit(
+                                    DeploymentId(d as u32),
+                                    NO_REQUEST,
+                                    lifecycle_kind(ev.to),
+                                );
                                 events.push(ev);
                                 scale_ups += 1;
                                 cold_start_s[d] += self.lifecycles[d].cold_start().total_s();
@@ -320,9 +338,7 @@ impl ElasticClusterEngine {
                     ScaleDecision::ScaleDown { count } => {
                         for _ in 0..count {
                             let active: Vec<usize> = (0..n)
-                                .filter(|&d| {
-                                    self.lifecycles[d].state() == LifecycleState::Active
-                                })
+                                .filter(|&d| self.lifecycles[d].state() == LifecycleState::Active)
                                 .collect();
                             if active.len() <= min_active {
                                 break;
@@ -339,6 +355,11 @@ impl ElasticClusterEngine {
                                 })
                                 .expect("non-empty active list");
                             if let Some(ev) = self.lifecycles[d].begin_drain(gstep, d as u32) {
+                                states[d].emit(
+                                    DeploymentId(d as u32),
+                                    NO_REQUEST,
+                                    lifecycle_kind(ev.to),
+                                );
                                 events.push(ev);
                                 drains += 1;
                             }
@@ -353,6 +374,7 @@ impl ElasticClusterEngine {
                 let view = RouteRequest::of(&req, 0, false);
                 let d = self.route(&states, &dispatched, gstep, view);
                 dispatched[d] += 1;
+                states[d].emit(DeploymentId(d as u32), req.id, EventKind::Routed);
                 self.engines[d].enqueue_arrival(&mut states[d], req);
                 idx += 1;
             }
@@ -367,10 +389,9 @@ impl ElasticClusterEngine {
                     continue;
                 }
                 let mut moved = self.engines[d].evacuate_queued(&mut states[d]);
-                moved.extend(self.engines[d].evacuate_in_flight(
-                    &mut states[d],
-                    self.config.drain_batch,
-                ));
+                moved.extend(
+                    self.engines[d].evacuate_in_flight(&mut states[d], self.config.drain_batch),
+                );
                 for mut entry in moved {
                     let view = RouteRequest::of(&entry.req, entry.emitted, true);
                     let target = self.route(&states, &dispatched, gstep, view);
@@ -381,10 +402,21 @@ impl ElasticClusterEngine {
                     entry.arrival_s += shift;
                     entry.first_token_s = entry.first_token_s.map(|t| t + shift);
                     entry.first_admitted_s = entry.first_admitted_s.map(|t| t + shift);
+                    states[target].emit(
+                        DeploymentId(target as u32),
+                        entry.req.id,
+                        EventKind::Migrated {
+                            from: d as u32,
+                            arrival_s: entry.arrival_s,
+                            first_token_s: entry.first_token_s.unwrap_or(0.0),
+                            emitted: entry.emitted,
+                        },
+                    );
                     self.engines[target].requeue(&mut states[target], entry);
                 }
                 if !states[d].has_work() {
                     if let Some(ev) = self.lifecycles[d].retire(gstep, d as u32) {
+                        states[d].emit(DeploymentId(d as u32), NO_REQUEST, lifecycle_kind(ev.to));
                         events.push(ev);
                         retires += 1;
                     }
@@ -411,6 +443,11 @@ impl ElasticClusterEngine {
                     // cost money).
                     for d in pending {
                         if let Some(ev) = self.lifecycles[d].retire(gstep, d as u32) {
+                            states[d].emit(
+                                DeploymentId(d as u32),
+                                NO_REQUEST,
+                                lifecycle_kind(ev.to),
+                            );
                             events.push(ev);
                             retires += 1;
                         }
@@ -468,6 +505,16 @@ impl ElasticClusterEngine {
                         entry.arrival_s += shift;
                         entry.first_token_s = entry.first_token_s.map(|t| t + shift);
                         entry.first_admitted_s = entry.first_admitted_s.map(|t| t + shift);
+                        states[target].emit(
+                            DeploymentId(target as u32),
+                            entry.req.id,
+                            EventKind::Migrated {
+                                from: d as u32,
+                                arrival_s: entry.arrival_s,
+                                first_token_s: entry.first_token_s.unwrap_or(0.0),
+                                emitted: entry.emitted,
+                            },
+                        );
                     }
                     self.engines[target].requeue(&mut states[target], entry);
                 }

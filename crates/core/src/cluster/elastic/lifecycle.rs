@@ -221,9 +221,7 @@ impl DeploymentLifecycle {
     /// ends). Returns the event, or `None` from Active/Retired.
     pub fn retire(&mut self, step: u64, deployment: u32) -> Option<LifecycleEvent> {
         match self.state {
-            LifecycleState::Draining
-            | LifecycleState::Provisioning
-            | LifecycleState::Warming => {
+            LifecycleState::Draining | LifecycleState::Provisioning | LifecycleState::Warming => {
                 self.state = LifecycleState::Retired;
                 Some(LifecycleEvent { step, deployment, to: LifecycleState::Retired })
             }

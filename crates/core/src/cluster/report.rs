@@ -230,6 +230,8 @@ mod tests {
                 saved_prefill_tokens: 128,
                 ..PrefixCacheStats::default()
             },
+            events: vec![],
+            events_dropped: 0,
         }
     }
 

@@ -9,6 +9,7 @@ use crate::runner::CoreError;
 use crate::serve::engine::{QueueEntry, RunState, StepProgress};
 use crate::serve::ServeEngine;
 use hilos_llm::{DeploymentId, Request};
+use hilos_trace::EventKind;
 
 /// Hourly provisioning price of one deployment: `(hourly cost USD,
 /// full-utilization watts)`. Computed once per engine — the system spec
@@ -209,6 +210,7 @@ impl ClusterEngine {
                 let view = RouteRequest::of(&req, 0, false);
                 let d = self.route(&states, &dispatched, gstep, view);
                 dispatched[d] += 1;
+                states[d].emit(DeploymentId(d as u32), req.id, EventKind::Routed);
                 self.engines[d].enqueue_arrival(&mut states[d], req);
                 idx += 1;
             }
@@ -263,6 +265,16 @@ impl ClusterEngine {
                         entry.arrival_s += shift;
                         entry.first_token_s = entry.first_token_s.map(|t| t + shift);
                         entry.first_admitted_s = entry.first_admitted_s.map(|t| t + shift);
+                        states[target].emit(
+                            DeploymentId(target as u32),
+                            entry.req.id,
+                            EventKind::Migrated {
+                                from: d as u32,
+                                arrival_s: entry.arrival_s,
+                                first_token_s: entry.first_token_s.unwrap_or(0.0),
+                                emitted: entry.emitted,
+                            },
+                        );
                     }
                     self.engines[target].requeue(&mut states[target], entry);
                 }

@@ -23,6 +23,7 @@ use hilos_llm::{DeploymentId, ModelConfig, Request};
 use hilos_metrics::{PrefillBreakdown, PrefixCacheStats};
 use hilos_sim::FlowEngineImpl;
 use hilos_storage::{KvShardLedger, KvTier, KvTierLadder, PrefixCacheIndex, SsdSpec, TierTraffic};
+use hilos_trace::{Event, EventKind, EventRing, NullSink, TraceSink};
 use std::collections::{HashMap, VecDeque};
 
 /// Context quantum of the chunk-path prefill memoization. Chunk cursors
@@ -147,6 +148,15 @@ pub struct ServeConfig {
     /// the engine is then bit-identical to the pre-cache loop
     /// (golden-pinned).
     pub prefix_cache: Option<PrefixCacheConfig>,
+    /// Lifecycle-event tracing: `Some(capacity)` records every admission,
+    /// chunk, emission, preemption and completion into an
+    /// [`hilos_trace::EventRing`] of that capacity, surfaced on
+    /// [`TraceReport::events`]. `None` (the default) wires the
+    /// [`hilos_trace::NullSink`] — one dead branch per would-be event, so
+    /// every golden pin (and the 1M-request wall-clock budget) is
+    /// untouched. Emission is observational either way: tracing never
+    /// moves a clock or a counter.
+    pub trace_events: Option<usize>,
 }
 
 impl ServeConfig {
@@ -166,6 +176,7 @@ impl ServeConfig {
             flow_impl: FlowEngineImpl::default(),
             step_threads: 1,
             prefix_cache: None,
+            trace_events: None,
         }
     }
 
@@ -219,6 +230,18 @@ impl ServeConfig {
     pub fn with_prefix_cache(mut self, cache: PrefixCacheConfig) -> Self {
         assert!(cache.block_tokens > 0, "prefix blocks must be positive");
         self.prefix_cache = Some(cache);
+        self
+    }
+
+    /// Enables lifecycle-event tracing into a ring retaining up to
+    /// `capacity` events (see [`ServeConfig::trace_events`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "the event ring needs a positive capacity");
+        self.trace_events = Some(capacity);
         self
     }
 }
@@ -404,9 +427,26 @@ pub(crate) struct RunState {
     /// `queue`) exactly as before the cluster layer existed; a cluster
     /// driver *may* drain them by id and re-dispatch across deployments.
     pub(crate) just_preempted: Vec<u64>,
+    /// Where lifecycle events go: an [`EventRing`] when the run was
+    /// configured with [`ServeConfig::with_tracing`], the [`NullSink`]
+    /// otherwise.
+    trace: Box<dyn TraceSink>,
+    /// `trace.enabled()`, cached so the off path is one branch with no
+    /// virtual call.
+    trace_on: bool,
 }
 
 impl RunState {
+    /// Records one lifecycle event at the deployment's current clock.
+    /// Observational only — never touches clocks or accounting, so the
+    /// tracing-off run is bit-identical to the uninstrumented engine.
+    #[inline]
+    pub(crate) fn emit(&mut self, deployment: DeploymentId, request: u64, kind: EventKind) {
+        if self.trace_on {
+            self.trace.record(Event { t_s: self.clock, deployment: deployment.0, request, kind });
+        }
+    }
+
     /// Whether the run still has anything to serve.
     pub(crate) fn has_work(&self) -> bool {
         !self.queue.is_empty() || !self.prefilling.is_empty() || !self.running.is_empty()
@@ -631,6 +671,7 @@ impl ServeEngine {
     /// means the caller books the tokens as wasted re-materialization
     /// debt exactly as the pre-cache engine did.
     fn demote_victim(&mut self, st: &mut RunState, id: u64, tokens: u64) -> bool {
+        let dep = self.deployment;
         let Some(cs) = self.cache.as_mut() else {
             return false;
         };
@@ -652,6 +693,7 @@ impl ServeEngine {
                 t.demote_seconds += seconds;
                 st.prefix.victim_demotions += 1;
                 cs.demoted.insert(id, DemotedKv { tokens, bytes, tier });
+                st.emit(dep, id, EventKind::Demoted { tokens, bytes, tier: tier.index() as u8 });
                 return true;
             }
         }
@@ -683,6 +725,7 @@ impl ServeEngine {
         entry: &QueueEntry,
         pf_ctx: u64,
     ) -> (u64, f64) {
+        let dep = self.deployment;
         let Some(cs) = self.cache.as_mut() else {
             return (0, 0.0);
         };
@@ -691,6 +734,7 @@ impl ServeEngine {
             let tokens = d.tokens.min(pf_ctx);
             st.prefix.victim_recalls += 1;
             st.prefix.recalled_prefill_tokens += tokens;
+            st.emit(dep, entry.req.id, EventKind::Recall { bytes: d.bytes, seconds });
             return (tokens, seconds);
         }
         if entry.req.prefix_key == 0 {
@@ -703,7 +747,16 @@ impl ServeEngine {
         let seconds = cs.index.recall(entry.req.prefix_key, hit, &mut cs.ladder);
         cs.index.acquire(entry.req.prefix_key).expect("probe just hit this key");
         cs.held.insert(entry.req.id, entry.req.prefix_key);
-        (hit.min(pf_ctx), seconds)
+        let reused = hit.min(pf_ctx);
+        st.emit(dep, entry.req.id, EventKind::PrefixHit { reused_tokens: reused });
+        if seconds > 0.0 {
+            st.emit(
+                dep,
+                entry.req.id,
+                EventKind::Recall { bytes: reused * cs.bytes_per_token, seconds },
+            );
+        }
+        (reused, seconds)
     }
 
     /// On eviction, drops the request's prefix pin and publishes its
@@ -872,11 +925,17 @@ impl ServeEngine {
             footprint_estimates: HashMap::new(),
             wb: WritebackManager::new(self.system.config().spill_interval()),
             just_preempted: Vec::new(),
+            trace: match self.config.trace_events {
+                Some(capacity) => Box::new(EventRing::new(capacity)),
+                None => Box::new(NullSink),
+            },
+            trace_on: self.config.trace_events.is_some(),
         }
     }
 
     /// Enqueues an arriving request at the deployment's current clock.
     pub(crate) fn enqueue_arrival(&self, st: &mut RunState, req: Request) {
+        st.emit(self.deployment, req.id, EventKind::Arrived { prompt_tokens: req.prompt_len });
         st.queue.push_back(QueueEntry {
             req,
             arrival_s: st.clock,
@@ -932,6 +991,7 @@ impl ServeEngine {
             self.ledger.release(p.req.id).expect("prefilling request holds allocation");
             self.release_prefix_hold(p.req.id);
             st.preemptions += 1;
+            st.emit(self.deployment, p.req.id, EventKind::Preempted { emitted: p.emitted });
             // An inline (chunked) prefill has ingested `prefill_done`
             // tokens; a side-prefill charged its whole context at
             // admission — either way the work is lost with the shards.
@@ -951,6 +1011,7 @@ impl ServeEngine {
             self.ledger.release(r.req.id).expect("running request holds allocation");
             self.release_prefix_hold(r.req.id);
             st.preemptions += 1;
+            st.emit(self.deployment, r.req.id, EventKind::Preempted { emitted: r.emitted });
             st.wasted_prefill_tokens += r.req.prompt_len + r.emitted;
             st.composition_changed = true;
             out.push(QueueEntry {
@@ -1096,6 +1157,11 @@ impl ServeEngine {
                         let r = st.running.remove(pos);
                         self.ledger.release(r.req.id).expect("running request holds allocation");
                         st.preemptions += 1;
+                        st.emit(
+                            self.deployment,
+                            r.req.id,
+                            EventKind::Preempted { emitted: r.emitted },
+                        );
                         // Demote the victim's ingested KV down the
                         // residency ladder; only what the ladder cannot
                         // hold becomes re-materialization debt (all of
@@ -1113,6 +1179,11 @@ impl ServeEngine {
                         let p = st.prefilling.remove(pos);
                         self.ledger.release(p.req.id).expect("prefilling request holds allocation");
                         st.preemptions += 1;
+                        st.emit(
+                            self.deployment,
+                            p.req.id,
+                            EventKind::Preempted { emitted: p.emitted },
+                        );
                         if !self.demote_victim(st, p.req.id, p.prefill_done) {
                             st.wasted_prefill_tokens += p.prefill_done;
                         }
@@ -1144,6 +1215,7 @@ impl ServeEngine {
                         slo_deadline_s: entry.req.slo.deadline_s(),
                     });
                     sheds_executed += 1;
+                    st.emit(self.deployment, entry.req.id, EventKind::Shed);
                 }
                 SchedDecision::Admit { request } => {
                     if st.running.len() + st.prefilling.len() >= self.config.max_batch as usize {
@@ -1197,6 +1269,15 @@ impl ServeEngine {
                         self.forget_demoted(st, entry.req.id);
                         drop_unplaceable(entry, &mut st.outcomes, &mut st.rejected, st.clock);
                         st.queue.remove(pos);
+                        if entry.emitted > 0 {
+                            st.emit(
+                                deployment,
+                                entry.req.id,
+                                EventKind::Completed { output_tokens: entry.emitted },
+                            );
+                        } else {
+                            st.emit(deployment, entry.req.id, EventKind::Rejected);
+                        }
                         continue;
                     }
                     match self.ledger.allocate(entry.req.id, footprint) {
@@ -1219,6 +1300,15 @@ impl ServeEngine {
                                     st.clock,
                                 );
                                 st.queue.remove(pos);
+                                if entry.emitted > 0 {
+                                    st.emit(
+                                        deployment,
+                                        entry.req.id,
+                                        EventKind::Completed { output_tokens: entry.emitted },
+                                    );
+                                } else {
+                                    st.emit(deployment, entry.req.id, EventKind::Rejected);
+                                }
                                 continue;
                             }
                             // Head-of-line wait: abandon the rest of this
@@ -1236,6 +1326,14 @@ impl ServeEngine {
                     // with the cache off (`reused == 0`, `recall_s == 0`),
                     // keeping the golden-pinned path untouched.
                     let (reused, recall_s) = self.reuse_cached_kv(st, &entry, pf_ctx);
+                    // Stamped before the recall charge lands on the clock:
+                    // the admission instant is when the decision was made,
+                    // the recall I/O is accounted by its own event above.
+                    st.emit(
+                        deployment,
+                        entry.req.id,
+                        EventKind::Admitted { reused_tokens: reused },
+                    );
                     if recall_s > 0.0 {
                         // Recall I/O is critical-path: it delays this
                         // step's clock (and thus the hit's TTFT) just as
@@ -1328,16 +1426,27 @@ impl ServeEngine {
                 if budget == 0 {
                     break;
                 }
-                let (done, total, alpha) = {
+                let (id, done, total, alpha) = {
                     let p = &st.prefilling[i];
-                    (p.prefill_done, p.prefill_total, p.admit_alpha)
+                    (p.req.id, p.prefill_done, p.prefill_total, p.admit_alpha)
                 };
                 let remaining = total - done;
                 if remaining == 0 {
                     continue;
                 }
                 let take = chunk_len.min(remaining).min(budget);
-                chunk_seconds += self.prefill_chunk_seconds(done, take, alpha)?;
+                let seconds = self.prefill_chunk_seconds(done, take, alpha)?;
+                chunk_seconds += seconds;
+                st.emit(
+                    self.deployment,
+                    id,
+                    EventKind::PrefillChunk {
+                        start: done,
+                        tokens: take,
+                        seconds,
+                        interference: chunks_overlapped_decode,
+                    },
+                );
                 let p = &mut st.prefilling[i];
                 p.prefill_done += take;
                 p.prefill_charged += take;
@@ -1364,6 +1473,9 @@ impl ServeEngine {
                     st.prefilling.drain(..).partition(|p| p.prefill_done >= p.prefill_total);
                 st.prefilling = pending;
                 st.joins += ready.len() as u64;
+                for p in &ready {
+                    st.emit(self.deployment, p.req.id, EventKind::Joined);
+                }
                 st.running.extend(ready);
                 st.composition_changed = true;
             }
@@ -1386,6 +1498,9 @@ impl ServeEngine {
                         a.join_s.total_cmp(&b.join_s).then(a.req.id.cmp(&b.req.id))
                     });
                     st.joins += ready.len() as u64;
+                    for p in &ready {
+                        st.emit(self.deployment, p.req.id, EventKind::Joined);
+                    }
                     st.running.extend(ready);
                     st.composition_changed = true;
                 }
@@ -1436,6 +1551,11 @@ impl ServeEngine {
             if r.first_token_s.is_none() {
                 r.first_token_s = Some(st.clock);
             }
+            st.emit(
+                self.deployment,
+                r.req.id,
+                EventKind::Emit { index: r.emitted - 1, interference_s: interference },
+            );
             if r.emitted >= r.req.output_budget {
                 self.ledger.release(r.req.id).expect("running request holds allocation");
                 // A finished request's prefix KV is worth keeping:
@@ -1458,6 +1578,11 @@ impl ServeEngine {
                     preemptions: r.preemptions,
                     prefill_tokens: r.prefill_charged,
                 });
+                st.emit(
+                    self.deployment,
+                    r.req.id,
+                    EventKind::Completed { output_tokens: r.emitted },
+                );
                 st.composition_changed = true;
             } else {
                 still_running.push(r);
@@ -1522,6 +1647,8 @@ impl ServeEngine {
             step_latency_s: st.step_latency,
             wasted_prefill_tokens: st.wasted_prefill_tokens,
             prefix,
+            events: st.trace.snapshot(),
+            events_dropped: st.trace.dropped(),
         }
     }
 

@@ -339,6 +339,14 @@ pub struct TraceReport {
     /// tokens reuse skipped, and the ladder's demote/recall traffic.
     /// All-zero with the cache off (the default).
     pub prefix: PrefixCacheStats,
+    /// The retained lifecycle event stream, oldest first — empty unless
+    /// the run was configured with [`ServeConfig::with_tracing`]. The
+    /// stream is deterministic for a fixed trace and policy and is
+    /// FNV-pinned in CI via [`hilos_trace::events_fnv`].
+    pub events: Vec<hilos_trace::Event>,
+    /// Events evicted past the configured ring capacity (zero when
+    /// `events` holds the whole stream).
+    pub events_dropped: u64,
 }
 
 impl TraceReport {
@@ -475,6 +483,8 @@ mod tests {
             step_latency_s: vec![],
             wasted_prefill_tokens: 0,
             prefix: PrefixCacheStats::default(),
+            events: vec![],
+            events_dropped: 0,
         };
         assert_eq!(empty.token_goodput(), 0.0);
         assert!(!empty.token_goodput().is_nan());
@@ -515,6 +525,8 @@ mod tests {
             step_latency_s: vec![],
             wasted_prefill_tokens: 0,
             prefix: PrefixCacheStats::default(),
+            events: vec![],
+            events_dropped: 0,
         };
         assert_eq!(report.slo_hit_rate(), 0.5);
         assert!((report.slo_token_goodput() - 10.0 / 50.0).abs() < 1e-12);

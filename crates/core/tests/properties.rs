@@ -4,6 +4,7 @@
 use hilos_core::cluster::{
     ClusterEngine, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
 };
+use hilos_core::trace::{check_conservation, prefill_chunk_totals, Event, LatencyAttribution};
 use hilos_core::{
     paper_alpha_mha, spill_nand_bytes_per_token, AlphaModel, AlphaPolicy, ChunkMode, DeadlineEdf,
     Fifo, HilosConfig, HilosSystem, PrefixCacheConfig, PriorityPreempt, SchedulingPolicy,
@@ -333,6 +334,7 @@ proptest! {
             _ => Box::new(LedgerPressure::new()),
         };
         // Heterogeneous shapes: 8 healthy / 6 half-degraded / 4 degraded.
+        let serve_cfg = ServeConfig::new(max_batch).with_tracing(1 << 18);
         let deployments: Vec<ServeEngine> = (0..dep_count)
             .map(|d| {
                 let sys = match d {
@@ -359,7 +361,7 @@ proptest! {
                 } else {
                     Box::new(PriorityPreempt::new())
                 };
-                ServeEngine::with_policy(sys, ServeConfig::new(max_batch), policy).unwrap()
+                ServeEngine::with_policy(sys, serve_cfg.clone(), policy).unwrap()
             })
             .collect();
         let frees_before: Vec<Vec<u64>> =
@@ -384,6 +386,93 @@ proptest! {
             prop_assert_eq!(eng.ledger().live_requests(), 0, "leaked allocations");
             prop_assert_eq!(&eng.ledger().free_by_device(), before, "per-device free drifted");
         }
+
+        // Event-stream conservation *across* the rings: a request that
+        // arrived on one deployment may terminate on another (migration),
+        // but every arrival terminates exactly once cluster-wide.
+        let rings: Vec<&[Event]> =
+            report.deployments.iter().map(|d| d.events.as_slice()).collect();
+        for d in &report.deployments {
+            prop_assert_eq!(d.events_dropped, 0, "ring too small for the run");
+        }
+        let cons = check_conservation(&rings);
+        prop_assert!(cons.holds(), "event conservation violated: {:?}", cons);
+        prop_assert_eq!(cons.arrived, n);
+        prop_assert_eq!(cons.completed + cons.rejected, n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Event-stream conservation and additive latency attribution: for
+    /// any scheduling policy — including preempting and shedding ones —
+    /// any chunk mode and any load, a traced run pairs every `Arrived`
+    /// with exactly one terminal event, agrees with the report's own
+    /// outcome/rejection/shed counts, reconciles its chunk events
+    /// against [`TraceReport::prefill`], and decomposes every completed
+    /// request's end-to-end latency into phase components that sum back
+    /// to it bit-exactly.
+    #[test]
+    fn event_stream_conserves_and_attribution_sums_to_e2e(
+        n in 8usize..40,
+        seed in 0u64..1_000_000,
+        gap in 0u64..48,
+        chunk_idx in 0usize..3,
+        policy_idx in 0usize..4,
+    ) {
+        let trace = TraceConfig { mean_interarrival_steps: gap, ..TraceConfig::azure_mix(n, seed) }
+            .generate()
+            .unwrap();
+        let chunk_mode = match chunk_idx {
+            0 => ChunkMode::Off,
+            1 => ChunkMode::Lump,
+            _ => ChunkMode::chunked(),
+        };
+        let policy: Box<dyn SchedulingPolicy> = match policy_idx {
+            0 => Box::new(Fifo),
+            1 => Box::new(DeadlineEdf::new()),
+            2 => Box::new(DeadlineEdf::with_shedding()),
+            _ => Box::new(PriorityPreempt::new()),
+        };
+        let config = ServeConfig::new(4).with_chunk_mode(chunk_mode).with_tracing(1 << 20);
+        let mut eng = ServeEngine::with_policy(serve_system(), config, policy).unwrap();
+        let report = eng.run_trace(&trace).unwrap();
+
+        prop_assert_eq!(report.events_dropped, 0, "ring too small for the run");
+        let cons = check_conservation(&[&report.events]);
+        prop_assert!(cons.holds(), "event conservation violated: {:?}", cons);
+        prop_assert_eq!(cons.arrived, n);
+        prop_assert_eq!(cons.completed, report.outcomes.len());
+        prop_assert_eq!(cons.rejected, report.rejected.len());
+        prop_assert_eq!(cons.shed, report.shed.len());
+
+        // Attribution: one row per completed request, every component
+        // non-negative (to float tolerance) and summing back exactly.
+        let attr = LatencyAttribution::analyze(&[&report.events]);
+        prop_assert_eq!(attr.rows.len(), report.outcomes.len());
+        for row in &attr.rows {
+            prop_assert_eq!(
+                row.components_sum(), row.e2e_s,
+                "request {} leaks time: {:?}", row.id, row
+            );
+            for c in [
+                row.queue_s, row.recall_s, row.prefill_s, row.interference_s,
+                row.preemption_lost_s, row.migration_s, row.decode_s,
+            ] {
+                prop_assert!(c >= -1e-9, "negative component on {}: {:?}", row.id, row);
+            }
+        }
+
+        // Chunk events reconcile against the engine's own breakdown.
+        let totals = prefill_chunk_totals(&report.events);
+        prop_assert_eq!(totals.chunks, report.prefill.chunks);
+        prop_assert_eq!(totals.tokens, report.prefill.chunk_tokens);
+        prop_assert!(
+            (totals.seconds() - report.prefill.prefill_seconds()).abs()
+                <= 1e-9 * totals.seconds().max(1.0),
+            "chunk seconds diverged from the report"
+        );
     }
 }
 

@@ -323,11 +323,12 @@ impl SharedPrefixConfig {
 /// independent of the base generation (the seed salted by a fixed
 /// constant), so prompt lengths, classes and jitters are untouched —
 /// only *when* requests arrive changes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum ArrivalProcess {
     /// One uniform inter-arrival draw per request in
     /// `0..=2·mean_interarrival_steps` — the default, bit-identical to
     /// pre-elastic versions of this crate.
+    #[default]
     Uniform,
     /// Deterministic flash crowds: the trace splits into `bursts`
     /// equal contiguous groups; inside a group arrivals are packed
@@ -357,12 +358,6 @@ pub enum ArrivalProcess {
         /// Mean inter-arrival gap at the trough (slowest) point.
         trough_interarrival_steps: u64,
     },
-}
-
-impl Default for ArrivalProcess {
-    fn default() -> Self {
-        ArrivalProcess::Uniform
-    }
 }
 
 /// Configuration of a seeded heterogeneous request trace.
@@ -849,7 +844,10 @@ mod tests {
         assert_eq!(bursty.len(), base.len());
         for (a, b) in base.iter().zip(&bursty) {
             // Classes, lengths and SLOs come from the unsalted stream.
-            assert_eq!((a.class, a.prompt_len, a.output_budget), (b.class, b.prompt_len, b.output_budget));
+            assert_eq!(
+                (a.class, a.prompt_len, a.output_budget),
+                (b.class, b.prompt_len, b.output_budget)
+            );
         }
         // Deterministic in the seed.
         assert_eq!(bursty, TraceConfig::flash_crowd_mix(96, 7, 4, 1000).generate().unwrap());
@@ -875,10 +873,13 @@ mod tests {
         // Arrivals inside the first tenth of a period (peak rate) must be
         // denser than arrivals near the trough half a period in.
         let density = |lo: u64, hi: u64| {
-            trace.iter().filter(|r| {
-                let ph = r.arrival_step % 4000;
-                ph >= lo && ph < hi
-            }).count()
+            trace
+                .iter()
+                .filter(|r| {
+                    let ph = r.arrival_step % 4000;
+                    ph >= lo && ph < hi
+                })
+                .count()
         };
         let peak = density(0, 400);
         let trough = density(1800, 2200);

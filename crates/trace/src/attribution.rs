@@ -1,0 +1,548 @@
+//! Per-request latency attribution and stream-conservation checks.
+
+use std::collections::HashMap;
+
+use crate::event::{Event, EventKind, NO_REQUEST};
+
+/// Exact additive decomposition of one completed request's end-to-end
+/// latency. The seven phase components sum to `e2e_s` by construction:
+/// `decode_s` is defined as the remainder after the six measured phases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestAttribution {
+    /// Request id.
+    pub id: u64,
+    /// Deployment the request completed on.
+    pub deployment: u32,
+    /// Arrival timestamp, rebased onto the completing deployment's clock.
+    pub arrival_s: f64,
+    /// Completion timestamp on the completing deployment's clock.
+    pub finished_s: f64,
+    /// Time to first token (completion-stamped if nothing was emitted).
+    pub ttft_s: f64,
+    /// End-to-end latency. Defined as the component fold itself so the
+    /// additive identity `components_sum() == e2e_s` is *bit-exact* (the
+    /// fold re-associates identically); it agrees with
+    /// `finished_s - arrival_s` to within one ulp.
+    pub e2e_s: f64,
+    /// Queue-wait: arrival/requeue to admission (routing is folded in —
+    /// dispatch shares the arrival timestamp).
+    pub queue_s: f64,
+    /// Residency-ladder recall I/O charged at admission.
+    pub recall_s: f64,
+    /// Prompt-ingestion compute of the completing admission episode(s).
+    pub prefill_s: f64,
+    /// Prefill-chunk seconds of *other* requests stretching this
+    /// request's decode steps.
+    pub interference_s: f64,
+    /// Admission-to-preemption time of episodes that were preempted.
+    pub preemption_lost_s: f64,
+    /// Time spent before re-entry on the completing deployment (source
+    /// residency + re-dispatch), for migrated requests.
+    pub migration_s: f64,
+    /// Decode remainder: `e2e_s` minus the six components above.
+    pub decode_s: f64,
+    /// Preemptions suffered on the completing deployment.
+    pub preemptions: u64,
+    /// Prefix-cache tokens whose prefill was skipped.
+    pub reused_tokens: u64,
+}
+
+impl RequestAttribution {
+    /// Sum of the seven phase components — equals `e2e_s`.
+    pub fn components_sum(&self) -> f64 {
+        self.queue_s
+            + self.recall_s
+            + self.prefill_s
+            + self.interference_s
+            + self.preemption_lost_s
+            + self.migration_s
+            + self.decode_s
+    }
+}
+
+/// Per-request fold state while walking one deployment's stream.
+#[derive(Debug, Clone, Copy)]
+struct Acc {
+    arrival: f64,
+    /// Timestamp through which latency has been attributed.
+    cursor: f64,
+    in_queue: bool,
+    first_emit: Option<f64>,
+    migration_t: Option<f64>,
+    episode_recall: f64,
+    episode_interference: f64,
+    queue_s: f64,
+    recall_s: f64,
+    prefill_s: f64,
+    lost_s: f64,
+    preemptions: u64,
+    reused_tokens: u64,
+}
+
+impl Acc {
+    fn entering(t: f64) -> Self {
+        Acc {
+            arrival: t,
+            cursor: t,
+            in_queue: true,
+            first_emit: None,
+            migration_t: None,
+            episode_recall: 0.0,
+            episode_interference: 0.0,
+            queue_s: 0.0,
+            recall_s: 0.0,
+            prefill_s: 0.0,
+            lost_s: 0.0,
+            preemptions: 0,
+            reused_tokens: 0,
+        }
+    }
+}
+
+/// The latency-attribution analyzer: folds each completed request's
+/// events into a [`RequestAttribution`] row.
+///
+/// Pass `rings` as one event slice per deployment (a single-deployment
+/// run is `&[&report.events]`). A migrated request is attributed on the
+/// deployment it *completed* on: the [`EventKind::Migrated`] payload
+/// carries its rebased arrival, and everything before re-entry is lumped
+/// into `migration_s`.
+#[derive(Debug, Clone)]
+pub struct LatencyAttribution {
+    /// One row per completed request, in completion order per deployment.
+    pub rows: Vec<RequestAttribution>,
+}
+
+impl LatencyAttribution {
+    /// Analyze one event stream per deployment.
+    pub fn analyze(rings: &[&[Event]]) -> Self {
+        let mut rows = Vec::new();
+        for ring in rings {
+            let mut acc: HashMap<u64, Acc> = HashMap::new();
+            for ev in ring.iter() {
+                if ev.request == NO_REQUEST {
+                    continue;
+                }
+                match ev.kind {
+                    EventKind::Arrived { .. } => {
+                        acc.insert(ev.request, Acc::entering(ev.t_s));
+                    }
+                    EventKind::Migrated { arrival_s, first_token_s, emitted, .. } => {
+                        let mut a = Acc::entering(ev.t_s);
+                        a.arrival = arrival_s;
+                        a.migration_t = Some(ev.t_s);
+                        a.first_emit = (emitted > 0).then_some(first_token_s);
+                        acc.insert(ev.request, a);
+                    }
+                    EventKind::Admitted { reused_tokens } => {
+                        if let Some(a) = acc.get_mut(&ev.request) {
+                            a.queue_s += ev.t_s - a.cursor;
+                            a.cursor = ev.t_s;
+                            a.in_queue = false;
+                            a.reused_tokens += reused_tokens;
+                        }
+                    }
+                    EventKind::Recall { seconds, .. } => {
+                        if let Some(a) = acc.get_mut(&ev.request) {
+                            a.recall_s += seconds;
+                            // Recall shares the admission stamp but is
+                            // clock-charged after it; remember the charge
+                            // so the prefill window excludes it.
+                            a.episode_recall += seconds;
+                        }
+                    }
+                    EventKind::Joined => {
+                        if let Some(a) = acc.get_mut(&ev.request) {
+                            a.prefill_s += ev.t_s - a.cursor - a.episode_recall;
+                            a.cursor = ev.t_s;
+                            a.episode_recall = 0.0;
+                        }
+                    }
+                    EventKind::Emit { interference_s, .. } => {
+                        if let Some(a) = acc.get_mut(&ev.request) {
+                            if a.first_emit.is_none() {
+                                a.first_emit = Some(ev.t_s);
+                            }
+                            a.episode_interference += interference_s;
+                        }
+                    }
+                    EventKind::Preempted { .. } => {
+                        if let Some(a) = acc.get_mut(&ev.request) {
+                            // The whole admission episode is written off as
+                            // preemption loss; interference inside it is
+                            // part of that window, not double-counted, and
+                            // recall already counted stays excluded.
+                            a.lost_s += ev.t_s - a.cursor - a.episode_recall;
+                            a.cursor = ev.t_s;
+                            a.in_queue = true;
+                            a.episode_recall = 0.0;
+                            a.episode_interference = 0.0;
+                            a.preemptions += 1;
+                        }
+                    }
+                    EventKind::Completed { .. } => {
+                        if let Some(mut a) = acc.remove(&ev.request) {
+                            if a.in_queue {
+                                // Completed straight out of the queue
+                                // (unplaceable with retained output).
+                                a.queue_s += ev.t_s - a.cursor;
+                            }
+                            let e2e = ev.t_s - a.arrival;
+                            let migration_s = a.migration_t.map(|m| m - a.arrival).unwrap_or(0.0);
+                            // `measured` associates left-to-right in the
+                            // same order as `components_sum`, so storing
+                            // `measured + decode_s` as e2e makes the
+                            // additive identity bit-exact — double
+                            // rounding of `S + (e2e - S)` can otherwise
+                            // miss `e2e` by one ulp.
+                            let measured = a.queue_s
+                                + a.recall_s
+                                + a.prefill_s
+                                + a.episode_interference
+                                + a.lost_s
+                                + migration_s;
+                            let decode_s = e2e - measured;
+                            rows.push(RequestAttribution {
+                                id: ev.request,
+                                deployment: ev.deployment,
+                                arrival_s: a.arrival,
+                                finished_s: ev.t_s,
+                                ttft_s: a.first_emit.unwrap_or(ev.t_s) - a.arrival,
+                                e2e_s: measured + decode_s,
+                                queue_s: a.queue_s,
+                                recall_s: a.recall_s,
+                                prefill_s: a.prefill_s,
+                                interference_s: a.episode_interference,
+                                preemption_lost_s: a.lost_s,
+                                migration_s,
+                                decode_s,
+                                preemptions: a.preemptions,
+                                reused_tokens: a.reused_tokens,
+                            });
+                        }
+                    }
+                    EventKind::Rejected | EventKind::Shed => {
+                        acc.remove(&ev.request);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        LatencyAttribution { rows }
+    }
+
+    /// The `n` completed requests with the worst TTFT, worst first
+    /// (deterministic: ties broken by request id).
+    pub fn worst_ttft(&self, n: usize) -> Vec<&RequestAttribution> {
+        let mut sorted: Vec<&RequestAttribution> = self.rows.iter().collect();
+        sorted.sort_by(|a, b| b.ttft_s.total_cmp(&a.ttft_s).then_with(|| a.id.cmp(&b.id)));
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// The attribution row for one request id, if it completed.
+    pub fn get(&self, id: u64) -> Option<&RequestAttribution> {
+        self.rows.iter().find(|r| r.id == id)
+    }
+}
+
+/// Outcome of the `Arrived` ↔ terminal pairing check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConservationReport {
+    /// Distinct requests that arrived somewhere.
+    pub arrived: usize,
+    /// Requests that terminated `Completed`.
+    pub completed: usize,
+    /// Requests that terminated `Rejected`.
+    pub rejected: usize,
+    /// Requests that terminated `Shed`.
+    pub shed: usize,
+    /// Arrived requests with no terminal event (sorted).
+    pub unterminated: Vec<u64>,
+    /// Requests with duplicate arrivals, duplicate terminals, or a
+    /// terminal without an arrival (sorted).
+    pub violations: Vec<u64>,
+}
+
+impl ConservationReport {
+    /// Whether every `Arrived` paired with exactly one terminal event.
+    pub fn holds(&self) -> bool {
+        self.unterminated.is_empty() && self.violations.is_empty()
+    }
+}
+
+/// Check the conservation invariant across every deployment's stream:
+/// each request id carries exactly one `Arrived` and exactly one of
+/// `Completed | Rejected | Shed` — possibly on *different* deployments
+/// when the request migrated.
+pub fn check_conservation(rings: &[&[Event]]) -> ConservationReport {
+    let mut arrivals: HashMap<u64, u32> = HashMap::new();
+    let mut terminals: HashMap<u64, u32> = HashMap::new();
+    let mut report = ConservationReport::default();
+    for ring in rings {
+        for ev in ring.iter() {
+            if ev.request == NO_REQUEST {
+                continue;
+            }
+            match ev.kind {
+                EventKind::Arrived { .. } => *arrivals.entry(ev.request).or_default() += 1,
+                EventKind::Completed { .. } => {
+                    report.completed += 1;
+                    *terminals.entry(ev.request).or_default() += 1;
+                }
+                EventKind::Rejected => {
+                    report.rejected += 1;
+                    *terminals.entry(ev.request).or_default() += 1;
+                }
+                EventKind::Shed => {
+                    report.shed += 1;
+                    *terminals.entry(ev.request).or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    report.arrived = arrivals.len();
+    for (&id, &n) in &arrivals {
+        match (n, terminals.get(&id).copied().unwrap_or(0)) {
+            (1, 1) => {}
+            (1, 0) => report.unterminated.push(id),
+            _ => report.violations.push(id),
+        }
+    }
+    for &id in terminals.keys() {
+        if !arrivals.contains_key(&id) {
+            report.violations.push(id);
+        }
+    }
+    report.unterminated.sort_unstable();
+    report.violations.sort_unstable();
+    report.violations.dedup();
+    report
+}
+
+/// Aggregate of a stream's `PrefillChunk` events, for reconciliation
+/// against the engine's `PrefillBreakdown`: `tokens` and `chunks` match
+/// exactly (integer accounting), the seconds match to float-association
+/// tolerance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrefillChunkTotals {
+    /// Chunk seconds that overlapped a running decode batch.
+    pub interference_seconds: f64,
+    /// Chunk seconds with no decode batch to disturb.
+    pub stall_seconds: f64,
+    /// Total prompt tokens ingested by chunks.
+    pub tokens: u64,
+    /// Number of chunks executed.
+    pub chunks: u64,
+}
+
+impl PrefillChunkTotals {
+    /// All chunk seconds, interfering or not.
+    pub fn seconds(&self) -> f64 {
+        self.interference_seconds + self.stall_seconds
+    }
+}
+
+/// Fold one deployment's stream into its [`PrefillChunkTotals`].
+pub fn prefill_chunk_totals(ring: &[Event]) -> PrefillChunkTotals {
+    let mut t = PrefillChunkTotals::default();
+    for ev in ring {
+        if let EventKind::PrefillChunk { tokens, seconds, interference, .. } = ev.kind {
+            if interference {
+                t.interference_seconds += seconds;
+            } else {
+                t.stall_seconds += seconds;
+            }
+            t.tokens += tokens;
+            t.chunks += 1;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_s: f64, request: u64, kind: EventKind) -> Event {
+        Event { t_s, deployment: 0, request, kind }
+    }
+
+    #[test]
+    fn single_request_decomposition_is_exact() {
+        let ring = vec![
+            ev(1.0, 7, EventKind::Arrived { prompt_tokens: 100 }),
+            ev(1.5, 7, EventKind::Recall { bytes: 4096, seconds: 0.25 }),
+            ev(1.5, 7, EventKind::Admitted { reused_tokens: 64 }),
+            ev(
+                2.0,
+                7,
+                EventKind::PrefillChunk {
+                    start: 0,
+                    tokens: 36,
+                    seconds: 0.25,
+                    interference: false,
+                },
+            ),
+            ev(2.25, 7, EventKind::Joined),
+            ev(2.5, 7, EventKind::Emit { index: 0, interference_s: 0.1 }),
+            ev(3.0, 7, EventKind::Emit { index: 1, interference_s: 0.0 }),
+            ev(3.0, 7, EventKind::Completed { output_tokens: 2 }),
+        ];
+        let attr = LatencyAttribution::analyze(&[&ring]);
+        assert_eq!(attr.rows.len(), 1);
+        let r = &attr.rows[0];
+        assert_eq!(r.id, 7);
+        assert_eq!(r.e2e_s, 2.0);
+        assert_eq!(r.queue_s, 0.5);
+        assert_eq!(r.recall_s, 0.25);
+        assert_eq!(r.prefill_s, 0.5);
+        assert_eq!(r.interference_s, 0.1);
+        assert_eq!(r.ttft_s, 1.5);
+        assert_eq!(r.reused_tokens, 64);
+        assert_eq!(r.components_sum(), r.e2e_s, "additive identity must be exact");
+    }
+
+    #[test]
+    fn preempted_episode_is_written_off_as_loss() {
+        let ring = vec![
+            ev(0.0, 1, EventKind::Arrived { prompt_tokens: 10 }),
+            ev(1.0, 1, EventKind::Admitted { reused_tokens: 0 }),
+            ev(2.0, 1, EventKind::Preempted { emitted: 0 }),
+            ev(3.0, 1, EventKind::Admitted { reused_tokens: 0 }),
+            ev(3.5, 1, EventKind::Joined),
+            ev(4.0, 1, EventKind::Emit { index: 0, interference_s: 0.0 }),
+            ev(4.0, 1, EventKind::Completed { output_tokens: 1 }),
+        ];
+        let attr = LatencyAttribution::analyze(&[&ring]);
+        let r = &attr.rows[0];
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.preemption_lost_s, 1.0);
+        assert_eq!(r.queue_s, 2.0, "both queue waits count");
+        assert_eq!(r.prefill_s, 0.5);
+        assert_eq!(r.components_sum(), r.e2e_s);
+    }
+
+    #[test]
+    fn migrated_request_attributes_on_the_target_with_rebased_arrival() {
+        let source: Vec<Event> = vec![
+            ev(0.0, 3, EventKind::Arrived { prompt_tokens: 10 }),
+            ev(1.0, 3, EventKind::Admitted { reused_tokens: 0 }),
+            ev(2.0, 3, EventKind::Preempted { emitted: 0 }),
+        ];
+        let target = vec![
+            Event {
+                t_s: 5.0,
+                deployment: 1,
+                request: 3,
+                kind: EventKind::Migrated {
+                    from: 0,
+                    arrival_s: 3.0,
+                    first_token_s: 0.0,
+                    emitted: 0,
+                },
+            },
+            Event {
+                t_s: 6.0,
+                deployment: 1,
+                request: 3,
+                kind: EventKind::Admitted { reused_tokens: 0 },
+            },
+            Event { t_s: 6.5, deployment: 1, request: 3, kind: EventKind::Joined },
+            Event {
+                t_s: 7.0,
+                deployment: 1,
+                request: 3,
+                kind: EventKind::Emit { index: 0, interference_s: 0.0 },
+            },
+            Event {
+                t_s: 7.0,
+                deployment: 1,
+                request: 3,
+                kind: EventKind::Completed { output_tokens: 1 },
+            },
+        ];
+        let attr = LatencyAttribution::analyze(&[&source, &target]);
+        assert_eq!(attr.rows.len(), 1);
+        let r = &attr.rows[0];
+        assert_eq!(r.deployment, 1);
+        assert_eq!(r.arrival_s, 3.0);
+        assert_eq!(r.migration_s, 2.0, "everything before re-entry is migration");
+        assert_eq!(r.queue_s, 1.0);
+        assert_eq!(r.e2e_s, 4.0);
+        assert_eq!(r.components_sum(), r.e2e_s);
+    }
+
+    #[test]
+    fn worst_ttft_sorts_descending_with_id_ties() {
+        let ring = vec![
+            ev(0.0, 1, EventKind::Arrived { prompt_tokens: 1 }),
+            ev(0.0, 2, EventKind::Arrived { prompt_tokens: 1 }),
+            ev(1.0, 1, EventKind::Emit { index: 0, interference_s: 0.0 }),
+            ev(3.0, 2, EventKind::Emit { index: 0, interference_s: 0.0 }),
+            ev(4.0, 1, EventKind::Completed { output_tokens: 1 }),
+            ev(4.0, 2, EventKind::Completed { output_tokens: 1 }),
+        ];
+        let attr = LatencyAttribution::analyze(&[&ring]);
+        let worst = attr.worst_ttft(1);
+        assert_eq!(worst.len(), 1);
+        assert_eq!(worst[0].id, 2);
+    }
+
+    #[test]
+    fn conservation_flags_unterminated_and_orphans() {
+        let ring = vec![
+            ev(0.0, 1, EventKind::Arrived { prompt_tokens: 1 }),
+            ev(0.0, 2, EventKind::Arrived { prompt_tokens: 1 }),
+            ev(1.0, 1, EventKind::Completed { output_tokens: 1 }),
+            ev(1.0, 9, EventKind::Shed),
+        ];
+        let report = check_conservation(&[&ring]);
+        assert!(!report.holds());
+        assert_eq!(report.unterminated, vec![2]);
+        assert_eq!(report.violations, vec![9]);
+        assert_eq!(report.arrived, 2);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.shed, 1);
+    }
+
+    #[test]
+    fn conservation_holds_across_rings() {
+        let a = vec![ev(0.0, 4, EventKind::Arrived { prompt_tokens: 1 })];
+        let b = vec![Event {
+            t_s: 9.0,
+            deployment: 1,
+            request: 4,
+            kind: EventKind::Completed { output_tokens: 1 },
+        }];
+        assert!(check_conservation(&[&a, &b]).holds());
+    }
+
+    #[test]
+    fn chunk_totals_split_by_interference() {
+        let ring = vec![
+            ev(
+                0.0,
+                1,
+                EventKind::PrefillChunk { start: 0, tokens: 64, seconds: 0.5, interference: true },
+            ),
+            ev(
+                1.0,
+                1,
+                EventKind::PrefillChunk {
+                    start: 64,
+                    tokens: 32,
+                    seconds: 0.25,
+                    interference: false,
+                },
+            ),
+        ];
+        let t = prefill_chunk_totals(&ring);
+        assert_eq!(t.interference_seconds, 0.5);
+        assert_eq!(t.stall_seconds, 0.25);
+        assert_eq!(t.seconds(), 0.75);
+        assert_eq!(t.tokens, 96);
+        assert_eq!(t.chunks, 2);
+    }
+}

@@ -1,0 +1,356 @@
+//! A minimal dependency-free JSON parser, used to validate the Perfetto
+//! export and check that its async spans nest — the container has no
+//! `serde`, and the exporter's output is small enough that a
+//! recursive-descent pass is plenty.
+
+/// A parsed JSON value. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed by our exporter.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid codepoint"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control byte in string")),
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so it is valid.
+                    let s = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(s)
+                        .map_err(|_| self.err("invalid utf-8"))?
+                        .chars()
+                        .next()
+                        .unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Parse a JSON document.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Validate that `s` is a well-formed JSON document.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    parse_json(s).map(|_| ())
+}
+
+/// Check that a Chrome `trace_event` export's async spans nest properly:
+/// within each `(pid, id)` track, every `"e"` closes the most recent
+/// `"b"` of the same name, and every opened span is closed. Returns the
+/// number of complete spans.
+pub fn spans_nest(s: &str) -> Result<usize, String> {
+    let doc = parse_json(s)?;
+    let events =
+        doc.get("traceEvents").and_then(Json::as_arr).ok_or("missing traceEvents array")?;
+    let mut stacks: std::collections::HashMap<(u64, u64), Vec<String>> =
+        std::collections::HashMap::new();
+    let mut spans = 0usize;
+    let mut last_ts: std::collections::HashMap<(u64, u64), f64> = std::collections::HashMap::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).ok_or("event missing ph")?;
+        if ph != "b" && ph != "e" {
+            continue;
+        }
+        let pid = ev.get("pid").and_then(Json::as_f64).ok_or("async event missing pid")? as u64;
+        let id = ev.get("id").and_then(Json::as_f64).ok_or("async event missing id")? as u64;
+        let name =
+            ev.get("name").and_then(Json::as_str).ok_or("async event missing name")?.to_string();
+        let ts = ev.get("ts").and_then(Json::as_f64).ok_or("async event missing ts")?;
+        let key = (pid, id);
+        if let Some(&prev) = last_ts.get(&key) {
+            if ts < prev {
+                return Err(format!("track {key:?} not time-ordered: {ts} after {prev}"));
+            }
+        }
+        last_ts.insert(key, ts);
+        let stack = stacks.entry(key).or_default();
+        if ph == "b" {
+            stack.push(name);
+        } else {
+            match stack.pop() {
+                Some(open) if open == name => spans += 1,
+                Some(open) => return Err(format!("span 'e' {name} closes '{open}' on {key:?}")),
+                None => return Err(format!("span 'e' {name} with empty stack on {key:?}")),
+            }
+        }
+    }
+    for (key, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("unclosed spans {stack:?} on {key:?}"));
+        }
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = parse_json(r#"{"a": [1, -2.5, 1e3], "b": {"c": "x\n"}, "d": null, "e": true}"#)
+            .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(1000.0));
+        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_str(), Some("x\n"));
+        assert_eq!(doc.get("d"), Some(&Json::Null));
+        assert_eq!(doc.get("e"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"\\q\""] {
+            assert!(validate_json(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn span_nesting_accepts_sequential_and_nested() {
+        let doc = r#"{"traceEvents": [
+            {"name": "r", "ph": "b", "pid": 0, "id": 1, "ts": 0},
+            {"name": "queue", "ph": "b", "pid": 0, "id": 1, "ts": 0},
+            {"name": "queue", "ph": "e", "pid": 0, "id": 1, "ts": 5},
+            {"name": "decode", "ph": "b", "pid": 0, "id": 1, "ts": 5},
+            {"name": "decode", "ph": "e", "pid": 0, "id": 1, "ts": 9},
+            {"name": "r", "ph": "e", "pid": 0, "id": 1, "ts": 9}
+        ]}"#;
+        assert_eq!(spans_nest(doc).unwrap(), 3);
+    }
+
+    #[test]
+    fn span_nesting_rejects_mismatch_and_unclosed() {
+        let crossed = r#"{"traceEvents": [
+            {"name": "a", "ph": "b", "pid": 0, "id": 1, "ts": 0},
+            {"name": "b", "ph": "e", "pid": 0, "id": 1, "ts": 1}
+        ]}"#;
+        assert!(spans_nest(crossed).is_err());
+        let unclosed = r#"{"traceEvents": [
+            {"name": "a", "ph": "b", "pid": 0, "id": 1, "ts": 0}
+        ]}"#;
+        assert!(spans_nest(unclosed).is_err());
+    }
+}

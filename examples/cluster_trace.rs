@@ -6,8 +6,13 @@
 //! bytes × device bandwidth). Pressure-aware routing sheds load from the
 //! small degraded array toward the healthy one and wins on SLO goodput.
 //!
+//! Finishes with a traced elastic re-run: pass `--trace-out <path>` to
+//! write the fleet's lifecycle event streams (one track per deployment,
+//! scale-up/drain/retire instants included) as a Chrome/Perfetto JSON
+//! document that <https://ui.perfetto.dev> opens directly.
+//!
 //! ```sh
-//! cargo run --release --example cluster_trace
+//! cargo run --release --example cluster_trace -- --trace-out cluster.trace.json
 //! ```
 
 use hilos::core::cluster::{
@@ -21,6 +26,7 @@ use hilos::core::{
 use hilos::llm::{presets, SharedPrefixConfig, TraceConfig};
 use hilos::metrics::{fmt_seconds, provisioned_power_w, FleetBill, Table};
 use hilos::platform::SystemSpec;
+use hilos::trace::{check_conservation, perfetto_json, Event, LatencyAttribution};
 
 fn deployment_with(n: usize, degraded: Option<(usize, f64)>, chunk_mode: ChunkMode) -> ServeEngine {
     let mut sys =
@@ -39,6 +45,17 @@ fn deployment(n: usize, degraded: Option<(usize, f64)>) -> ServeEngine {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out needs a path").into());
+            }
+            other => panic!("unknown argument {other:?} (supported: --trace-out <path>)"),
+        }
+    }
+
     // The seeded contended trace of `BENCH_cluster.json`: one arrival
     // every ~10 serving steps keeps the weak deployment overloaded under
     // blind routing while the cluster as a whole has capacity to spare.
@@ -226,14 +243,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // SSD bandwidth), drains live through the migration machinery on
     // scale-down, and is billed per-slot busy seconds.
     let bursty = TraceConfig::flash_crowd_mix(512, 42, 8, 2400).generate()?;
-    let fleet = || {
-        vec![
-            deployment(8, None),
-            deployment(6, None),
-            deployment(4, None),
-            deployment(4, None),
-        ]
-    };
+    let fleet =
+        || vec![deployment(8, None), deployment(6, None), deployment(4, None), deployment(4, None)];
     println!(
         "Elastic vs reserved: {} requests in 8 bursts across a 4-slot fleet,\n\
          cost-normalized routing\n",
@@ -306,8 +317,79 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          burst head under-provisioned; the keep-alive predictor learns the inter-burst\n\
          gap histogram, releases capacity once a burst is confirmed over, and has the\n\
          slots warm again before the next one lands -- {:.2}x cheaper per goodput\n\
-         token than the always-on fleet, with zero lost requests.",
+         token than the always-on fleet, with zero lost requests.\n",
         fixed_cost / hybrid_cost,
     );
+
+    // -- Deterministic lifecycle tracing across the elastic fleet --------
+    // The keep-alive elastic run again with every slot's event ring on:
+    // routing, migration and scale-up/drain/retire transitions land in
+    // per-deployment streams that the conservation check audits
+    // cluster-wide and the Perfetto exporter lays out one track per slot.
+    let traced_slot = |n: usize| {
+        let sys = HilosSystem::new(
+            &SystemSpec::a100_smartssd(n),
+            &presets::opt_30b(),
+            &HilosConfig::new(n),
+        )
+        .expect("valid deployment")
+        .with_sim_layers(1);
+        ServeEngine::new(sys, ServeConfig::new(8).with_tracing(1 << 20)).expect("deployment builds")
+    };
+    let mut elastic = ElasticClusterEngine::new(
+        vec![traced_slot(8), traced_slot(6), traced_slot(4), traced_slot(4)],
+        Box::new(CostNormalizedPressure),
+        Box::new(HybridHistogramKeepAlive::new(64)),
+        ElasticConfig::new(1),
+    );
+    let r = elastic.run_trace(&bursty)?;
+    let rings: Vec<&[Event]> = r.cluster.deployments.iter().map(|d| d.events.as_slice()).collect();
+    let cons = check_conservation(&rings);
+    assert!(cons.holds(), "event conservation violated: {cons:?}");
+    println!(
+        "Lifecycle tracing: {} events across {} deployment tracks; conservation holds\n\
+         ({} arrived = {} completed + {} rejected + {} shed, each exactly once)",
+        rings.iter().map(|r| r.len()).sum::<usize>(),
+        rings.len(),
+        cons.arrived,
+        cons.completed,
+        cons.rejected,
+        cons.shed,
+    );
+    let attr = LatencyAttribution::analyze(&rings);
+    let mut t = Table::new(vec![
+        "request",
+        "deployment",
+        "TTFT",
+        "queue",
+        "migration",
+        "prefill",
+        "preempt-lost",
+        "decode",
+        "e2e",
+    ]);
+    for row in attr.worst_ttft(3) {
+        t.row(vec![
+            row.id.to_string(),
+            row.deployment.to_string(),
+            fmt_seconds(row.ttft_s),
+            fmt_seconds(row.queue_s),
+            fmt_seconds(row.migration_s),
+            fmt_seconds(row.prefill_s),
+            fmt_seconds(row.preemption_lost_s),
+            fmt_seconds(row.decode_s),
+            fmt_seconds(row.e2e_s),
+        ]);
+    }
+    println!("Worst-TTFT requests, additively decomposed (components sum to e2e):\n{t}");
+    if let Some(path) = trace_out {
+        let doc = perfetto_json(&rings);
+        std::fs::write(&path, &doc)?;
+        println!(
+            "Wrote Chrome trace to {} ({} bytes) — open it at https://ui.perfetto.dev",
+            path.display(),
+            doc.len(),
+        );
+    }
     Ok(())
 }

@@ -5,8 +5,13 @@
 //! then a three-way scheduling-policy shoot-out (FIFO vs deadline-EDF vs
 //! priority-preemptive) on a contended Azure-mix trace.
 //!
+//! Finishes with a traced re-run of the shared-prefix scenario: pass
+//! `--trace-out <path>` to write the lifecycle event stream as a
+//! Chrome/Perfetto JSON document that <https://ui.perfetto.dev> opens
+//! directly.
+//!
 //! ```sh
-//! cargo run --release --example serving_trace
+//! cargo run --release --example serving_trace -- --trace-out serving.trace.json
 //! ```
 
 use hilos::baselines::VllmMultiNode;
@@ -17,8 +22,19 @@ use hilos::core::{
 use hilos::llm::{presets, RequestClass, SharedPrefixConfig, TraceConfig};
 use hilos::metrics::{fmt_bytes, fmt_seconds, Table};
 use hilos::platform::SystemSpec;
+use hilos::trace::{events_fnv, perfetto_json, LatencyAttribution};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out needs a path").into());
+            }
+            other => panic!("unknown argument {other:?} (supported: --trace-out <path>)"),
+        }
+    }
     let model = presets::opt_175b();
     // 10k requests, Azure class mix with prompts stretched 4x into the
     // long-context regime, arrivals thinned to roughly the deployment's
@@ -275,7 +291,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{t}");
     println!(
         "Hits skip their prefix's prefill chunks entirely; the recall seconds are the\n\
-         ladder's price for the cached KV that had been demoted out of HBM."
+         ladder's price for the cached KV that had been demoted out of HBM.\n"
     );
+
+    // -- Deterministic lifecycle tracing --------------------------------
+    // The same shared-prefix scenario re-run with the event ring on:
+    // every arrival, admission, prefill chunk, prefix hit, recall, token
+    // emission and completion lands in a deterministic event stream that
+    // attributes each request's latency phase by phase.
+    let sys =
+        HilosSystem::new(&SystemSpec::a100_smartssd(8), &presets::opt_30b(), &HilosConfig::new(8))?
+            .with_sim_layers(1);
+    let cfg = ServeConfig::new(16)
+        .with_chunk_mode(ChunkMode::chunked())
+        .with_prefix_cache(PrefixCacheConfig::default())
+        .with_tracing(1 << 20);
+    let traced = ServeEngine::new(sys, cfg)?.run_trace(&prefix_trace)?;
+    println!(
+        "Lifecycle tracing: {} events retained ({} dropped), stream FNV 0x{:016x}",
+        traced.events.len(),
+        traced.events_dropped,
+        events_fnv(&traced.events),
+    );
+    let attr = LatencyAttribution::analyze(&[&traced.events]);
+    let mut t = Table::new(vec![
+        "request",
+        "TTFT",
+        "queue",
+        "recall",
+        "prefill",
+        "interference",
+        "preempt-lost",
+        "decode",
+        "e2e",
+    ]);
+    for row in attr.worst_ttft(3) {
+        t.row(vec![
+            row.id.to_string(),
+            fmt_seconds(row.ttft_s),
+            fmt_seconds(row.queue_s),
+            fmt_seconds(row.recall_s),
+            fmt_seconds(row.prefill_s),
+            fmt_seconds(row.interference_s),
+            fmt_seconds(row.preemption_lost_s),
+            fmt_seconds(row.decode_s),
+            fmt_seconds(row.e2e_s),
+        ]);
+    }
+    println!("Worst-TTFT requests, additively decomposed (components sum to e2e):\n{t}");
+    if let Some(path) = trace_out {
+        let doc = perfetto_json(&[&traced.events]);
+        std::fs::write(&path, &doc)?;
+        println!(
+            "Wrote Chrome trace to {} ({} bytes) — open it at https://ui.perfetto.dev",
+            path.display(),
+            doc.len(),
+        );
+    }
     Ok(())
 }

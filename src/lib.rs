@@ -18,7 +18,9 @@
 //!   cooperative X-cache, delayed KV-cache writeback,
 //! * [`baselines`] — FlexGen-, DeepSpeed-, vLLM- and InstAttention-style
 //!   comparison systems,
-//! * [`metrics`] — energy, cost-efficiency and endurance models.
+//! * [`metrics`] — energy, cost-efficiency and endurance models,
+//! * [`trace`] — deterministic request-lifecycle event log with latency
+//!   attribution and Perfetto export.
 //!
 //! # Quick start
 //!
@@ -46,3 +48,4 @@ pub use hilos_metrics as metrics;
 pub use hilos_platform as platform;
 pub use hilos_sim as sim;
 pub use hilos_storage as storage;
+pub use hilos_trace as trace;

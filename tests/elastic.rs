@@ -159,8 +159,11 @@ fn planned_drain_migrates_in_flight_work_and_empties_the_source() {
         .generate()
         .unwrap();
     // Prefix caching on, so drained work exercises the demoted-KV
-    // forget path too (parked victim KV must not outlive the drain).
-    let serve = || ServeConfig::new(8).with_prefix_cache(PrefixCacheConfig::default());
+    // forget path too (parked victim KV must not outlive the drain);
+    // tracing on, so the drain leaves an auditable event stream.
+    let serve = || {
+        ServeConfig::new(8).with_prefix_cache(PrefixCacheConfig::default()).with_tracing(1 << 20)
+    };
     let build = |down_at: Option<u64>| {
         ElasticClusterEngine::new(
             vec![
@@ -205,6 +208,25 @@ fn planned_drain_migrates_in_flight_work_and_empties_the_source() {
         assert!(o.first_token_s <= o.finished_s, "{o:?}");
         assert!(o.ttft() >= 0.0 && o.itl() >= 0.0 && o.e2e() >= 0.0, "{o:?}");
     }
+
+    // The event stream audits the drain: conservation holds *across*
+    // the deployments (arrivals on the drained slot terminate on the
+    // survivor), every drained request left a Migrated event on its
+    // target, and the drain/retire transitions are in the source ring.
+    let rings: Vec<&[hilos::trace::Event]> =
+        report.cluster.deployments.iter().map(|d| d.events.as_slice()).collect();
+    let cons = hilos::trace::check_conservation(&rings);
+    assert!(cons.holds(), "event conservation violated under drain: {cons:?}");
+    assert_eq!(cons.arrived, 192);
+    assert_eq!(cons.completed, 192);
+    let migrations = rings
+        .iter()
+        .flat_map(|r| r.iter())
+        .filter(|e| matches!(e.kind, hilos::trace::EventKind::Migrated { .. }))
+        .count();
+    assert!(migrations >= report.drained_requests as usize, "drained work must leave a trail");
+    let source_kinds: Vec<&str> = rings[drained].iter().map(|e| e.kind.label()).collect();
+    assert!(source_kinds.contains(&"drain") && source_kinds.contains(&"retired"));
 
     // The source is *empty*: no live shard allocations, no parked
     // demoted KV awaiting a recall that can never come.

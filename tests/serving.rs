@@ -11,6 +11,10 @@ use hilos::core::{
 };
 use hilos::llm::{presets, BatchSpec, RequestClass, TraceConfig};
 use hilos::platform::SystemSpec;
+use hilos::trace::{
+    check_conservation, events_fnv, perfetto_json, prefill_chunk_totals, spans_nest, validate_json,
+    LatencyAttribution,
+};
 
 fn hilos(n: usize, sim_layers: u32) -> HilosSystem {
     HilosSystem::new(&SystemSpec::a100_smartssd(n), &presets::opt_30b(), &HilosConfig::new(n))
@@ -415,6 +419,83 @@ fn prefix_cache_halves_ttft_p95_on_shared_prefix_trace() {
 
     // Deterministic both ways.
     assert_eq!(on, run(Some(PrefixCacheConfig::default())));
+}
+
+/// Golden pin of the lifecycle event stream: on the seeded shared-prefix
+/// trace under chunked prefill and the prefix cache, a tracing-enabled
+/// run must (1) leave every serving number bit-identical to the untraced
+/// run — emission is observational — and (2) produce exactly this
+/// FNV-1a event-stream hash, gated again by CI's `trace-smoke` job. The
+/// same stream must satisfy the conservation law (every arrival
+/// terminates exactly once), reconcile its chunk events against
+/// [`TraceReport::prefill`], decompose every completed request's e2e
+/// additively, and export as a Perfetto document whose spans nest.
+#[test]
+fn event_stream_is_deterministic_and_reconciles_on_shared_prefix_trace() {
+    let trace = shared_prefix_trace();
+    let run = |tracing: Option<usize>| {
+        let mut cfg = ServeConfig::new(16)
+            .with_chunk_mode(ChunkMode::chunked())
+            .with_prefix_cache(PrefixCacheConfig::default());
+        if let Some(cap) = tracing {
+            cfg = cfg.with_tracing(cap);
+        }
+        let mut eng = ServeEngine::new(hilos(8, 1), cfg).unwrap();
+        eng.run_trace(&trace).unwrap()
+    };
+    let traced = run(Some(1 << 20));
+    let plain = run(None);
+
+    // Tracing is observational: strip the events and the reports agree
+    // bit for bit; off leaves the stream empty.
+    assert!(plain.events.is_empty() && plain.events_dropped == 0);
+    assert!(!traced.events.is_empty());
+    assert_eq!(traced.events_dropped, 0, "ring capacity must retain the whole run");
+    let mut stripped = traced.clone();
+    stripped.events = vec![];
+    assert_eq!(stripped, plain, "emission must not perturb the serving numbers");
+
+    // The pinned stream hash — deterministic across runs and platforms.
+    assert_eq!(traced.events, run(Some(1 << 20)).events, "event stream must be reproducible");
+    assert_eq!(
+        events_fnv(&traced.events),
+        0xb4a9f0c6ea15d652,
+        "the lifecycle event stream drifted"
+    );
+
+    // Conservation: every arrival terminates exactly once.
+    let cons = check_conservation(&[&traced.events]);
+    assert!(cons.holds(), "conservation violated: {cons:?}");
+    assert_eq!(cons.arrived, 192);
+    assert_eq!(cons.completed, traced.outcomes.len());
+
+    // Chunk events reconcile against the report's prefill breakdown.
+    let totals = prefill_chunk_totals(&traced.events);
+    assert_eq!(totals.chunks, traced.prefill.chunks);
+    assert_eq!(totals.tokens, traced.prefill.chunk_tokens);
+    assert!((totals.interference_seconds - traced.prefill.interference_seconds).abs() < 1e-9);
+    assert!((totals.stall_seconds - traced.prefill.stall_seconds).abs() < 1e-9);
+
+    // Per-request attribution: one row per completed request, each
+    // decomposing its end-to-end latency additively and agreeing with
+    // the outcome's own timestamps.
+    let attr = LatencyAttribution::analyze(&[&traced.events]);
+    assert_eq!(attr.rows.len(), traced.outcomes.len());
+    for o in &traced.outcomes {
+        let row = attr.get(o.id).expect("every outcome has a row");
+        // e2e_s is the component fold; it matches the outcome's own
+        // timestamps to within a ulp (see `RequestAttribution::e2e_s`).
+        let e2e = o.finished_s - o.arrival_s;
+        assert!((row.e2e_s - e2e).abs() <= 4.0 * f64::EPSILON * e2e.max(1.0));
+        assert_eq!(row.ttft_s, o.first_token_s - o.arrival_s);
+        assert_eq!(row.components_sum(), row.e2e_s, "request {} leaks time", o.id);
+    }
+
+    // The exporter produces a valid Chrome-trace document whose request
+    // and phase spans nest on every track.
+    let doc = perfetto_json(&[&traced.events]);
+    validate_json(&doc).unwrap();
+    assert!(spans_nest(&doc).unwrap() > traced.outcomes.len());
 }
 
 /// Baseline parity: the same trace driven through the serial
