@@ -23,15 +23,22 @@
 //!    at peak for the whole run. CI gates: the keep-alive fleet beats
 //!    the reserved one on $/1k-goodput-tokens by ≥1.3×, with zero lost
 //!    requests across every scale-up, drain and retire.
+//! 4. **Fleet-scale parallel stepping** — a 32-deployment fleet on a
+//!    100k-request seeded trace, run serially and through the 4-thread
+//!    lockstep fan-out pool. The two [`ClusterReport`]s are asserted
+//!    bit-identical (the determinism contract), the serial-vs-parallel
+//!    wall clock and speedup are recorded next to the machine's logical
+//!    core count, and the `fleet-smoke` CI job gates speedup ≥2× on
+//!    runners with ≥4 cores.
 //!
 //! ```text
 //! Usage: bench_cluster [output.json]
 //! ```
 
 use hilos_core::cluster::{
-    AutoscalePolicy, ClusterEngine, CostNormalizedPressure, ElasticClusterEngine, ElasticConfig,
-    HybridHistogramKeepAlive, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
-    TargetPressureScaler,
+    AutoscalePolicy, ClusterConfig, ClusterEngine, CostNormalizedPressure, ElasticClusterEngine,
+    ElasticConfig, HybridHistogramKeepAlive, JoinShortestQueue, LedgerPressure, RoundRobin,
+    RoutingPolicy, TargetPressureScaler,
 };
 use hilos_core::{HilosConfig, HilosSystem, PriorityPreempt, ServeConfig, ServeEngine};
 use hilos_llm::{presets, TraceConfig};
@@ -236,6 +243,62 @@ fn main() {
     let fixed_vs_elastic = fixed_cost_per_1k / hybrid_cost_per_1k;
     eprintln!("reserved vs keep-alive elastic $/1k-goodput: {fixed_vs_elastic:.3}x");
 
+    // -- 4: fleet-scale parallel lockstep stepping --
+    // 32 identical deployments on a 100k-request seeded trace: the same
+    // run serially and through the 4-thread fan-out pool. The simulation
+    // is bit-deterministic at any thread count, so the two ClusterReports
+    // are asserted equal outright; the speedup is recorded next to the
+    // machine's logical core count (a 1-core runner cannot show one).
+    const FLEET_DEPLOYMENTS: usize = 32;
+    const FLEET_REQUESTS: usize = 100_000;
+    const FLEET_THREADS: usize = 4;
+    // Offline inference shape: the whole campaign is enqueued up front
+    // (mean interarrival 0), every deployment runs a full batch every
+    // step, and the lockstep rounds are few and heavy — the regime the
+    // fan-out pool is built for.
+    let fleet_trace =
+        TraceConfig { mean_interarrival_steps: 0, ..TraceConfig::azure_mix(FLEET_REQUESTS, SEED) }
+            .generate()
+            .expect("valid trace config");
+    let run_fleet = |threads: usize, shared_warm_start: bool| {
+        let slots: Vec<ServeEngine> = (0..FLEET_DEPLOYMENTS)
+            .map(|_| ServeEngine::new(hilos(4), ServeConfig::new(32)).unwrap())
+            .collect();
+        let mut cluster = ClusterEngine::with_config(
+            slots,
+            Box::new(RoundRobin::new()),
+            ClusterConfig::new()
+                .with_cluster_threads(threads)
+                .with_shared_warm_start(shared_warm_start),
+        );
+        let start = Instant::now();
+        let r = cluster.run_trace(&fleet_trace).unwrap();
+        (r, start.elapsed().as_secs_f64())
+    };
+    // Thread scaling on per-deployment (cold) caches: every slot does its
+    // own flow-model compute, the work the pool actually spreads.
+    let (fleet_serial, serial_s) = run_fleet(1, false);
+    let (fleet_parallel, parallel_s) = run_fleet(FLEET_THREADS, false);
+    let reports_identical = fleet_serial == fleet_parallel;
+    assert!(reports_identical, "thread count must not change any report field");
+    assert_eq!(fleet_serial.completed(), FLEET_REQUESTS, "fleet trace must complete");
+    let fleet_speedup = serial_s / parallel_s;
+    // The second perf layer: 32 identical deployments sharing one
+    // copy-on-write step-cache memo table. Same outcomes, one deployment
+    // computes each step value, the other 31 reuse it.
+    let (fleet_shared, shared_s) = run_fleet(1, true);
+    for (d, (a, b)) in fleet_serial.deployments.iter().zip(&fleet_shared.deployments).enumerate() {
+        assert_eq!(a.outcomes, b.outcomes, "warm-start sharing changed deployment {d} outcomes");
+    }
+    let warm_start_speedup = serial_s / shared_s;
+    let logical_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "fleet: {FLEET_DEPLOYMENTS} deployments x {FLEET_REQUESTS} requests, serial {serial_s:.2}s \
+         vs {FLEET_THREADS}-thread {parallel_s:.2}s = {fleet_speedup:.2}x \
+         ({logical_cores} logical cores, reports identical: {reports_identical}); \
+         shared warm-start serial {shared_s:.2}s = {warm_start_speedup:.2}x",
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"cluster\",\n  \"note\": \"one contended seeded trace balanced \
          across 3 heterogeneous deployments (8 healthy / 6 with a half-degraded device / 4 \
@@ -255,7 +318,14 @@ fn main() {
          \"policies\": [\n      {}\n    ],\n    \
          \"fixed\": {{\"cost_per_1k_goodput_usd\": {fixed_cost_per_1k:.6}, \
          \"fleet_cost_usd\": {:.6}, \"makespan_seconds\": {:.2}, \"completed\": {}}},\n    \
-         \"fixed_vs_elastic_cost_per_1k\": {fixed_vs_elastic:.4}\n  }}\n}}\n",
+         \"fixed_vs_elastic_cost_per_1k\": {fixed_vs_elastic:.4}\n  }},\n  \
+         \"fleet\": {{\"deployments\": {FLEET_DEPLOYMENTS}, \"requests\": {FLEET_REQUESTS}, \
+         \"seed\": {SEED}, \"logical_cores\": {logical_cores}, \
+         \"serial_seconds\": {serial_s:.4}, \"threads\": {FLEET_THREADS}, \
+         \"parallel_seconds\": {parallel_s:.4}, \"speedup\": {fleet_speedup:.4}, \
+         \"warm_start_serial_seconds\": {shared_s:.4}, \
+         \"warm_start_speedup\": {warm_start_speedup:.4}, \
+         \"reports_identical\": {reports_identical}, \"completed\": {}}}\n}}\n",
         policy_rows.join(",\n    "),
         balanced.len(),
         rd.preemptions(),
@@ -265,6 +335,7 @@ fn main() {
         reserved_bill.cost_usd(),
         fixed_report.elapsed_s(),
         fixed_report.completed(),
+        fleet_serial.completed(),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_cluster.json");
     println!("{json}");

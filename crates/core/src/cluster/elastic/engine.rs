@@ -6,10 +6,13 @@ use super::autoscale::{AutoscalePolicy, FleetSnapshot, ScaleDecision};
 use super::lifecycle::{ColdStartModel, DeploymentLifecycle, LifecycleEvent, LifecycleState};
 use crate::cluster::policy::{ClusterSnapshot, DeploymentView, RouteRequest, RoutingPolicy};
 use crate::cluster::report::ClusterReport;
-use crate::cluster::router::{deployment_view, provisioning_cost};
+use crate::cluster::router::{
+    clamp_route, deployment_view, install_shared_warm_start, provisioning_cost, ClusterConfig, Slot,
+};
 use crate::runner::CoreError;
-use crate::serve::engine::{QueueEntry, RunState, StepProgress};
+use crate::serve::engine::{QueueEntry, StepProgress};
 use crate::serve::ServeEngine;
+use hilos_accel::with_fanout;
 use hilos_llm::{DeploymentId, Request};
 use hilos_metrics::{FleetBill, SlotBill};
 use hilos_trace::{EventKind, NO_REQUEST};
@@ -46,6 +49,10 @@ pub struct ElasticConfig {
     /// is *stepwise*: the slot keeps serving what it still holds while
     /// the cluster migrates this many requests per step.
     pub drain_batch: usize,
+    /// Cluster-execution knobs (lockstep fan-out width, shared
+    /// warm-start) — the same contract as the fixed engine: any
+    /// `cluster_threads` value is bit-identical.
+    pub cluster: ClusterConfig,
 }
 
 impl ElasticConfig {
@@ -66,6 +73,7 @@ impl Default for ElasticConfig {
             provision_s: 30.0,
             step_seconds_hint: 0.25,
             drain_batch: 4,
+            cluster: ClusterConfig::default(),
         }
     }
 }
@@ -136,6 +144,12 @@ impl ElasticClusterEngine {
         for (i, d) in deployments.iter_mut().enumerate() {
             d.set_deployment(DeploymentId(i as u32));
         }
+        if config.cluster.shared_warm_start {
+            // Identical-fingerprint slots share one memo table, so a
+            // scale-up warm-starts from what its Active twins already
+            // computed instead of re-paying every memoization miss.
+            install_shared_warm_start(&mut deployments);
+        }
         let lifecycles = deployments
             .iter()
             .enumerate()
@@ -191,45 +205,58 @@ impl ElasticClusterEngine {
         &self.engines
     }
 
-    fn views(&self, states: &[RunState], dispatched: &[u64]) -> Vec<DeploymentView> {
-        self.engines
+    fn slot_views(
+        lifecycles: &[DeploymentLifecycle],
+        slots: &[Option<Slot>],
+        dispatched: &[u64],
+        costs: &[(f64, f64)],
+    ) -> Vec<DeploymentView> {
+        slots
             .iter()
-            .zip(states)
-            .zip(dispatched.iter().zip(&self.costs))
-            .zip(&self.lifecycles)
-            .map(|(((eng, st), (&d, &cost)), lc)| deployment_view(eng, st, d, lc.state(), cost))
+            .zip(dispatched.iter().zip(costs))
+            .zip(lifecycles)
+            .map(|((slot, (&d, &cost)), lc)| {
+                let (eng, st) = slot.as_ref().expect("slot checked in");
+                deployment_view(eng, st, d, lc.state(), cost)
+            })
             .collect()
     }
 
     /// Least-loaded Active slot (ties to the lower index) — the fallback
     /// target when a routing policy misbehaves. The engine never drains
     /// below `min_active >= 1`, so an Active slot always exists.
-    fn least_loaded_active(&self, states: &[RunState]) -> usize {
-        (0..self.engines.len())
-            .filter(|&d| self.lifecycles[d].state() == LifecycleState::Active)
+    fn least_loaded_active(lifecycles: &[DeploymentLifecycle], slots: &[Option<Slot>]) -> usize {
+        (0..slots.len())
+            .filter(|&d| lifecycles[d].state() == LifecycleState::Active)
             .min_by_key(|&d| {
-                (states[d].queued_len() + states[d].prefilling_len() + states[d].decoding_len(), d)
+                let st = &slots[d].as_ref().expect("slot checked in").1;
+                (st.queued_len() + st.prefilling_len() + st.decoding_len(), d)
             })
             .expect("min_active >= 1 keeps at least one slot Active")
     }
 
-    /// Routes through the policy over lifecycle-aware views, then
-    /// *enforces* the lifecycle: a clamped or misrouted pick that lands
-    /// on a non-Active slot is overridden to the least-loaded Active one.
-    fn route(
-        &mut self,
-        states: &[RunState],
+    /// Routes through the policy over lifecycle-aware views, validating
+    /// out-of-range answers ([`clamp_route`]), then *enforces* the
+    /// lifecycle: a pick that lands on a non-Active slot is overridden
+    /// to the least-loaded Active one.
+    #[allow(clippy::too_many_arguments)]
+    fn route_slots(
+        routing: &mut dyn RoutingPolicy,
+        lifecycles: &[DeploymentLifecycle],
+        slots: &[Option<Slot>],
         dispatched: &[u64],
+        costs: &[(f64, f64)],
         step: u64,
         request: RouteRequest,
+        misrouted: &mut u64,
     ) -> usize {
-        let views = self.views(states, dispatched);
+        let views = Self::slot_views(lifecycles, slots, dispatched, costs);
         let snapshot = ClusterSnapshot { step, deployments: &views };
-        let d = self.routing.route(&request, &snapshot).min(self.engines.len() - 1);
-        if self.lifecycles[d].state() == LifecycleState::Active {
+        let d = clamp_route(routing.route(&request, &snapshot), slots.len(), misrouted);
+        if lifecycles[d].state() == LifecycleState::Active {
             d
         } else {
-            self.least_loaded_active(states)
+            Self::least_loaded_active(lifecycles, slots)
         }
     }
 
@@ -270,11 +297,17 @@ impl ElasticClusterEngine {
         let cold_start_steps =
             self.lifecycles.iter().map(|lc| lc.cold_start().total_steps(hint)).max().unwrap_or(1);
 
-        let mut states: Vec<RunState> = self.engines.iter().map(|e| e.new_run_state()).collect();
+        let threads = self.config.cluster.cluster_threads.min(n);
+        let mut slots: Vec<Option<Slot>> = std::mem::take(&mut self.engines)
+            .into_iter()
+            .map(|e| {
+                let st = e.new_run_state();
+                Some((e, st))
+            })
+            .collect();
         let mut dispatched = vec![0u64; n];
         let mut redispatches = 0u64;
-        let mut idx = 0usize;
-        let mut gstep = 0u64;
+        let mut misrouted = 0u64;
 
         let mut events: Vec<LifecycleEvent> = Vec::new();
         let mut scale_ups = 0u64;
@@ -284,228 +317,175 @@ impl ElasticClusterEngine {
         let mut peak_active = self.config.initial_active;
         let mut cold_start_s = vec![0.0f64; n];
 
-        loop {
-            // 1: lifecycle transits — cold starts whose thresholds have
-            // passed turn Warming/Active.
-            for (d, st) in states.iter_mut().enumerate().take(n) {
-                for ev in self.lifecycles[d].tick(gstep, d as u32) {
-                    st.emit(DeploymentId(d as u32), NO_REQUEST, lifecycle_kind(ev.to));
-                    events.push(ev);
+        // Phase A of the lockstep iteration (identical to the fixed
+        // engine): one slot's serving iteration plus its victim drain,
+        // touching only the slot it is handed.
+        let advance =
+            |_d: usize, slot: &mut Slot| -> (Result<StepProgress, CoreError>, Vec<QueueEntry>) {
+                let (eng, st) = slot;
+                match eng.advance_once(st) {
+                    Ok(p) => (Ok(p), st.drain_just_preempted()),
+                    Err(e) => (Err(e), Vec::new()),
                 }
-            }
-            let active_now =
-                self.lifecycles.iter().filter(|l| l.state() == LifecycleState::Active).count();
-            peak_active = peak_active.max(active_now);
+            };
 
-            // 2: autoscale — skipped once the trace is exhausted (no
-            // arrival can ever justify new capacity, and a predictive
-            // policy must not re-provision what the tail is retiring).
-            if idx < trace.len() {
-                let arrivals_now =
-                    trace[idx..].iter().take_while(|r| r.arrival_step <= gstep).count();
-                let views = self.views(&states, &dispatched);
-                let snap = FleetSnapshot {
-                    step: gstep,
-                    arrivals_this_step: arrivals_now,
-                    cold_start_steps,
-                    min_active,
-                    deployments: &views,
-                };
-                match self.autoscale.decide(&snap) {
-                    ScaleDecision::Hold => {}
-                    ScaleDecision::ScaleUp { count } => {
-                        for _ in 0..count {
-                            // Lowest-indexed Retired slot first.
-                            let Some(d) = (0..n)
-                                .find(|&d| self.lifecycles[d].state() == LifecycleState::Retired)
-                            else {
-                                break;
-                            };
-                            if let Some(ev) =
-                                self.lifecycles[d].begin_provision(gstep, hint, d as u32)
-                            {
-                                states[d].emit(
-                                    DeploymentId(d as u32),
-                                    NO_REQUEST,
-                                    lifecycle_kind(ev.to),
-                                );
-                                events.push(ev);
-                                scale_ups += 1;
-                                cold_start_s[d] += self.lifecycles[d].cold_start().total_s();
-                            }
-                        }
-                    }
-                    ScaleDecision::ScaleDown { count } => {
-                        for _ in 0..count {
-                            let active: Vec<usize> = (0..n)
-                                .filter(|&d| self.lifecycles[d].state() == LifecycleState::Active)
-                                .collect();
-                            if active.len() <= min_active {
-                                break;
-                            }
-                            // Least-loaded first; ties drain the highest
-                            // index (the most recently provisioned spare).
-                            let d = *active
-                                .iter()
-                                .min_by_key(|&&d| {
-                                    let load = states[d].queued_len()
-                                        + states[d].prefilling_len()
-                                        + states[d].decoding_len();
-                                    (load, usize::MAX - d)
-                                })
-                                .expect("non-empty active list");
-                            if let Some(ev) = self.lifecycles[d].begin_drain(gstep, d as u32) {
-                                states[d].emit(
-                                    DeploymentId(d as u32),
-                                    NO_REQUEST,
-                                    lifecycle_kind(ev.to),
-                                );
-                                events.push(ev);
-                                drains += 1;
-                            }
-                        }
-                    }
-                }
-            }
-
-            // 3: dispatch arrivals up to the global serving step.
-            while idx < trace.len() && trace[idx].arrival_step <= gstep {
-                let req = trace[idx];
-                let view = RouteRequest::of(&req, 0, false);
-                let d = self.route(&states, &dispatched, gstep, view);
-                dispatched[d] += 1;
-                states[d].emit(DeploymentId(d as u32), req.id, EventKind::Routed);
-                self.engines[d].enqueue_arrival(&mut states[d], req);
-                idx += 1;
-            }
-
-            // 4: live drain — Draining slots evacuate queued work
-            // wholesale and in-flight work a batch per step, migrating
-            // each request (progress retained, timestamps re-based onto
-            // the target's clock, demoted KV dropped at the source), and
-            // retire once empty.
-            for d in 0..n {
-                if self.lifecycles[d].state() != LifecycleState::Draining {
-                    continue;
-                }
-                let mut moved = self.engines[d].evacuate_queued(&mut states[d]);
-                moved.extend(
-                    self.engines[d].evacuate_in_flight(&mut states[d], self.config.drain_batch),
-                );
-                for mut entry in moved {
-                    let view = RouteRequest::of(&entry.req, entry.emitted, true);
-                    let target = self.route(&states, &dispatched, gstep, view);
-                    redispatches += 1;
-                    drained_requests += 1;
-                    self.engines[d].forget_demoted(&mut states[d], entry.req.id);
-                    let shift = states[target].clock - states[d].clock;
-                    entry.arrival_s += shift;
-                    entry.first_token_s = entry.first_token_s.map(|t| t + shift);
-                    entry.first_admitted_s = entry.first_admitted_s.map(|t| t + shift);
-                    states[target].emit(
-                        DeploymentId(target as u32),
-                        entry.req.id,
-                        EventKind::Migrated {
-                            from: d as u32,
-                            arrival_s: entry.arrival_s,
-                            first_token_s: entry.first_token_s.unwrap_or(0.0),
-                            emitted: entry.emitted,
-                        },
-                    );
-                    self.engines[target].requeue(&mut states[target], entry);
-                }
-                if !states[d].has_work() {
-                    if let Some(ev) = self.lifecycles[d].retire(gstep, d as u32) {
-                        states[d].emit(DeploymentId(d as u32), NO_REQUEST, lifecycle_kind(ev.to));
+        let run: Result<(), CoreError> = with_fanout(threads, advance, |pool| {
+            let mut idx = 0usize;
+            let mut gstep = 0u64;
+            let mut results: Vec<Option<(Result<StepProgress, CoreError>, Vec<QueueEntry>)>> =
+                (0..n).map(|_| None).collect();
+            loop {
+                // 1: lifecycle transits — cold starts whose thresholds have
+                // passed turn Warming/Active.
+                for d in 0..n {
+                    for ev in self.lifecycles[d].tick(gstep, d as u32) {
+                        let (_, st) = slots[d].as_mut().expect("slot checked in");
+                        st.emit(DeploymentId(d as u32), NO_REQUEST, lifecycle_kind(ev.to));
                         events.push(ev);
-                        retires += 1;
                     }
                 }
-            }
+                let active_now =
+                    self.lifecycles.iter().filter(|l| l.state() == LifecycleState::Active).count();
+                peak_active = peak_active.max(active_now);
 
-            // 5: fully idle everywhere — jump time or finish.
-            if !states.iter().any(RunState::has_work) {
-                if idx >= trace.len() {
-                    let pending: Vec<usize> = (0..n)
-                        .filter(|&d| {
-                            matches!(
-                                self.lifecycles[d].state(),
-                                LifecycleState::Provisioning | LifecycleState::Warming
-                            )
-                        })
-                        .collect();
-                    if pending.is_empty() {
-                        break;
-                    }
-                    // Trace exhausted with cold starts still in flight:
-                    // cancel them — there is nothing left to serve (the
-                    // wasted cold start stays billed; mispredictions
-                    // cost money).
-                    for d in pending {
-                        if let Some(ev) = self.lifecycles[d].retire(gstep, d as u32) {
-                            states[d].emit(
-                                DeploymentId(d as u32),
-                                NO_REQUEST,
-                                lifecycle_kind(ev.to),
-                            );
-                            events.push(ev);
-                            retires += 1;
+                // 2: autoscale — skipped once the trace is exhausted (no
+                // arrival can ever justify new capacity, and a predictive
+                // policy must not re-provision what the tail is retiring).
+                if idx < trace.len() {
+                    let arrivals_now =
+                        trace[idx..].iter().take_while(|r| r.arrival_step <= gstep).count();
+                    let views =
+                        Self::slot_views(&self.lifecycles, &slots, &dispatched, &self.costs);
+                    let snap = FleetSnapshot {
+                        step: gstep,
+                        arrivals_this_step: arrivals_now,
+                        cold_start_steps,
+                        min_active,
+                        deployments: &views,
+                    };
+                    match self.autoscale.decide(&snap) {
+                        ScaleDecision::Hold => {}
+                        ScaleDecision::ScaleUp { count } => {
+                            for _ in 0..count {
+                                // Lowest-indexed Retired slot first.
+                                let Some(d) = (0..n).find(|&d| {
+                                    self.lifecycles[d].state() == LifecycleState::Retired
+                                }) else {
+                                    break;
+                                };
+                                if let Some(ev) =
+                                    self.lifecycles[d].begin_provision(gstep, hint, d as u32)
+                                {
+                                    let (_, st) = slots[d].as_mut().expect("slot checked in");
+                                    st.emit(
+                                        DeploymentId(d as u32),
+                                        NO_REQUEST,
+                                        lifecycle_kind(ev.to),
+                                    );
+                                    events.push(ev);
+                                    scale_ups += 1;
+                                    cold_start_s[d] += self.lifecycles[d].cold_start().total_s();
+                                }
+                            }
+                        }
+                        ScaleDecision::ScaleDown { count } => {
+                            for _ in 0..count {
+                                let active: Vec<usize> = (0..n)
+                                    .filter(|&d| {
+                                        self.lifecycles[d].state() == LifecycleState::Active
+                                    })
+                                    .collect();
+                                if active.len() <= min_active {
+                                    break;
+                                }
+                                // Least-loaded first; ties drain the highest
+                                // index (the most recently provisioned spare).
+                                let d = *active
+                                    .iter()
+                                    .min_by_key(|&&d| {
+                                        let st = &slots[d].as_ref().expect("slot checked in").1;
+                                        let load = st.queued_len()
+                                            + st.prefilling_len()
+                                            + st.decoding_len();
+                                        (load, usize::MAX - d)
+                                    })
+                                    .expect("non-empty active list");
+                                if let Some(ev) = self.lifecycles[d].begin_drain(gstep, d as u32) {
+                                    let (_, st) = slots[d].as_mut().expect("slot checked in");
+                                    st.emit(
+                                        DeploymentId(d as u32),
+                                        NO_REQUEST,
+                                        lifecycle_kind(ev.to),
+                                    );
+                                    events.push(ev);
+                                    drains += 1;
+                                }
+                            }
                         }
                     }
-                    break;
                 }
-                // Wake at the next arrival, the next lifecycle
-                // transition, or the autoscaler's pre-warm point,
-                // whichever comes first.
-                let mut wake = trace[idx].arrival_step;
-                for lc in &self.lifecycles {
-                    if let Some(t) = lc.next_transition_step() {
-                        wake = wake.min(t);
-                    }
-                }
-                let views = self.views(&states, &dispatched);
-                let snap = FleetSnapshot {
-                    step: gstep,
-                    arrivals_this_step: 0,
-                    cold_start_steps,
-                    min_active,
-                    deployments: &views,
-                };
-                if let Some(p) = self.autoscale.prewarm_at(&snap) {
-                    if p > gstep {
-                        wake = wake.min(p);
-                    }
-                }
-                gstep = wake.max(gstep + 1);
-                continue;
-            }
 
-            // 6: one lockstep iteration of every slot with work, with
-            // cross-deployment re-dispatch of fresh preemptions —
-            // identical to the fixed engine (a victim preempted on a
-            // Draining slot re-routes onto an Active one).
-            let mut all_stalled = true;
-            for d in 0..n {
-                if !states[d].has_work() {
-                    continue;
+                // 3: dispatch arrivals up to the global serving step.
+                while idx < trace.len() && trace[idx].arrival_step <= gstep {
+                    let req = trace[idx];
+                    let view = RouteRequest::of(&req, 0, false);
+                    let d = Self::route_slots(
+                        self.routing.as_mut(),
+                        &self.lifecycles,
+                        &slots,
+                        &dispatched,
+                        &self.costs,
+                        gstep,
+                        view,
+                        &mut misrouted,
+                    );
+                    dispatched[d] += 1;
+                    let (eng, st) = slots[d].as_mut().expect("slot checked in");
+                    st.emit(DeploymentId(d as u32), req.id, EventKind::Routed);
+                    eng.enqueue_arrival(st, req);
+                    idx += 1;
                 }
-                states[d].step = gstep;
-                let progress = self.engines[d].advance_once(&mut states[d])?;
-                if progress != StepProgress::Stalled {
-                    all_stalled = false;
-                }
-                let moved: Vec<QueueEntry> = states[d].drain_just_preempted();
-                for mut entry in moved {
-                    let view = RouteRequest::of(&entry.req, entry.emitted, true);
-                    let target = self.route(&states, &dispatched, gstep, view);
-                    if target != d {
+
+                // 4: live drain — Draining slots evacuate queued work
+                // wholesale and in-flight work a batch per step, migrating
+                // each request (progress retained, timestamps re-based onto
+                // the target's clock, demoted KV dropped at the source), and
+                // retire once empty.
+                for d in 0..n {
+                    if self.lifecycles[d].state() != LifecycleState::Draining {
+                        continue;
+                    }
+                    let moved = {
+                        let (eng, st) = slots[d].as_mut().expect("slot checked in");
+                        let mut moved = eng.evacuate_queued(st);
+                        moved.extend(eng.evacuate_in_flight(st, self.config.drain_batch));
+                        moved
+                    };
+                    for mut entry in moved {
+                        let view = RouteRequest::of(&entry.req, entry.emitted, true);
+                        let target = Self::route_slots(
+                            self.routing.as_mut(),
+                            &self.lifecycles,
+                            &slots,
+                            &dispatched,
+                            &self.costs,
+                            gstep,
+                            view,
+                            &mut misrouted,
+                        );
                         redispatches += 1;
-                        self.engines[d].forget_demoted(&mut states[d], entry.req.id);
-                        let shift = states[target].clock - states[d].clock;
+                        drained_requests += 1;
+                        {
+                            let (eng, st) = slots[d].as_mut().expect("slot checked in");
+                            eng.forget_demoted(st, entry.req.id);
+                        }
+                        let from_clock = slots[d].as_ref().expect("slot checked in").1.clock;
+                        let (eng_t, st_t) = slots[target].as_mut().expect("slot checked in");
+                        let shift = st_t.clock - from_clock;
                         entry.arrival_s += shift;
                         entry.first_token_s = entry.first_token_s.map(|t| t + shift);
                         entry.first_admitted_s = entry.first_admitted_s.map(|t| t + shift);
-                        states[target].emit(
+                        st_t.emit(
                             DeploymentId(target as u32),
                             entry.req.id,
                             EventKind::Migrated {
@@ -515,21 +495,168 @@ impl ElasticClusterEngine {
                                 emitted: entry.emitted,
                             },
                         );
+                        eng_t.requeue(st_t, entry);
                     }
-                    self.engines[target].requeue(&mut states[target], entry);
+                    if !slots[d].as_ref().expect("slot checked in").1.has_work() {
+                        if let Some(ev) = self.lifecycles[d].retire(gstep, d as u32) {
+                            let (_, st) = slots[d].as_mut().expect("slot checked in");
+                            st.emit(DeploymentId(d as u32), NO_REQUEST, lifecycle_kind(ev.to));
+                            events.push(ev);
+                            retires += 1;
+                        }
+                    }
                 }
-            }
-            if all_stalled {
-                if idx >= trace.len() {
-                    return Err(CoreError::SchedulerStalled {
-                        queued: states.iter().map(RunState::queued_len).sum(),
-                    });
+
+                // 5: fully idle everywhere — jump time or finish.
+                if !slots.iter().any(|s| s.as_ref().expect("slot checked in").1.has_work()) {
+                    if idx >= trace.len() {
+                        let pending: Vec<usize> = (0..n)
+                            .filter(|&d| {
+                                matches!(
+                                    self.lifecycles[d].state(),
+                                    LifecycleState::Provisioning | LifecycleState::Warming
+                                )
+                            })
+                            .collect();
+                        if pending.is_empty() {
+                            break;
+                        }
+                        // Trace exhausted with cold starts still in flight:
+                        // cancel them — there is nothing left to serve (the
+                        // wasted cold start stays billed; mispredictions
+                        // cost money).
+                        for d in pending {
+                            if let Some(ev) = self.lifecycles[d].retire(gstep, d as u32) {
+                                let (_, st) = slots[d].as_mut().expect("slot checked in");
+                                st.emit(DeploymentId(d as u32), NO_REQUEST, lifecycle_kind(ev.to));
+                                events.push(ev);
+                                retires += 1;
+                            }
+                        }
+                        break;
+                    }
+                    // Wake at the next arrival, the next lifecycle
+                    // transition, or the autoscaler's pre-warm point,
+                    // whichever comes first.
+                    let mut wake = trace[idx].arrival_step;
+                    for lc in &self.lifecycles {
+                        if let Some(t) = lc.next_transition_step() {
+                            wake = wake.min(t);
+                        }
+                    }
+                    let views =
+                        Self::slot_views(&self.lifecycles, &slots, &dispatched, &self.costs);
+                    let snap = FleetSnapshot {
+                        step: gstep,
+                        arrivals_this_step: 0,
+                        cold_start_steps,
+                        min_active,
+                        deployments: &views,
+                    };
+                    if let Some(p) = self.autoscale.prewarm_at(&snap) {
+                        if p > gstep {
+                            wake = wake.min(p);
+                        }
+                    }
+                    gstep = wake.max(gstep + 1);
+                    continue;
                 }
-                gstep = trace[idx].arrival_step;
-                continue;
+
+                // 6: one lockstep iteration of every slot with work, in two
+                // phases identical to the fixed engine. Phase A fans the
+                // independent per-slot iterations out over the worker pool;
+                // phase B merges progress and re-dispatches fresh victims in
+                // deployment-index order (a victim preempted on a Draining
+                // slot re-routes onto an Active one).
+                let mut batch: Vec<(usize, Slot)> = Vec::new();
+                for (d, slot) in slots.iter_mut().enumerate() {
+                    let has_work = slot.as_ref().expect("slot checked in").1.has_work();
+                    if !has_work {
+                        continue;
+                    }
+                    let mut s = slot.take().expect("slot checked in");
+                    s.1.step = gstep;
+                    batch.push((d, s));
+                }
+                for (d, slot, out) in pool.run(batch) {
+                    slots[d] = Some(slot);
+                    results[d] = Some(out);
+                }
+
+                let mut all_stalled = true;
+                for d in 0..n {
+                    let Some((progress, moved)) = results[d].take() else {
+                        continue;
+                    };
+                    let progress = progress?;
+                    if progress != StepProgress::Stalled {
+                        all_stalled = false;
+                    }
+                    for mut entry in moved {
+                        let view = RouteRequest::of(&entry.req, entry.emitted, true);
+                        let target = Self::route_slots(
+                            self.routing.as_mut(),
+                            &self.lifecycles,
+                            &slots,
+                            &dispatched,
+                            &self.costs,
+                            gstep,
+                            view,
+                            &mut misrouted,
+                        );
+                        if target != d {
+                            redispatches += 1;
+                            {
+                                let (eng, st) = slots[d].as_mut().expect("slot checked in");
+                                eng.forget_demoted(st, entry.req.id);
+                            }
+                            let from_clock = slots[d].as_ref().expect("slot checked in").1.clock;
+                            let (_, st_t) = slots[target].as_mut().expect("slot checked in");
+                            let shift = st_t.clock - from_clock;
+                            entry.arrival_s += shift;
+                            entry.first_token_s = entry.first_token_s.map(|t| t + shift);
+                            entry.first_admitted_s = entry.first_admitted_s.map(|t| t + shift);
+                            st_t.emit(
+                                DeploymentId(target as u32),
+                                entry.req.id,
+                                EventKind::Migrated {
+                                    from: d as u32,
+                                    arrival_s: entry.arrival_s,
+                                    first_token_s: entry.first_token_s.unwrap_or(0.0),
+                                    emitted: entry.emitted,
+                                },
+                            );
+                        }
+                        let (eng_t, st_t) = slots[target].as_mut().expect("slot checked in");
+                        eng_t.requeue(st_t, entry);
+                    }
+                }
+                if all_stalled {
+                    if idx >= trace.len() {
+                        return Err(CoreError::SchedulerStalled {
+                            queued: slots
+                                .iter()
+                                .map(|s| s.as_ref().expect("slot checked in").1.queued_len())
+                                .sum(),
+                        });
+                    }
+                    gstep = trace[idx].arrival_step;
+                    continue;
+                }
+                gstep += 1;
             }
-            gstep += 1;
+            Ok(())
+        });
+
+        let mut engines = Vec::with_capacity(n);
+        let mut states = Vec::with_capacity(n);
+        for s in slots {
+            let (eng, st) = s.expect("every slot checked back in");
+            engines.push(eng);
+            states.push(st);
         }
+        self.engines = engines;
+        run?;
 
         let deployments: Vec<_> =
             self.engines.iter().zip(states).map(|(eng, st)| eng.finish(st)).collect();
@@ -548,6 +675,7 @@ impl ElasticClusterEngine {
                 deployments,
                 dispatched,
                 redispatches,
+                misrouted,
             ),
             autoscale: self.autoscale.name().to_string(),
             events,

@@ -61,7 +61,35 @@
 //! (busy seconds + paid cold starts per slot) to compare against a
 //! statically-provisioned peak fleet.
 //!
+//! # The two-phase lockstep iteration
+//!
+//! Both engines execute every global step in two phases. **Phase A
+//! (advance)**: each deployment with work runs one serving iteration
+//! ([`ServeEngine::advance_once`](crate::ServeEngine)) touching only its
+//! own state — queues, batch, ledgers, step caches, trace sink all live
+//! inside the slot. Because the iterations are independent, they fan
+//! out over a persistent worker pool
+//! ([`ClusterConfig::with_cluster_threads`]) when one is configured.
+//! **Phase B (merge)**: back on the calling thread, the per-slot results
+//! ([`StepProgress`](crate::StepProgress) plus freshly preempted
+//! victims) are folded **in deployment-index order** — stall detection,
+//! victim re-routing, cross-deployment migration, elastic lifecycle
+//! transitions and autoscale decisions all happen here, serially.
+//!
 //! # Determinism
+//!
+//! The two-phase split is the determinism contract: every routing
+//! decision, migration, trace event and report field depends only on
+//! the phase-B fold, whose inputs and order are independent of how
+//! phase A was scheduled. A run is therefore **bit-identical at any
+//! `cluster_threads` value** — same [`ClusterReport`], same
+//! [`ElasticReport`], same event-stream FNV — and threads only change
+//! wall-clock time. Likewise the copy-on-write shared warm-start
+//! (identical-model deployments sharing one step-cache memo table,
+//! [`ClusterConfig::with_shared_warm_start`]) is outcome-transparent:
+//! cached step values are pure functions of their keys, so sharing
+//! changes only which deployment computes an entry first, never what
+//! any deployment observes.
 //!
 //! A cluster of **one** deployment is bit-identical to
 //! [`ServeEngine::run_trace`](crate::ServeEngine::run_trace) on the same
@@ -86,4 +114,4 @@ pub use policy::{
     RoundRobin, RouteRequest, RoutingPolicy,
 };
 pub use report::ClusterReport;
-pub use router::ClusterEngine;
+pub use router::{ClusterConfig, ClusterEngine};

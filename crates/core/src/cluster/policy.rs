@@ -6,8 +6,10 @@
 //! composition, KV shard-ledger pressure, degradation-discounted
 //! bandwidth) and answers with a deployment index. The
 //! [`ClusterEngine`](super::ClusterEngine) executes the choice — an
-//! out-of-range index is clamped to the last deployment, so a policy
-//! cannot address a deployment that does not exist.
+//! out-of-range index is a policy bug, `debug_assert!`ed in debug
+//! builds and counted in
+//! [`ClusterReport::misrouted`](super::ClusterReport::misrouted) (then
+//! clamped to the last deployment) in release builds.
 //!
 //! Four policies ship:
 //!
@@ -210,8 +212,11 @@ pub trait RoutingPolicy: fmt::Debug {
     /// [`ClusterReport::routing`](super::ClusterReport::routing).
     fn name(&self) -> &'static str;
 
-    /// Picks the deployment index for `request`. Indices past the last
-    /// deployment are clamped by the engine.
+    /// Picks the deployment index for `request`. An index past the last
+    /// deployment is a policy bug: the engine `debug_assert!`s it,
+    /// counts it in
+    /// [`ClusterReport::misrouted`](super::ClusterReport::misrouted),
+    /// and clamps to the last deployment in release builds.
     fn route(&mut self, request: &RouteRequest, snapshot: &ClusterSnapshot<'_>) -> usize;
 }
 
@@ -408,7 +413,13 @@ impl RoutingPolicy for CostNormalizedPressure {
             .max_by(|a, b| {
                 CostNormalizedPressure::score(a)
                     .total_cmp(&CostNormalizedPressure::score(b))
-                    .then(b.id.cmp(&a.id)) // ties to the lower index
+                    // Exact score ties (e.g. freshly woken slots with
+                    // identical free capacity) go to a deployment whose
+                    // prefix cache is already warm — elastic scale-up
+                    // lands traffic where prior requests left reusable
+                    // KV prefixes.
+                    .then((a.prefix_hit_rate > 0.0).cmp(&(b.prefix_hit_rate > 0.0)))
+                    .then(b.id.cmp(&a.id)) // remaining ties to the lower index
             })
             .map(|d| d.id as usize)
             .unwrap_or(0)
@@ -617,6 +628,26 @@ mod tests {
         let snap = ClusterSnapshot { step: 0, deployments: &views };
         assert_eq!(CostNormalizedPressure.route(&req(1), &snap), 1);
         assert_eq!(CostNormalizedPressure.name(), "cost-normalized-pressure");
+    }
+
+    #[test]
+    fn cost_normalized_pressure_breaks_score_ties_toward_warm_caches() {
+        // Two freshly woken slots with zero free capacity score exactly
+        // 0.0 each — the warmth tie-break places on the one whose prefix
+        // cache already holds reusable KV, even at the higher index.
+        let cold = view(0, 0, 0, 0, 10.0);
+        let warm = DeploymentView { prefix_hit_rate: 0.25, ..view(1, 0, 0, 0, 10.0) };
+        assert_eq!(CostNormalizedPressure::score(&cold), CostNormalizedPressure::score(&warm));
+        let views = [cold.clone(), warm.clone()];
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        assert_eq!(CostNormalizedPressure.route(&req(0), &snap), 1);
+        // Both cold (or both warm): the tie still goes to the lower index.
+        let views = [cold.clone(), view(1, 0, 0, 0, 10.0)];
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        assert_eq!(CostNormalizedPressure.route(&req(1), &snap), 0);
+        let views = [DeploymentView { prefix_hit_rate: 0.5, ..cold }, warm];
+        let snap = ClusterSnapshot { step: 0, deployments: &views };
+        assert_eq!(CostNormalizedPressure.route(&req(2), &snap), 0);
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct ClusterReport {
     /// Preempted requests the router moved to a *different* deployment
     /// than the one that preempted them.
     pub redispatches: u64,
+    /// Out-of-range deployment indices the routing policy answered with
+    /// (each one a policy bug — `debug_assert!`ed in debug builds,
+    /// counted here and clamped to the last deployment in release).
+    pub misrouted: u64,
 }
 
 impl ClusterReport {
@@ -33,8 +37,9 @@ impl ClusterReport {
         deployments: Vec<TraceReport>,
         dispatched: Vec<u64>,
         redispatches: u64,
+        misrouted: u64,
     ) -> Self {
-        ClusterReport { routing, deployments, dispatched, redispatches }
+        ClusterReport { routing, deployments, dispatched, redispatches, misrouted }
     }
 
     /// Number of deployments.
@@ -242,6 +247,7 @@ mod tests {
             vec![report(0, &[(10.0, 100, true), (20.0, 50, false)]), report(1, &[(5.0, 30, true)])],
             vec![2, 1],
             1,
+            0,
         );
         assert_eq!(r.deployment_count(), 2);
         assert_eq!(r.completed(), 3);
@@ -280,7 +286,7 @@ mod tests {
 
     #[test]
     fn empty_cluster_run_reports_zeros_not_nans() {
-        let r = ClusterReport::new("ledger-pressure".into(), vec![report(0, &[])], vec![0], 0);
+        let r = ClusterReport::new("ledger-pressure".into(), vec![report(0, &[])], vec![0], 0, 0);
         assert_eq!(r.completed(), 0);
         assert_eq!(r.elapsed_s(), 0.0);
         assert_eq!(r.tokens_per_second(), 0.0);

@@ -25,6 +25,7 @@ use hilos_sim::FlowEngineImpl;
 use hilos_storage::{KvShardLedger, KvTier, KvTierLadder, PrefixCacheIndex, SsdSpec, TierTraffic};
 use hilos_trace::{Event, EventKind, EventRing, NullSink, TraceSink};
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, RwLock};
 
 /// Context quantum of the chunk-path prefill memoization. Chunk cursors
 /// are rounded to this *fixed* grid — unlike the adaptive
@@ -351,6 +352,22 @@ struct CachedStep {
     internal_read_bytes: f64,
 }
 
+/// Step/prefill memoization tables shared by every deployment of one
+/// identical system fingerprint in a cluster — a freshly provisioned
+/// elastic slot (or the 31 siblings of a homogeneous fleet) warm-starts
+/// from what any twin already computed instead of re-paying the misses.
+///
+/// Read-mostly: lookups take the read lock, only misses take the write
+/// lock. A cached value is a *pure function* of its key given the shared
+/// fingerprint, so concurrent double-computes insert the same bits and
+/// the simulation outcome is independent of which deployment (or thread)
+/// filled an entry first — the cache changes wall-clock, never results.
+#[derive(Debug, Default)]
+pub(crate) struct SharedStepCache {
+    steps: RwLock<HashMap<StepKey, CachedStep>>,
+    prefills: RwLock<HashMap<(u64, u64), f64>>,
+}
+
 /// What one call to [`ServeEngine::advance_once`] accomplished — the
 /// driver (single-deployment or cluster) decides how the arrival cursor
 /// moves in response.
@@ -528,6 +545,10 @@ pub struct ServeEngine {
     max_placeable: u64,
     step_cache: HashMap<StepKey, CachedStep>,
     prefill_cache: HashMap<(u64, u64), f64>,
+    /// Fingerprint-group shared memo tables (`None` outside a cluster or
+    /// with warm-start sharing off): when set, it is authoritative and
+    /// the local maps above stay empty.
+    shared_cache: Option<Arc<SharedStepCache>>,
     /// Prefix KV cache over the tiered residency ladder (`None` = off).
     cache: Option<PrefixCacheState>,
 }
@@ -598,6 +619,7 @@ impl ServeEngine {
             max_placeable,
             step_cache: HashMap::new(),
             prefill_cache: HashMap::new(),
+            shared_cache: None,
             cache,
         })
     }
@@ -640,6 +662,40 @@ impl ServeEngine {
     /// Assigns the engine its cluster slot (outcomes record it).
     pub(crate) fn set_deployment(&mut self, id: DeploymentId) {
         self.deployment = id;
+    }
+
+    /// FNV-1a over everything the step/prefill memo values depend on:
+    /// the full system (spec, degradations, model, config, sim layers)
+    /// and the flow-engine implementation. Two deployments with equal
+    /// fingerprints compute bit-identical values for every memo key, so
+    /// they may share one [`SharedStepCache`].
+    pub(crate) fn system_fingerprint(&self) -> u64 {
+        let desc = format!("{:?}|{:?}", self.system, self.config.flow_impl);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in desc.into_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Installs the fingerprint-group shared memo tables, seeding them
+    /// with anything this engine already computed locally. Only a
+    /// cluster constructor calls this, and only across deployments whose
+    /// [`ServeEngine::system_fingerprint`] match.
+    pub(crate) fn set_shared_cache(&mut self, shared: Arc<SharedStepCache>) {
+        {
+            let mut steps = shared.steps.write().expect("shared step cache poisoned");
+            for (k, v) in self.step_cache.drain() {
+                steps.entry(k).or_insert(v);
+            }
+        }
+        {
+            let mut prefills = shared.prefills.write().expect("shared prefill cache poisoned");
+            for (k, v) in self.prefill_cache.drain() {
+                prefills.entry(k).or_insert(v);
+            }
+        }
+        self.shared_cache = Some(shared);
     }
 
     /// The prefix cache's lifetime hit rate on this deployment (`0.0`
@@ -809,11 +865,24 @@ impl ServeEngine {
     /// cached value's meaning cannot drift between them.
     fn prefill_seconds_rounded(&mut self, ctx: u64, alpha: f64) -> Result<f64, CoreError> {
         let key = (ctx, alpha.to_bits());
-        if let Some(&s) = self.prefill_cache.get(&key) {
+        if let Some(shared) = &self.shared_cache {
+            if let Some(&s) =
+                shared.prefills.read().expect("shared prefill cache poisoned").get(&key)
+            {
+                return Ok(s);
+            }
+        } else if let Some(&s) = self.prefill_cache.get(&key) {
             return Ok(s);
         }
         let s = self.exec.execute_prefill(1, ctx, alpha)?;
-        self.prefill_cache.insert(key, s);
+        match &self.shared_cache {
+            Some(shared) => {
+                shared.prefills.write().expect("shared prefill cache poisoned").insert(key, s);
+            }
+            None => {
+                self.prefill_cache.insert(key, s);
+            }
+        }
         Ok(s)
     }
 
@@ -866,7 +935,11 @@ impl ServeEngine {
             spill_now: decision.spill_now,
             spill_tokens: decision.spill_tokens,
         };
-        if let Some(&o) = self.step_cache.get(&key) {
+        if let Some(shared) = &self.shared_cache {
+            if let Some(&o) = shared.steps.read().expect("shared step cache poisoned").get(&key) {
+                return Ok(o);
+            }
+        } else if let Some(&o) = self.step_cache.get(&key) {
             return Ok(o);
         }
         let o = self.exec.execute_step(batch, key.context, alpha, decision)?;
@@ -875,7 +948,14 @@ impl ServeEngine {
             host_pcie_bytes: o.host_pcie_bytes,
             internal_read_bytes: o.internal_read_bytes,
         };
-        self.step_cache.insert(key, cached);
+        match &self.shared_cache {
+            Some(shared) => {
+                shared.steps.write().expect("shared step cache poisoned").insert(key, cached);
+            }
+            None => {
+                self.step_cache.insert(key, cached);
+            }
+        }
         Ok(cached)
     }
 
@@ -1631,7 +1711,14 @@ impl ServeEngine {
             } else {
                 0.0
             },
-            step_cache_entries: self.step_cache.len(),
+            step_cache_entries: match &self.shared_cache {
+                // The shared table is the deterministic union of every
+                // group member's (identical-per-deployment) key set —
+                // the same number at any thread count, and equal to the
+                // local count for a group of one.
+                Some(shared) => shared.steps.read().expect("shared step cache poisoned").len(),
+                None => self.step_cache.len(),
+            },
             host_pcie_bytes: st.host_bytes,
             internal_read_bytes: st.internal_bytes,
             prefill_payload_bytes: st.prefill_payload,

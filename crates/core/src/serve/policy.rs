@@ -101,7 +101,11 @@ pub enum SchedDecision {
 }
 
 /// An admission/preemption policy consulted once per serving step.
-pub trait SchedulingPolicy: fmt::Debug {
+///
+/// `Send` is a supertrait so a deployment (engine + policy) can be
+/// handed to a cluster fan-out worker for its lockstep iteration; every
+/// shipped policy is plain owned data.
+pub trait SchedulingPolicy: fmt::Debug + Send {
     /// Stable policy name, recorded in
     /// [`TraceReport::policy`](super::TraceReport::policy).
     fn name(&self) -> &'static str;

@@ -2,9 +2,12 @@
 //! layer's shard-ledger conservation.
 
 use hilos_core::cluster::{
-    ClusterEngine, JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy,
+    ClusterConfig, ClusterEngine, CostNormalizedPressure, ElasticClusterEngine, ElasticConfig,
+    JoinShortestQueue, LedgerPressure, RoundRobin, RoutingPolicy, TargetPressureScaler,
 };
-use hilos_core::trace::{check_conservation, prefill_chunk_totals, Event, LatencyAttribution};
+use hilos_core::trace::{
+    check_conservation, events_fnv, prefill_chunk_totals, Event, LatencyAttribution,
+};
 use hilos_core::{
     paper_alpha_mha, spill_nand_bytes_per_token, AlphaModel, AlphaPolicy, ChunkMode, DeadlineEdf,
     Fifo, HilosConfig, HilosSystem, PrefixCacheConfig, PriorityPreempt, SchedulingPolicy,
@@ -399,6 +402,125 @@ proptest! {
         prop_assert!(cons.holds(), "event conservation violated: {:?}", cons);
         prop_assert_eq!(cons.arrived, n);
         prop_assert_eq!(cons.completed + cons.rejected, n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Parallel lockstep stepping is outcome-transparent: for any seeded
+    /// trace, routing policy, chunk mode and cluster shape, the fixed
+    /// cluster produces a bit-identical [`ClusterReport`] — and
+    /// bit-identical traced event streams, compared by FNV — at 1, 2 and
+    /// 4 worker threads.
+    #[test]
+    fn parallel_cluster_stepping_is_bit_identical(
+        n in 12usize..40,
+        seed in 0u64..1_000_000,
+        gap in 4u64..32,
+        routing_idx in 0usize..4,
+        chunk_idx in 0usize..2,
+        dep_count in 2usize..4,
+    ) {
+        let trace = TraceConfig { mean_interarrival_steps: gap, ..TraceConfig::azure_mix(n, seed) }
+            .generate()
+            .unwrap();
+        let run_at = |threads: usize| {
+            let routing: Box<dyn RoutingPolicy> = match routing_idx {
+                0 => Box::new(RoundRobin::new()),
+                1 => Box::new(JoinShortestQueue),
+                2 => Box::new(LedgerPressure::new()),
+                _ => Box::new(CostNormalizedPressure),
+            };
+            let mut serve_cfg = ServeConfig::new(4).with_tracing(1 << 18);
+            if chunk_idx == 1 {
+                serve_cfg = serve_cfg.with_chunk_mode(ChunkMode::chunked());
+            }
+            let deployments: Vec<ServeEngine> = (0..dep_count)
+                .map(|d| {
+                    let devices = [8, 6, 4][d];
+                    let sys = HilosSystem::new(
+                        &SystemSpec::a100_smartssd(devices),
+                        &presets::opt_30b(),
+                        &HilosConfig::new(devices),
+                    )
+                    .unwrap()
+                    .with_sim_layers(1);
+                    ServeEngine::with_policy(
+                        sys,
+                        serve_cfg.clone(),
+                        Box::new(PriorityPreempt::new()),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let mut cluster = ClusterEngine::with_config(
+                deployments,
+                routing,
+                ClusterConfig::new().with_cluster_threads(threads),
+            );
+            cluster.run_trace(&trace).unwrap()
+        };
+        let serial = run_at(1);
+        for threads in [2usize, 4] {
+            let parallel = run_at(threads);
+            for (d, (a, b)) in serial.deployments.iter().zip(&parallel.deployments).enumerate() {
+                prop_assert_eq!(
+                    events_fnv(&a.events), events_fnv(&b.events),
+                    "deployment {} event stream drifted at {} threads", d, threads
+                );
+            }
+            prop_assert_eq!(&serial, &parallel, "{} threads drifted from serial", threads);
+        }
+    }
+
+    /// The same transparency through the elastic engine, with the fleet
+    /// scaling both ways mid-run: a pressure-driven autoscaler over a
+    /// bursty seeded trace drains and migrates in-flight work, and the
+    /// whole [`ElasticReport`] — lifecycle events, bills, migrations —
+    /// is bit-identical at 1, 2 and 4 worker threads.
+    #[test]
+    fn parallel_elastic_stepping_is_bit_identical(
+        n in 24usize..64,
+        seed in 0u64..1_000_000,
+        bursts in 2u32..5,
+        routing_idx in 0usize..2,
+    ) {
+        let trace = TraceConfig::flash_crowd_mix(n, seed, bursts, 1200).generate().unwrap();
+        let run_at = |threads: usize| {
+            let routing: Box<dyn RoutingPolicy> = if routing_idx == 0 {
+                Box::new(LedgerPressure::new())
+            } else {
+                Box::new(CostNormalizedPressure)
+            };
+            let deployments: Vec<ServeEngine> = [8usize, 6, 4]
+                .iter()
+                .map(|&devices| {
+                    let sys = HilosSystem::new(
+                        &SystemSpec::a100_smartssd(devices),
+                        &presets::opt_30b(),
+                        &HilosConfig::new(devices),
+                    )
+                    .unwrap()
+                    .with_sim_layers(1);
+                    ServeEngine::new(sys, ServeConfig::new(4).with_tracing(1 << 18)).unwrap()
+                })
+                .collect();
+            let mut elastic = ElasticClusterEngine::new(
+                deployments,
+                routing,
+                Box::new(TargetPressureScaler::new(0.75, 0.1, 24)),
+                ElasticConfig {
+                    cluster: ClusterConfig::new().with_cluster_threads(threads),
+                    ..ElasticConfig::new(1)
+                },
+            );
+            elastic.run_trace(&trace).unwrap()
+        };
+        let serial = run_at(1);
+        for threads in [2usize, 4] {
+            prop_assert_eq!(&serial, &run_at(threads), "{} threads drifted from serial", threads);
+        }
     }
 }
 

@@ -11,7 +11,10 @@ use crate::event::{Event, FNV_OFFSET};
 /// the [`NullSink`] makes instrumented builds bit-identical (and
 /// wall-clock-identical, guarded in `bench_serving`) to uninstrumented
 /// ones.
-pub trait TraceSink: std::fmt::Debug {
+/// `Send` is a supertrait so a traced run state can cross into a cluster
+/// fan-out worker for its lockstep iteration; both shipped sinks are
+/// plain owned buffers.
+pub trait TraceSink: std::fmt::Debug + Send {
     /// Whether events should be constructed and recorded at all.
     fn enabled(&self) -> bool;
     /// Record one event. Must be observational: no engine state changes.

@@ -4,8 +4,8 @@
 //! cross-deployment re-dispatch of preempted requests.
 
 use hilos::core::cluster::{
-    ClusterEngine, ClusterSnapshot, JoinShortestQueue, LedgerPressure, RoundRobin, RouteRequest,
-    RoutingPolicy,
+    ClusterConfig, ClusterEngine, ClusterSnapshot, JoinShortestQueue, LedgerPressure, RoundRobin,
+    RouteRequest, RoutingPolicy,
 };
 use hilos::core::{
     ChunkMode, ClusterReport, HilosConfig, HilosSystem, PriorityPreempt, ServeConfig, ServeEngine,
@@ -252,6 +252,80 @@ impl RoutingPolicy for MigrateToSpare {
     fn route(&mut self, req: &RouteRequest, _snap: &ClusterSnapshot<'_>) -> usize {
         usize::from(req.redispatch)
     }
+}
+
+/// Parallel lockstep stepping is outcome-identical: the same seeded
+/// heterogeneous contended run produces a bit-identical [`ClusterReport`]
+/// at 1, 2 and 4 worker threads — phase B's deployment-index-order merge
+/// is the only place routing, migration and reporting observe state, so
+/// how phase A was scheduled cannot leak into any result.
+#[test]
+fn parallel_stepping_is_bit_identical_across_thread_counts() {
+    let run_at = |threads: usize| {
+        let mut cluster = ClusterEngine::with_config(
+            heterogeneous_deployments(),
+            Box::new(LedgerPressure::new()),
+            ClusterConfig::new().with_cluster_threads(threads),
+        );
+        cluster.run_trace(&contended_trace()).unwrap()
+    };
+    let serial = run_at(1);
+    for threads in [2, 4] {
+        assert_eq!(serial, run_at(threads), "{threads}-thread run drifted from serial");
+    }
+}
+
+/// The golden 1-deployment pin holds with the worker pool engaged: a
+/// single-slot cluster stepped through 4 fan-out threads still produces
+/// the exact pre-cluster FNV constant.
+#[test]
+fn golden_pin_survives_four_worker_threads() {
+    let trace = TraceConfig::azure_mix(512, 42).generate().unwrap();
+    let mut cluster = ClusterEngine::with_config(
+        vec![ServeEngine::new(hilos(8), ServeConfig::new(16)).unwrap()],
+        Box::new(RoundRobin::new()),
+        ClusterConfig::new().with_cluster_threads(4),
+    );
+    let report = cluster.run_trace(&trace).unwrap();
+    assert_eq!(outcome_hash(&report.deployments[0].outcomes), 0x988a698736a9c8fe);
+    assert_eq!(report.misrouted, 0);
+}
+
+/// A policy that answers with a deployment index past the end of the
+/// fleet — a routing bug the engine must surface, not silently absorb.
+#[derive(Debug)]
+struct OutOfRangeRouting;
+
+impl RoutingPolicy for OutOfRangeRouting {
+    fn name(&self) -> &'static str {
+        "out-of-range"
+    }
+    fn route(&mut self, _req: &RouteRequest, snap: &ClusterSnapshot<'_>) -> usize {
+        snap.deployments.len() + 3
+    }
+}
+
+/// Debug builds refuse an out-of-range routing answer loudly.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "routing policy picked deployment")]
+fn out_of_range_routing_panics_in_debug_builds() {
+    let trace = TraceConfig::azure_mix(16, 7).generate().unwrap();
+    let mut cluster = ClusterEngine::new(heterogeneous_deployments(), Box::new(OutOfRangeRouting));
+    let _ = cluster.run_trace(&trace);
+}
+
+/// Release builds clamp to the last deployment but count every
+/// out-of-range answer in [`ClusterReport::misrouted`] — the bug stays
+/// visible in the report instead of vanishing into a silent `.min()`.
+#[cfg(not(debug_assertions))]
+#[test]
+fn out_of_range_routing_is_counted_and_clamped_in_release_builds() {
+    let trace = TraceConfig::azure_mix(16, 7).generate().unwrap();
+    let mut cluster = ClusterEngine::new(heterogeneous_deployments(), Box::new(OutOfRangeRouting));
+    let report = cluster.run_trace(&trace).unwrap();
+    assert_eq!(report.misrouted as usize, 16, "every dispatch was out of range");
+    assert_eq!(report.dispatched, vec![0, 0, 16], "clamped to the last deployment");
 }
 
 #[test]
